@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) of the solver's hot path: incremental
+// cost probes vs full recomputation, committed swaps, projected errors, RNG
+// throughput and whole engine iterations.  These are the constants behind
+// the "seconds per iteration" calibration used by the cluster simulator.
+#include <benchmark/benchmark.h>
+
+#include "core/adaptive_search.hpp"
+#include "problems/registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cspls;
+
+std::unique_ptr<csp::Problem> bench_problem(const std::string& name) {
+  return problems::make_problem(name, problems::bench_size(name), 7);
+}
+
+void BM_RngNext(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_CostIfSwap(benchmark::State& state, const std::string& name) {
+  auto problem = bench_problem(name);
+  util::Xoshiro256 rng(2);
+  problem->randomize(rng);
+  const std::size_t n = problem->num_variables();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t a = i % n;
+    const std::size_t b = (i * 7 + 1) % n;
+    ++i;
+    if (a == b) continue;
+    benchmark::DoNotOptimize(problem->cost_if_swap(a, b));
+  }
+}
+
+void BM_FullCost(benchmark::State& state, const std::string& name) {
+  auto problem = bench_problem(name);
+  util::Xoshiro256 rng(3);
+  problem->randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem->full_cost());
+  }
+}
+
+void BM_CommittedSwap(benchmark::State& state, const std::string& name) {
+  auto problem = bench_problem(name);
+  util::Xoshiro256 rng(4);
+  problem->randomize(rng);
+  const std::size_t n = problem->num_variables();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t a = i % n;
+    const std::size_t b = (i * 5 + 1) % n;
+    ++i;
+    if (a == b) continue;
+    benchmark::DoNotOptimize(problem->swap(a, b));
+  }
+}
+
+void BM_CostOnVariable(benchmark::State& state, const std::string& name) {
+  auto problem = bench_problem(name);
+  util::Xoshiro256 rng(5);
+  problem->randomize(rng);
+  const std::size_t n = problem->num_variables();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem->cost_on_variable(i++ % n));
+  }
+}
+
+void BM_EngineIteration(benchmark::State& state, const std::string& name) {
+  // Amortized cost of one engine iteration: run short bounded walks.
+  auto prototype = bench_problem(name);
+  auto params = core::Params::from_hints(prototype->tuning(),
+                                         prototype->num_variables());
+  params.restart_limit = 200;
+  params.max_restarts = 0;
+  params.target_cost = -1;  // unreachable: always runs the full 200
+  const core::AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(6);
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    auto problem = prototype->clone();
+    const auto result = engine.solve(*problem, rng);
+    iterations += result.stats.iterations;
+    benchmark::DoNotOptimize(result.cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iterations));
+}
+
+void register_problem_benchmarks() {
+  for (const auto& name : problems::problem_names()) {
+    benchmark::RegisterBenchmark(("BM_CostIfSwap/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_CostIfSwap(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("BM_FullCost/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_FullCost(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("BM_CommittedSwap/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_CommittedSwap(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("BM_CostOnVariable/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_CostOnVariable(s, name);
+                                 });
+  }
+  for (const std::string name : {"costas", "magic-square"}) {
+    benchmark::RegisterBenchmark(("BM_EngineIteration/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_EngineIteration(s, name);
+                                 });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_problem_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

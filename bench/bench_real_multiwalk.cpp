@@ -1,0 +1,97 @@
+// Real-hardware multi-walk: the methodological anchor of the simulation.
+//
+// The figure harnesses extrapolate to 256 cores through order statistics;
+// this binary runs the *actual* std::jthread racing engine on this machine
+// and compares the measured time-to-solution against the same order-
+// statistics prediction at the core counts this host actually has.  If the
+// prediction is honest, measured and predicted speedups must agree at
+// k <= hardware cores (beyond that, oversubscription flattens wall-clock
+// gains while total work keeps shrinking).
+#include <cstdio>
+#include <thread>
+
+#include "common.hpp"
+#include "parallel/multi_walk.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cspls;
+  const auto options = bench::parse_harness_options(
+      argc, argv, "bench_real_multiwalk",
+      "Real threaded multi-walk vs order-statistics prediction", 80);
+  if (!options) return 0;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::print_preamble(
+      "Real multi-walk — measured vs predicted (this host)",
+      "Hardware threads available: " + std::to_string(hw));
+
+  const auto spec = bench::spec_for("costas", false);
+  const auto prototype = spec.instantiate();
+
+  // Prediction from the sequential law.
+  const auto law =
+      bench::measure_walk_law(spec, options->samples, options->seed);
+  sim::PlatformModel host;
+  host.name = "this-host";
+  host.cores_per_node = hw == 0 ? 2 : hw;
+  host.max_cores = 64;
+  host.core_speed = 1.0;
+
+  const std::vector<std::size_t> ks{1, 2, 4, 8};
+  const auto curve =
+      sim::compute_speedup_curve(law.seconds, host, ks, spec.label());
+
+  // Measurement: repeat the race, take median time-to-solution.
+  constexpr int kRepetitions = 15;
+  util::Table table({"walkers", "measured med T (s)", "measured speedup",
+                     "predicted E[T] (s)", "predicted speedup", "solved"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double t1 = 0.0;
+  for (const std::size_t k : ks) {
+    std::vector<double> times;
+    int solved = 0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      parallel::MultiWalkOptions mw;
+      mw.num_walkers = k;
+      mw.master_seed = options->seed + static_cast<std::uint64_t>(rep) * 1000;
+      const parallel::MultiWalkSolver solver(mw);
+      const auto report = solver.solve(*prototype);
+      if (report.solved) {
+        ++solved;
+        times.push_back(report.time_to_solution_seconds);
+      }
+    }
+    const double median = util::quantile(times, 0.5);
+    if (k == 1) t1 = median;
+    const double measured_speedup = median > 0.0 ? t1 / median : 0.0;
+    table.add_row({std::to_string(k), util::Table::sig(median, 3),
+                   util::Table::num(measured_speedup, 2),
+                   util::Table::sig(curve.at(k).expected_seconds, 3),
+                   util::Table::num(curve.at(k).speedup, 2),
+                   std::to_string(solved) + "/" +
+                       std::to_string(kRepetitions)});
+    csv_rows.push_back({std::to_string(k), util::Table::sig(median, 5),
+                        util::Table::num(measured_speedup, 3),
+                        util::Table::num(curve.at(k).speedup, 3)});
+  }
+
+  std::printf("%s\n",
+              table.render(spec.label() + ", " + std::to_string(kRepetitions) +
+                           " races per point")
+                  .c_str());
+  std::printf(
+      "Expected agreement holds for k <= %u (hardware threads); beyond\n"
+      "that, walkers time-share cores: wall-clock flattens even though the\n"
+      "winning walk keeps getting shorter — the simulator's per-core model\n"
+      "is the right extrapolation for real clusters, not oversubscription.\n",
+      hw);
+
+  util::CsvWriter csv(options->csv_prefix + "measured.csv");
+  csv.write_all(
+      {"walkers", "measured_median_s", "measured_speedup", "predicted_speedup"},
+      csv_rows);
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

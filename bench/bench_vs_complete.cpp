@@ -1,0 +1,132 @@
+// Local search vs complete (propagation-style) search.
+//
+// The paper's opening argument: local search "can tackle CSP instances far
+// beyond the reach of classical propagation-based solvers".  This harness
+// quantifies that on this repository's own complete-search baseline:
+// time-to-first-solution of backtracking-with-pruning vs a single Adaptive
+// Search walk, across growing instance sizes, showing the crossover and the
+// divergence.
+#include <cstdio>
+
+#include "baseline/backtracker.hpp"
+#include "baseline/checkers.hpp"
+#include "common.hpp"
+#include "core/adaptive_search.hpp"
+#include "problems/registry.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct CompleteResult {
+  bool found = false;
+  double seconds = 0.0;
+  std::uint64_t nodes = 0;
+  bool hit_limit = false;
+};
+
+CompleteResult run_complete(const std::string& name, std::size_t n,
+                            std::uint64_t node_budget) {
+  using namespace cspls;
+  baseline::SearchLimits limits;
+  limits.max_nodes = node_budget;
+  util::Stopwatch watch;
+  baseline::SearchOutcome out;
+  if (name == "queens") {
+    baseline::QueensChecker checker(n);
+    out = baseline::backtrack_search(checker, limits);
+  } else if (name == "costas") {
+    baseline::CostasChecker checker(n);
+    out = baseline::backtrack_search(checker, limits);
+  } else {
+    baseline::AllIntervalChecker checker(n);
+    out = baseline::backtrack_search(checker, limits);
+  }
+  return CompleteResult{out.found, watch.elapsed_seconds(), out.nodes,
+                        out.hit_limit};
+}
+
+double run_local_median(const std::string& name, std::size_t n, int reps,
+                        std::uint64_t seed) {
+  using namespace cspls;
+  const auto prototype = problems::make_problem(name, n);
+  auto params = core::Params::from_hints(prototype->tuning(),
+                                         prototype->num_variables());
+  params.max_restarts = 1000;
+  const core::AdaptiveSearch engine(params);
+  const util::RngStreamFactory streams(seed);
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto problem = prototype->clone();
+    util::Xoshiro256 rng = streams.stream(static_cast<std::uint64_t>(rep));
+    const auto result = engine.solve(*problem, rng);
+    if (result.solved) times.push_back(result.stats.seconds);
+  }
+  return util::quantile(times, 0.5);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cspls;
+  const auto options = bench::parse_harness_options(
+      argc, argv, "bench_vs_complete",
+      "Local search vs complete backtracking: time to first solution", 9);
+  if (!options) return 0;
+
+  bench::print_preamble(
+      "Local search vs complete search (paper §1 motivation)",
+      "Time to first solution; complete search capped at 50M nodes.");
+
+  constexpr std::uint64_t kNodeBudget = 50'000'000;
+  struct Row {
+    const char* benchmark;
+    std::vector<std::size_t> sizes;
+  };
+  const Row rows[] = {
+      {"queens", {8, 16, 24, 28}},
+      {"costas", {8, 10, 12, 13}},
+      {"all-interval", {8, 10, 12, 14}},
+  };
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& row : rows) {
+    util::Table table({"n", "complete T (s)", "nodes", "complete status",
+                       "local med T (s)", "local/complete"});
+    for (const std::size_t n : row.sizes) {
+      const CompleteResult complete =
+          run_complete(row.benchmark, n, kNodeBudget);
+      const double local = run_local_median(
+          row.benchmark, n, static_cast<int>(options->samples),
+          options->seed);
+      const std::string status = complete.hit_limit
+                                     ? "BUDGET EXHAUSTED"
+                                     : (complete.found ? "ok" : "no solution");
+      const std::string ratio =
+          (complete.found && !complete.hit_limit && local > 0.0)
+              ? util::Table::sig(local / complete.seconds, 2)
+              : "-";
+      table.add_row({std::to_string(n), util::Table::sig(complete.seconds, 3),
+                     std::to_string(complete.nodes), status,
+                     util::Table::sig(local, 3), ratio});
+      csv_rows.push_back({row.benchmark, std::to_string(n),
+                          util::Table::sig(complete.seconds, 5), status,
+                          util::Table::sig(local, 5)});
+    }
+    std::printf("%s\n", table.render(std::string(row.benchmark)).c_str());
+  }
+
+  std::printf(
+      "Reading: backtracking wins on small instances (microseconds, and it\n"
+      "can prove infeasibility), but its time explodes combinatorially; the\n"
+      "local-search walk grows much more gently — the paper's motivation\n"
+      "for constraint-based local search, and the regime where multi-walk\n"
+      "parallelism then multiplies the advantage.\n");
+
+  util::CsvWriter csv(options->csv_prefix + "crossover.csv");
+  csv.write_all({"benchmark", "n", "complete_s", "status", "local_median_s"},
+                csv_rows);
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

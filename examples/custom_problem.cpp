@@ -1,0 +1,133 @@
+// Defining your own constraint model against the public API.
+//
+// The library is not limited to the built-in benchmarks: any permutation
+// CSP becomes solvable (sequentially and in parallel) by subclassing
+// csp::PermutationProblem.  This example models a round-robin seating
+// problem: n guests at a round table, each pair of neighbours must differ
+// in "temperament" by at least `min_gap` — a toy version of scheduling
+// constraints, with an O(1) incremental cost.
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/adaptive_search.hpp"
+#include "csp/problem.hpp"
+#include "parallel/multi_walk.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cspls::csp::Cost;
+
+/// Seat guests 0..n-1 (temperament = guest id) around a circular table so
+/// that adjacent temperaments differ by at least `min_gap`.
+/// Cost = total shortfall of adjacent gaps below min_gap.
+class RoundTable final : public cspls::csp::PermutationProblem {
+ public:
+  RoundTable(std::size_t guests, int min_gap)
+      : PermutationProblem(make_guests(guests)),
+        n_(guests),
+        min_gap_(min_gap) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::string instance_description() const override {
+    return "round-table n=" + std::to_string(n_) +
+           " min_gap=" + std::to_string(min_gap_);
+  }
+  [[nodiscard]] std::unique_ptr<Problem> clone() const override {
+    return std::make_unique<RoundTable>(*this);
+  }
+
+  [[nodiscard]] Cost full_cost() const override {
+    Cost cost = 0;
+    for (std::size_t s = 0; s < n_; ++s) cost += shortfall(s);
+    return cost;
+  }
+
+  /// A seat is blamed for the shortfalls of its two adjacencies.
+  [[nodiscard]] Cost cost_on_variable(std::size_t seat) const override {
+    return shortfall(prev(seat)) + shortfall(seat);
+  }
+
+  [[nodiscard]] bool verify(std::span<const int> vals) const override {
+    if (vals.size() != n_) return false;
+    for (std::size_t s = 0; s < n_; ++s) {
+      const int gap =
+          std::abs(vals[s] - vals[(s + 1) % n_]);
+      if (gap < min_gap_) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] cspls::csp::TuningHints tuning() const noexcept override {
+    cspls::csp::TuningHints hints;
+    hints.freeze_loc_min = 2;
+    hints.reset_limit = 4;
+    hints.reset_fraction = 0.2;
+    hints.restart_limit = n_ * n_ * 200;
+    return hints;
+  }
+
+  // The base class provides randomize/assign/swap and always-correct (if
+  // O(n)) defaults for cost_if_swap/did_swap — plenty for a few dozen
+  // seats.  For production-scale models, override them with incremental
+  // accounting; every built-in model under src/problems/ shows the pattern.
+
+ private:
+  static std::vector<int> make_guests(std::size_t n) {
+    std::vector<int> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }
+  [[nodiscard]] std::size_t prev(std::size_t seat) const noexcept {
+    return (seat + n_ - 1) % n_;
+  }
+  /// Shortfall of the adjacency (seat, seat+1).
+  [[nodiscard]] Cost shortfall(std::size_t seat) const noexcept {
+    const int gap = std::abs(value(seat) - value((seat + 1) % n_));
+    return gap < min_gap_ ? min_gap_ - gap : 0;
+  }
+
+  std::size_t n_;
+  int min_gap_;
+  std::string name_ = "round-table";
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cspls;
+
+  util::ArgParser args("custom_problem",
+                       "Solve a user-defined permutation CSP");
+  args.add_int("guests", 24, "number of guests");
+  args.add_int("min-gap", 8, "minimum temperament gap between neighbours");
+  args.add_int("walkers", 4, "parallel walkers");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  RoundTable problem(static_cast<std::size_t>(args.get_int("guests")),
+                     static_cast<int>(args.get_int("min-gap")));
+  std::printf("Instance: %s\n", problem.instance_description().c_str());
+
+  parallel::MultiWalkOptions options;
+  options.num_walkers = static_cast<std::size_t>(args.get_int("walkers"));
+  options.master_seed = 99;
+  const parallel::MultiWalkSolver solver(options);
+  const auto report = solver.solve(problem);
+
+  if (!report.solved) {
+    std::printf("No seating found within budget (cost reached %lld).\n",
+                static_cast<long long>(report.best.cost));
+    return 1;
+  }
+  std::printf("Seating (guest ids around the table):\n  ");
+  for (const int guest : report.best.solution) std::printf("%d ", guest);
+  std::printf("\nverified: %s  (%llu iterations across %zu walkers)\n",
+              problem.verify(report.best.solution) ? "yes" : "NO (bug!)",
+              static_cast<unsigned long long>(report.total_iterations()),
+              options.num_walkers);
+  return 0;
+}

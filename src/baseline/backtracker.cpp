@@ -1,0 +1,58 @@
+#include "baseline/backtracker.hpp"
+
+#include <algorithm>
+
+namespace cspls::baseline {
+
+namespace {
+
+struct Frame {
+  std::size_t pos;
+};
+
+/// Recursive DFS (depth = permutation length; recursion depth is bounded by
+/// the instance size, which is small for complete search by nature).
+bool dfs(PartialChecker& checker, std::vector<int>& values,
+         std::vector<bool>& used, std::size_t pos, const SearchLimits& limits,
+         SearchOutcome& out) {
+  const std::size_t n = checker.size();
+  if (pos == n) {
+    ++out.solutions;
+    if (!out.found) {
+      out.found = true;
+      out.first_solution = values;
+    }
+    return !limits.count_all;  // stop unless counting everything
+  }
+  const auto domain = checker.domain();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (used[v]) continue;
+    if (out.nodes >= limits.max_nodes) {
+      out.hit_limit = true;
+      return true;
+    }
+    ++out.nodes;
+    const int value = domain[v];
+    if (!checker.push(pos, value)) continue;
+    used[v] = true;
+    values[pos] = value;
+    const bool stop = dfs(checker, values, used, pos + 1, limits, out);
+    used[v] = false;
+    checker.pop(pos, value);
+    if (stop) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SearchOutcome backtrack_search(PartialChecker& checker,
+                               const SearchLimits& limits) {
+  SearchOutcome out;
+  std::vector<int> values(checker.size(), 0);
+  std::vector<bool> used(checker.size(), false);
+  dfs(checker, values, used, 0, limits, out);
+  return out;
+}
+
+}  // namespace cspls::baseline

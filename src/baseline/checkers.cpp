@@ -1,0 +1,88 @@
+#include "baseline/checkers.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace cspls::baseline {
+
+QueensChecker::QueensChecker(std::size_t n)
+    : n_(n), domain_(n), up_(2 * n - 1, false), down_(2 * n - 1, false) {
+  std::iota(domain_.begin(), domain_.end(), 0);
+}
+
+bool QueensChecker::push(std::size_t pos, int value) {
+  const std::size_t up = static_cast<std::size_t>(value) + pos;
+  const std::size_t down = static_cast<std::size_t>(
+      value - static_cast<int>(pos) + static_cast<int>(n_) - 1);
+  if (up_[up] || down_[down]) return false;
+  up_[up] = true;
+  down_[down] = true;
+  return true;
+}
+
+void QueensChecker::pop(std::size_t pos, int value) {
+  up_[static_cast<std::size_t>(value) + pos] = false;
+  down_[static_cast<std::size_t>(value - static_cast<int>(pos) +
+                                 static_cast<int>(n_) - 1)] = false;
+}
+
+CostasChecker::CostasChecker(std::size_t n)
+    : n_(n),
+      stride_(2 * n + 1),
+      domain_(n),
+      used_((n - 1) * (2 * n + 1), false) {
+  std::iota(domain_.begin(), domain_.end(), 1);
+  prefix_.reserve(n);
+}
+
+bool CostasChecker::push(std::size_t pos, int value) {
+  // New pairs: (i, pos) for every placed i; row d = pos - i.
+  for (std::size_t i = 0; i < pos; ++i) {
+    const std::size_t d = pos - i;
+    const int diff = value - prefix_[i];
+    const std::size_t s = slot(d, diff);
+    if (used_[s]) {
+      // Roll back the marks set so far in this call.
+      for (std::size_t r = 0; r < i; ++r) {
+        used_[slot(pos - r, value - prefix_[r])] = false;
+      }
+      return false;
+    }
+    used_[s] = true;
+  }
+  prefix_.push_back(value);
+  return true;
+}
+
+void CostasChecker::pop(std::size_t pos, int value) {
+  prefix_.pop_back();
+  for (std::size_t i = 0; i < pos; ++i) {
+    used_[slot(pos - i, value - prefix_[i])] = false;
+  }
+}
+
+AllIntervalChecker::AllIntervalChecker(std::size_t n)
+    : n_(n), domain_(n), dist_used_(n, false) {
+  std::iota(domain_.begin(), domain_.end(), 0);
+  prefix_.reserve(n);
+}
+
+bool AllIntervalChecker::push(std::size_t /*pos*/, int value) {
+  if (!prefix_.empty()) {
+    const int d = std::abs(value - prefix_.back());
+    if (d == 0 || dist_used_[static_cast<std::size_t>(d)]) return false;
+    dist_used_[static_cast<std::size_t>(d)] = true;
+  }
+  prefix_.push_back(value);
+  return true;
+}
+
+void AllIntervalChecker::pop(std::size_t /*pos*/, int value) {
+  prefix_.pop_back();
+  if (!prefix_.empty()) {
+    dist_used_[static_cast<std::size_t>(std::abs(value - prefix_.back()))] =
+        false;
+  }
+}
+
+}  // namespace cspls::baseline

@@ -1,0 +1,75 @@
+// Incremental constraint checkers for the complete-search baseline.
+#pragma once
+
+#include <vector>
+
+#include "baseline/backtracker.hpp"
+
+namespace cspls::baseline {
+
+/// N-Queens: value = row of the queen in the column being placed; prunes on
+/// diagonal occupancy.
+class QueensChecker final : public PartialChecker {
+ public:
+  explicit QueensChecker(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] std::span<const int> domain() const noexcept override {
+    return domain_;
+  }
+  [[nodiscard]] bool push(std::size_t pos, int value) override;
+  void pop(std::size_t pos, int value) override;
+
+ private:
+  std::size_t n_;
+  std::vector<int> domain_;
+  std::vector<bool> up_;
+  std::vector<bool> down_;
+};
+
+/// Costas arrays: prunes as soon as two inter-mark differences coincide in
+/// any row of the difference triangle.
+class CostasChecker final : public PartialChecker {
+ public:
+  explicit CostasChecker(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] std::span<const int> domain() const noexcept override {
+    return domain_;
+  }
+  [[nodiscard]] bool push(std::size_t pos, int value) override;
+  void pop(std::size_t pos, int value) override;
+
+ private:
+  [[nodiscard]] std::size_t slot(std::size_t d, int diff) const noexcept {
+    return (d - 1) * stride_ +
+           static_cast<std::size_t>(diff + static_cast<int>(n_));
+  }
+
+  std::size_t n_;
+  std::size_t stride_;
+  std::vector<int> domain_;
+  std::vector<int> prefix_;  ///< placed values
+  std::vector<bool> used_;   ///< difference-triangle occupancy
+};
+
+/// All-interval series: prunes on repeated adjacent distances.
+class AllIntervalChecker final : public PartialChecker {
+ public:
+  explicit AllIntervalChecker(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] std::span<const int> domain() const noexcept override {
+    return domain_;
+  }
+  [[nodiscard]] bool push(std::size_t pos, int value) override;
+  void pop(std::size_t pos, int value) override;
+
+ private:
+  std::size_t n_;
+  std::vector<int> domain_;
+  std::vector<int> prefix_;
+  std::vector<bool> dist_used_;
+};
+
+}  // namespace cspls::baseline

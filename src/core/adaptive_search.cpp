@@ -1,0 +1,192 @@
+#include "core/adaptive_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace cspls::core {
+
+namespace {
+
+using csp::Cost;
+
+/// Mutable per-walk working state, reset on every restart.
+struct WalkState {
+  explicit WalkState(std::size_t n) : tabu_until(n, 0) {}
+
+  void clear_tabu() {
+    std::fill(tabu_until.begin(), tabu_until.end(), std::uint64_t{0});
+    marks_since_reset = 0;
+  }
+
+  std::vector<std::uint64_t> tabu_until;  ///< variable frozen while > iter
+  /// Local-minimum markings since the last (partial or full) reset; the
+  /// original library's nb_var_marked counter: it accumulates until the
+  /// reset_limit triggers a partial reset, it is *not* a count of currently
+  /// frozen variables.
+  std::uint32_t marks_since_reset = 0;
+};
+
+}  // namespace
+
+Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
+                             const std::atomic<bool>* stop,
+                             const Hooks& hooks) const {
+  const std::size_t n = problem.num_variables();
+  util::Stopwatch watch;
+
+  Result result;
+  WalkState state(n);
+
+  Cost cost = problem.randomize(rng);
+
+  // Track the best configuration ever seen (across restarts) so the run
+  // reports something useful even when it fails.
+  Cost best_cost = cost;
+  std::vector<int> best(problem.values().begin(), problem.values().end());
+  const auto note_best = [&](Cost c) {
+    if (c < best_cost) {
+      best_cost = c;
+      const auto vals = problem.values();
+      std::copy(vals.begin(), vals.end(), best.begin());
+    }
+  };
+
+  const auto partial_reset = [&] {
+    ++result.stats.resets;
+    if (hooks.on_reset && hooks.on_reset(problem, rng)) {
+      // The hook replaced the configuration wholesale (dependent multi-walk).
+      cost = problem.total_cost();
+    } else {
+      // Model-specific diversification (default: shuffle a random subset of
+      // positions); see csp::Problem::reset_perturbation.
+      cost = problem.reset_perturbation(params_.reset_fraction, rng);
+    }
+    state.clear_tabu();
+    note_best(cost);
+  };
+
+  std::uint32_t restarts_done = 0;
+  bool done = false;
+  while (!done) {
+    note_best(cost);
+    std::uint64_t iter_in_walk = 0;
+    const std::uint64_t budget = walk_budget(
+        params_.restart_schedule, params_.restart_limit, restarts_done);
+
+    while (cost > params_.target_cost) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        result.interrupted = true;
+        done = true;
+        break;
+      }
+      if (iter_in_walk >= budget) break;  // walk exhausted
+      ++iter_in_walk;
+      const std::uint64_t iter = ++result.stats.iterations;
+
+      if (hooks.observer && hooks.observer_period != 0 &&
+          iter % hooks.observer_period == 0) {
+        hooks.observer(iter, cost, problem.values());
+      }
+
+      // --- Step 2: pick the worst non-tabu variable (random tie-break). ---
+      Cost worst_err = -1;
+      std::size_t x = n;  // n = none found
+      std::size_t ties = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (state.tabu_until[i] > iter) continue;
+        const Cost err = problem.cost_on_variable(i);
+        if (err > worst_err) {
+          worst_err = err;
+          x = i;
+          ties = 1;
+        } else if (err == worst_err) {
+          ++ties;
+          if (rng.below(ties) == 0) x = i;
+        }
+      }
+      if (x == n) {
+        // Every variable is frozen: unblock with a partial reset.
+        partial_reset();
+        continue;
+      }
+
+      // --- Step 3: best swap for x (random tie-break). ---
+      Cost best_move = csp::kInfiniteCost;
+      std::size_t best_j = n;
+      std::size_t move_ties = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == x) continue;
+        const Cost c = problem.cost_if_swap(x, j);
+        ++result.stats.cost_evaluations;
+        if (c < best_move) {
+          best_move = c;
+          best_j = j;
+          move_ties = 1;
+        } else if (c == best_move) {
+          ++move_ties;
+          if (rng.below(move_ties) == 0) best_j = j;
+        }
+      }
+
+      if (best_j != n && best_move < cost) {
+        // --- Step 4: improving move. ---
+        cost = problem.swap(x, best_j);
+        ++result.stats.swaps;
+        note_best(cost);
+        if (params_.freeze_swap > 0) {
+          state.tabu_until[x] = iter + params_.freeze_swap;
+          state.tabu_until[best_j] = iter + params_.freeze_swap;
+        }
+        continue;
+      }
+
+      // --- Step 4b: plateau — the best move leaves the cost unchanged. ---
+      if (best_j != n && best_move == cost &&
+          rng.chance(params_.prob_accept_plateau)) {
+        cost = problem.swap(x, best_j);
+        ++result.stats.plateau_moves;
+        if (params_.freeze_swap > 0) {
+          state.tabu_until[x] = iter + params_.freeze_swap;
+          state.tabu_until[best_j] = iter + params_.freeze_swap;
+        }
+        continue;
+      }
+
+      // --- Step 5: local minimum on x. ---
+      ++result.stats.local_minima;
+      if (best_j != n && params_.prob_accept_local_min > 0.0 &&
+          rng.chance(params_.prob_accept_local_min)) {
+        cost = problem.swap(x, best_j);
+        note_best(cost);
+        continue;
+      }
+      state.tabu_until[x] = iter + params_.freeze_loc_min;
+      if (++state.marks_since_reset >= params_.reset_limit) {
+        partial_reset();
+      }
+    }
+
+    if (done || cost <= params_.target_cost) break;
+    // --- Step 6: walk budget exhausted; restart if allowed. ---
+    if (restarts_done >= params_.max_restarts) break;
+    ++restarts_done;
+    ++result.stats.restarts;
+    cost = problem.randomize(rng);
+    state.clear_tabu();
+  }
+
+  note_best(cost);
+  result.solved = best_cost <= params_.target_cost;
+  result.cost = best_cost;
+  result.solution = std::move(best);
+  // Leave the problem bound to the reported configuration.
+  if (cost != best_cost) {
+    problem.assign(result.solution);
+  }
+  result.stats.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace cspls::core

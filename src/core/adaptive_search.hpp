@@ -1,0 +1,79 @@
+// The Adaptive Search constraint-based local-search engine.
+//
+// Re-implementation of the method of Codognet & Diaz (SAGA'01, MIC'03) that
+// the paper parallelizes.  One iteration:
+//
+//   1. if total cost reached the target, stop (solution found);
+//   2. select the non-tabu variable with the highest projected error
+//      (cost_on_variable), breaking ties uniformly at random;
+//   3. evaluate every swap of that variable with another position
+//      (cost_if_swap) and keep the best, ties broken uniformly at random;
+//   4. if the best swap strictly improves the total cost, commit it
+//      (optionally freezing both variables for freeze_swap iterations);
+//   5. otherwise the variable sits at a local minimum: with probability
+//      prob_accept_local_min commit the best non-improving move anyway
+//      (plateau escape), else mark the variable tabu for freeze_loc_min
+//      iterations; once reset_limit variables are simultaneously marked,
+//      partially reset the configuration (shuffle a reset_fraction subset);
+//   6. after restart_limit iterations, restart from a fresh random
+//      configuration (up to max_restarts times).
+//
+// The engine is deliberately single-threaded and share-nothing; parallelism
+// lives one layer up (parallel/multi_walk.hpp) exactly as in the paper, where
+// "each process is an independent search engine and there is no communication
+// between the simultaneous computations" except for completion.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <span>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "csp/problem.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::core {
+
+/// Optional extension points (all disabled by default).  They implement the
+/// paper's "future work" section — dependent multi-walk with inter-process
+/// communication — without contaminating the independent-walk hot path.
+struct Hooks {
+  /// Called when a partial reset is about to happen.  If it returns true the
+  /// hook has replaced the configuration itself (e.g. adopted an elite
+  /// configuration) and the default random partial reset is skipped.
+  std::function<bool(csp::Problem&, util::Xoshiro256&)> on_reset;
+
+  /// Observation callback fired every `observer_period` iterations with the
+  /// current iteration count, cost and configuration.
+  std::function<void(std::uint64_t, csp::Cost, std::span<const int>)> observer;
+  std::uint64_t observer_period = 0;  ///< 0 disables the observer
+};
+
+class AdaptiveSearch {
+ public:
+  explicit AdaptiveSearch(Params params) noexcept : params_(params) {}
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Run one (restarted) walk on `problem` using `rng`.
+  ///
+  /// `stop`, when non-null, is polled once per iteration; when it becomes
+  /// true the walk returns early with Result::interrupted set (first-finisher
+  /// termination of the parallel engine).  The problem is left bound to the
+  /// best configuration found.
+  Result solve(csp::Problem& problem, util::Xoshiro256& rng,
+               const std::atomic<bool>* stop = nullptr,
+               const Hooks& hooks = {}) const;
+
+  /// Convenience: build an engine with the model's own tuning defaults.
+  static AdaptiveSearch with_defaults(const csp::Problem& problem) {
+    return AdaptiveSearch(
+        Params::from_hints(problem.tuning(), problem.num_variables()));
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace cspls::core

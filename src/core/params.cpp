@@ -1,0 +1,40 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cspls::core {
+
+Params Params::from_hints(const csp::TuningHints& hints,
+                          std::size_t num_variables) {
+  Params p;
+  const auto n = static_cast<std::uint64_t>(std::max<std::size_t>(1, num_variables));
+  p.freeze_loc_min = hints.freeze_loc_min;
+  p.freeze_swap = hints.freeze_swap;
+  p.reset_fraction = hints.reset_fraction;
+  p.prob_accept_plateau = hints.prob_accept_plateau;
+  p.prob_accept_local_min = hints.prob_accept_local_min;
+  // Size-derived defaults, mirroring the original library's scaling:
+  // reset after ~n/10 marked variables, restart after ~n*1000 iterations.
+  p.reset_limit = hints.reset_limit != 0
+                      ? hints.reset_limit
+                      : static_cast<std::uint32_t>(std::max<std::uint64_t>(
+                            2, n / 10));
+  p.restart_limit =
+      hints.restart_limit != 0 ? hints.restart_limit : n * 1000;
+  return p;
+}
+
+std::string Params::describe() const {
+  std::ostringstream os;
+  os << "target=" << target_cost << " restart_limit=" << restart_limit
+     << (restart_schedule == RestartSchedule::kLuby ? " (luby)" : "")
+     << " max_restarts=" << max_restarts
+     << " freeze_loc_min=" << freeze_loc_min << " freeze_swap=" << freeze_swap
+     << " reset_limit=" << reset_limit << " reset_fraction=" << reset_fraction
+     << " p_plateau=" << prob_accept_plateau
+     << " p_accept_lm=" << prob_accept_local_min;
+  return os.str();
+}
+
+}  // namespace cspls::core

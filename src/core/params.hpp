@@ -1,0 +1,67 @@
+// Solver configuration for the Adaptive Search engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/restart_policy.hpp"
+#include "csp/cost.hpp"
+#include "csp/tuning.hpp"
+
+namespace cspls::core {
+
+/// Tuning knobs of Adaptive Search, named after the original library's
+/// parameters (see csp/tuning.hpp for the per-model hints they derive from).
+struct Params {
+  /// Search succeeds when total cost drops to (or below) this target.
+  csp::Cost target_cost = 0;
+
+  /// Iteration budget of a single walk before a full restart
+  /// (original "restart_limit").  Under RestartSchedule::kLuby this is the
+  /// base unit multiplied by the Luby sequence per walk.
+  std::uint64_t restart_limit = 100'000;
+
+  /// How the walk budget evolves across restarts (fixed = paper's scheme).
+  RestartSchedule restart_schedule = RestartSchedule::kFixed;
+
+  /// Number of full restarts allowed before the run reports failure
+  /// (original "restart_max").  The total iteration budget is therefore
+  /// restart_limit * (max_restarts + 1).
+  std::uint32_t max_restarts = 0;
+
+  /// Iterations a variable stays tabu after a local minimum ("freeze_loc_min").
+  std::uint32_t freeze_loc_min = 5;
+
+  /// Iterations both swapped variables stay tabu after a committed swap
+  /// ("freeze_swap"); 0 disables.
+  std::uint32_t freeze_swap = 0;
+
+  /// Number of simultaneously-marked variables that triggers a partial reset
+  /// ("reset_limit").
+  std::uint32_t reset_limit = 10;
+
+  /// Fraction of variables re-randomized by a partial reset
+  /// ("reset_percentage"), in [0,1].
+  double reset_fraction = 0.1;
+
+  /// When the best move keeps the cost *equal* (a plateau), probability of
+  /// committing it instead of treating the variable as a local minimum.
+  /// Plateau walking is essential on step-shaped landscapes (all-interval,
+  /// magic-square).
+  double prob_accept_plateau = 1.0;
+
+  /// At a strict local minimum, probability of committing the best
+  /// (worsening) move anyway instead of marking the variable
+  /// ("prob_select_loc_min").
+  double prob_accept_local_min = 0.0;
+
+  /// Build engine parameters from a model's tuning hints, deriving the
+  /// size-dependent defaults the original library computes per benchmark.
+  static Params from_hints(const csp::TuningHints& hints,
+                           std::size_t num_variables);
+
+  /// One-line rendering for harness logs.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace cspls::core

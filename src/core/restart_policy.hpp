@@ -1,0 +1,53 @@
+// Restart schedules for heavy-tailed local-search runtimes.
+//
+// The paper's engine restarts every walk after a fixed iteration budget.
+// For heavy-tailed runtime laws — exactly what the benchmark suite measures
+// — the Luby–Sinclair–Zuckerman universal sequence (1,1,2,1,1,2,4,1,1,2,...)
+// is within a log factor of the optimal restart schedule without knowing
+// the law; it is the standard upgrade in modern SAT/CSP engines and the
+// natural single-machine counterpart of the paper's multi-walk portfolio
+// (racing k walkers and restarting one walker cleverly both exploit the
+// same left tail).  bench_ablation_params-style comparisons and the unit
+// tests quantify when it pays.
+#pragma once
+
+#include <cstdint>
+
+namespace cspls::core {
+
+/// How the per-walk iteration budget evolves across restarts.
+enum class RestartSchedule {
+  kFixed,  ///< every walk gets restart_limit iterations (the paper's scheme)
+  kLuby,   ///< walk i gets luby(i+1) * restart_limit iterations
+};
+
+/// The Luby universal sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4,
+/// 8, ...  (1-based).  luby(i) = 2^(k-1) when i = 2^k - 1; otherwise
+/// recurses on i - 2^(k-1) + 1 for the largest k with 2^(k-1) <= i < 2^k-1.
+[[nodiscard]] constexpr std::uint64_t luby(std::uint64_t i) noexcept {
+  while (true) {
+    // Find k with i <= 2^k - 1.
+    std::uint64_t size = 1;   // 2^k - 1
+    std::uint64_t power = 1;  // 2^(k-1) at loop exit
+    while (size < i) {
+      size = 2 * size + 1;
+      power *= 2;
+    }
+    if (size == i) return power == 1 ? 1 : power;
+    // i lies inside the repeated prefix of length (size-1)/2.
+    i -= (size - 1) / 2;
+  }
+}
+
+/// Iteration budget of walk number `walk_index` (0-based) under `schedule`
+/// with base budget `base`.
+[[nodiscard]] constexpr std::uint64_t walk_budget(
+    RestartSchedule schedule, std::uint64_t base,
+    std::uint64_t walk_index) noexcept {
+  if (schedule == RestartSchedule::kLuby) {
+    return base * luby(walk_index + 1);
+  }
+  return base;
+}
+
+}  // namespace cspls::core

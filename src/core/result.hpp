@@ -1,0 +1,52 @@
+// Outcome of one Adaptive Search run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csp/cost.hpp"
+
+namespace cspls::core {
+
+/// Per-run counters.  These are the numbers the paper's companion study
+/// (EvoCOP'11) tabulates: iterations to solution, local minima encountered,
+/// partial resets, full restarts.
+struct RunStats {
+  std::uint64_t iterations = 0;      ///< move-selection steps across restarts
+  std::uint64_t swaps = 0;           ///< committed improving moves
+  std::uint64_t plateau_moves = 0;   ///< committed non-improving moves
+  std::uint64_t local_minima = 0;    ///< times the selected variable had none
+  std::uint64_t resets = 0;          ///< partial resets performed
+  std::uint64_t restarts = 0;        ///< full restarts performed
+  std::uint64_t cost_evaluations = 0;///< cost_if_swap probes
+  double seconds = 0.0;              ///< wall-clock of the walk
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of a (possibly restarted) walk.
+struct Result {
+  bool solved = false;
+  csp::Cost cost = csp::kInfiniteCost;  ///< best cost reached
+  std::vector<int> solution;            ///< best configuration reached
+  RunStats stats;
+
+  /// True when the run was cut short by an external stop signal (another
+  /// walker finished first) rather than by its own budget.
+  bool interrupted = false;
+};
+
+inline std::string RunStats::to_string() const {
+  std::string out;
+  out += "iters=" + std::to_string(iterations);
+  out += " swaps=" + std::to_string(swaps);
+  out += " plateau=" + std::to_string(plateau_moves);
+  out += " locmin=" + std::to_string(local_minima);
+  out += " resets=" + std::to_string(resets);
+  out += " restarts=" + std::to_string(restarts);
+  out += " probes=" + std::to_string(cost_evaluations);
+  return out;
+}
+
+}  // namespace cspls::core

@@ -1,0 +1,16 @@
+// Cost arithmetic shared by the CSP models and the solver.
+#pragma once
+
+#include <cstdint>
+
+namespace cspls::csp {
+
+/// Global/projected constraint-violation cost.  Zero means "solution".
+/// 64-bit: magic-square line errors at paper scale (n=200, values up to
+/// 40000) sum far beyond 32 bits.
+using Cost = std::int64_t;
+
+/// Sentinel for "no move evaluated yet".
+inline constexpr Cost kInfiniteCost = INT64_MAX;
+
+}  // namespace cspls::csp

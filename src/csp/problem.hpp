@@ -1,0 +1,159 @@
+// The constraint-model abstraction consumed by the Adaptive Search engine.
+//
+// This is a faithful C++ rendering of the hook contract of the original
+// Adaptive Search C library (Codognet & Diaz, freeware at
+// cri-dist.univ-paris1.fr/diaz/adaptive/): a model provides
+//
+//   Cost_Of_Solution  -> full_cost()         (recompute from scratch)
+//   Cost_On_Variable  -> cost_on_variable()  (projected error of one variable)
+//   Cost_If_Swap      -> cost_if_swap()      (total cost after a hypothetical
+//                                             swap, usually incremental)
+//   Executed_Swap     -> did_swap()          (commit notification so the model
+//                                             can update cached aggregates)
+//   Reset             -> randomize()/on_rebind()
+//
+// All benchmarks of the paper (and of the original library) are *permutation*
+// problems: the search state is a permutation of a fixed multiset of values
+// and the only move is a swap of two positions.  PermutationProblem owns that
+// state; concrete models layer incremental cost structures on top.
+//
+// Instances are stateful and deliberately *not* thread-safe: the paper's
+// parallel scheme is share-nothing (one independent search engine per
+// process), so each parallel walker clones its own instance (see clone()).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "csp/cost.hpp"
+#include "csp/tuning.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::csp {
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Identifier used by the registry, the harness tables and CSV output.
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// Human-readable instance description (e.g. "magic-square 20x20").
+  [[nodiscard]] virtual std::string instance_description() const = 0;
+
+  /// Number of decision variables.
+  [[nodiscard]] virtual std::size_t num_variables() const noexcept = 0;
+
+  /// Deep copy for share-nothing parallel walkers.
+  [[nodiscard]] virtual std::unique_ptr<Problem> clone() const = 0;
+
+  /// Current assignment (one value per variable).
+  [[nodiscard]] virtual std::span<const int> values() const noexcept = 0;
+
+  /// Draw a fresh random configuration and rebuild incremental state.
+  /// Returns the full cost of the new configuration.
+  virtual Cost randomize(util::Xoshiro256& rng) = 0;
+
+  /// Replace the configuration wholesale (e.g. adopting an elite
+  /// configuration in dependent multi-walk) and rebuild incremental state.
+  virtual Cost assign(std::span<const int> values) = 0;
+
+  /// Cached total cost of the current configuration (kept in sync by swaps).
+  [[nodiscard]] virtual Cost total_cost() const noexcept = 0;
+
+  /// Full recomputation of the total cost, ignoring caches.  The engine never
+  /// needs this on the hot path; tests use it to validate incrementality.
+  [[nodiscard]] virtual Cost full_cost() const = 0;
+
+  /// Projected error of variable `i` under the current configuration: how
+  /// much variable `i` "contributes" to the total cost.  Higher = worse.
+  [[nodiscard]] virtual Cost cost_on_variable(std::size_t i) const = 0;
+
+  /// Total cost the configuration would have after swapping positions i, j.
+  /// Must not mutate observable state.
+  [[nodiscard]] virtual Cost cost_if_swap(std::size_t i, std::size_t j) const = 0;
+
+  /// Commit the swap of positions i and j, update cached structures, and
+  /// return the new total cost (must equal what cost_if_swap(i, j) returned).
+  virtual Cost swap(std::size_t i, std::size_t j) = 0;
+
+  /// Model-specific partial reset (the original library lets every
+  /// benchmark override its Reset hook).  Perturbs roughly `fraction` of the
+  /// configuration, rebuilds incremental state, and returns the new total
+  /// cost.  Default (PermutationProblem): shuffle a random subset of
+  /// positions.  Models may substitute a structure-preserving move (e.g.
+  /// all-interval reverses a random segment, which disturbs only two
+  /// adjacent differences).
+  virtual Cost reset_perturbation(double fraction, util::Xoshiro256& rng) = 0;
+
+  /// Independent feasibility check of an arbitrary assignment.  Shares *no*
+  /// code with the cost model; used to cross-validate `cost == 0`.
+  [[nodiscard]] virtual bool verify(std::span<const int> values) const = 0;
+
+  /// Solver tuning defaults for this model (mirrors the per-benchmark
+  /// parameter choices shipped with the original library).
+  [[nodiscard]] virtual TuningHints tuning() const noexcept {
+    return TuningHints{};
+  }
+};
+
+/// Base class handling permutation state, generic randomize/assign/swap and a
+/// (slow but always-correct) default cost_if_swap.  Concrete models:
+///   - supply the canonical value multiset via the constructor,
+///   - implement full_cost() / cost_on_variable(),
+///   - override cost_if_swap()/did_swap() with incremental versions, and
+///   - implement verify().
+class PermutationProblem : public Problem {
+ public:
+  [[nodiscard]] std::size_t num_variables() const noexcept override {
+    return values_.size();
+  }
+
+  [[nodiscard]] std::span<const int> values() const noexcept override {
+    return values_;
+  }
+
+  Cost randomize(util::Xoshiro256& rng) override;
+  Cost assign(std::span<const int> values) override;
+
+  [[nodiscard]] Cost total_cost() const noexcept override { return cost_; }
+
+  [[nodiscard]] Cost cost_if_swap(std::size_t i, std::size_t j) const override;
+
+  Cost swap(std::size_t i, std::size_t j) override;
+
+  Cost reset_perturbation(double fraction, util::Xoshiro256& rng) override;
+
+ protected:
+  /// `canonical` is the value multiset the search permutes (e.g. 1..n²).
+  explicit PermutationProblem(std::vector<int> canonical);
+
+  /// Rebuild every incremental structure from values_ and return full cost.
+  /// Called after randomize()/assign(); default recomputes via full_cost().
+  virtual Cost on_rebind() { return full_cost(); }
+
+  /// Commit notification: positions i and j have just been exchanged in
+  /// values_; update incremental aggregates and return the new total cost.
+  /// Default recomputes from scratch.
+  virtual Cost did_swap(std::size_t i, std::size_t j);
+
+  [[nodiscard]] int value(std::size_t i) const { return values_[i]; }
+
+  /// Mutable access for did_swap implementations needing scratch edits.
+  [[nodiscard]] std::vector<int>& mutable_values() noexcept { return values_; }
+
+  void set_cached_cost(Cost cost) noexcept { cost_ = cost; }
+
+ private:
+  std::vector<int> values_;
+  Cost cost_ = 0;
+};
+
+/// True iff `values` is a permutation of `canonical` (order-insensitive).
+[[nodiscard]] bool is_permutation_of(std::span<const int> values,
+                                     std::span<const int> canonical);
+
+}  // namespace cspls::csp

@@ -1,0 +1,44 @@
+// Per-model solver tuning hints.
+//
+// The original Adaptive Search distribution ships a tuned parameter set with
+// every benchmark (tabu tenure, reset trigger, reset fraction, restart
+// budget).  Models expose equivalent hints here; core::Params is built from
+// them (core/ depends on csp/, not vice versa).
+#pragma once
+
+#include <cstdint>
+
+namespace cspls::csp {
+
+struct TuningHints {
+  /// Iterations a variable stays tabu after being identified as a local
+  /// minimum (Adaptive Search "freeze_loc_min").
+  std::uint32_t freeze_loc_min = 5;
+
+  /// Iterations both variables stay tabu after a committed swap
+  /// ("freeze_swap"); 0 disables.
+  std::uint32_t freeze_swap = 0;
+
+  /// Number of simultaneously-tabu variables that triggers a partial reset
+  /// ("reset_limit"), as an absolute count; 0 means "derive from size".
+  std::uint32_t reset_limit = 0;
+
+  /// Fraction of variables re-randomized by a partial reset
+  /// ("reset_percentage"), in [0,1].
+  double reset_fraction = 0.1;
+
+  /// Iteration budget of one walk before a full restart ("restart_limit");
+  /// 0 means "derive from size".
+  std::uint64_t restart_limit = 0;
+
+  /// Probability of walking a plateau: committing the best move when it
+  /// leaves the cost unchanged (instead of declaring a local minimum).
+  double prob_accept_plateau = 1.0;
+
+  /// Probability of, at a strict local minimum, accepting the best
+  /// (worsening) move anyway instead of marking the variable tabu
+  /// ("prob_select_loc_min").
+  double prob_accept_local_min = 0.0;
+};
+
+}  // namespace cspls::csp

@@ -1,0 +1,32 @@
+#include "parallel/elite_pool.hpp"
+
+namespace cspls::parallel {
+
+bool ElitePool::offer(csp::Cost cost, std::span<const int> values) {
+  const std::scoped_lock lock(mutex_);
+  if (cost >= best_cost_) return false;
+  best_cost_ = cost;
+  best_values_.assign(values.begin(), values.end());
+  ++accepted_;
+  return true;
+}
+
+csp::Cost ElitePool::take_if_better(csp::Cost below,
+                                    std::vector<int>& out) const {
+  const std::scoped_lock lock(mutex_);
+  if (best_cost_ >= below || best_values_.empty()) return csp::kInfiniteCost;
+  out = best_values_;
+  return best_cost_;
+}
+
+csp::Cost ElitePool::best_cost() const {
+  const std::scoped_lock lock(mutex_);
+  return best_cost_;
+}
+
+std::uint64_t ElitePool::accepted_offers() const {
+  const std::scoped_lock lock(mutex_);
+  return accepted_;
+}
+
+}  // namespace cspls::parallel

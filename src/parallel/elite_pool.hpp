@@ -1,0 +1,39 @@
+// Shared elite-configuration pool for the dependent multi-walk prototype.
+//
+// This is the only inter-walker channel in the whole system, implementing
+// the paper's future-work design goals: transfers are rare (periodic) and
+// small (one configuration), and good "crossroads" are recorded so a reset
+// can restart from them.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "csp/cost.hpp"
+
+namespace cspls::parallel {
+
+class ElitePool {
+ public:
+  /// Publish `values` as a candidate elite; kept only if strictly better
+  /// than the current elite.  Returns true when accepted.
+  bool offer(csp::Cost cost, std::span<const int> values);
+
+  /// Copy the elite configuration into `out` if one exists with cost
+  /// strictly below `below`; returns its cost or csp::kInfiniteCost.
+  csp::Cost take_if_better(csp::Cost below, std::vector<int>& out) const;
+
+  [[nodiscard]] csp::Cost best_cost() const;
+
+  /// Number of accepted offers (for the ablation bench's reporting).
+  [[nodiscard]] std::uint64_t accepted_offers() const;
+
+ private:
+  mutable std::mutex mutex_;
+  csp::Cost best_cost_ = csp::kInfiniteCost;
+  std::vector<int> best_values_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace cspls::parallel

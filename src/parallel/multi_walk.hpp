@@ -1,0 +1,140 @@
+// Independent multi-walk parallel search — the paper's parallel scheme.
+//
+// "The implemented algorithm is a parallel version of adaptive search in a
+//  multiple independent-walk manner, that is, each process is an independent
+//  search engine and there is no communication between the simultaneous
+//  computations" — except for completion.
+//
+// Three execution modes are provided:
+//
+//   * MultiWalkSolver::solve — real std::jthread walkers, one cloned problem
+//     and one decorrelated RNG stream each, an atomic first-finisher flag as
+//     the *only* shared state (the "completion" communication), polled once
+//     per engine iteration.
+//
+//   * run_independent_walks — the same walker population executed to
+//     completion sequentially (no racing).  This yields the full runtime
+//     distribution of the walkers and is the sampling primitive of the
+//     cluster simulator (sim/): on k cores the parallel completion time is
+//     min over k walkers, which the simulator evaluates from these samples.
+//
+//   * emulate_first_finisher — deterministic first-finisher semantics over
+//     such a population (winner = fewest iterations), used by tests and by
+//     the simulator's iteration-metered mode.
+//
+// Plus DependentMultiWalkSolver, a prototype of the paper's future-work
+// scheme (periodic elite exchange), benched by bench_ablation_communication.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/adaptive_search.hpp"
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "csp/problem.hpp"
+
+namespace cspls::parallel {
+
+struct MultiWalkOptions {
+  /// Number of parallel walkers (the paper's "number of cores").
+  std::size_t num_walkers = 4;
+
+  /// Master seed; walker i uses RNG stream i (non-overlapping subsequences).
+  std::uint64_t master_seed = 0x5eedULL;
+
+  /// Engine parameters; when unset, each walker uses the model's tuning
+  /// defaults (Params::from_hints).
+  std::optional<core::Params> params;
+
+  /// Cap on concurrently running OS threads (0 = one thread per walker).
+  /// With more walkers than threads, walkers are executed in waves; wall
+  /// times then measure throughput, not latency (the simulator corrects for
+  /// this by working on per-walk solo runtimes instead).
+  std::size_t max_threads = 0;
+};
+
+struct WalkerOutcome {
+  std::size_t walker_id = 0;
+  core::Result result;
+};
+
+struct MultiWalkReport {
+  bool solved = false;
+  /// Index of the walker whose solution was accepted (first to finish).
+  std::size_t winner = static_cast<std::size_t>(-1);
+  /// Wall-clock time from launch to the last walker having stopped.
+  double wall_seconds = 0.0;
+  /// Wall-clock time from launch to the winning solution (completion time).
+  double time_to_solution_seconds = 0.0;
+  /// The accepted result (winner's, or best-cost when nobody solved).
+  core::Result best;
+  /// Every walker's outcome, indexed by walker id.
+  std::vector<WalkerOutcome> walkers;
+
+  /// Aggregate iteration count across walkers (total work performed).
+  [[nodiscard]] std::uint64_t total_iterations() const noexcept;
+};
+
+/// Real-thread independent multi-walk with first-finisher termination.
+class MultiWalkSolver {
+ public:
+  explicit MultiWalkSolver(MultiWalkOptions options) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] const MultiWalkOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Launch one walker per num_walkers on clones of `prototype`.
+  [[nodiscard]] MultiWalkReport solve(const csp::Problem& prototype) const;
+
+ private:
+  MultiWalkOptions options_;
+};
+
+/// Execute `num_walkers` independent walks to completion (no stop flag), one
+/// after another, and return every result.  Walker i of a given master_seed
+/// behaves identically here and in MultiWalkSolver (same RNG stream), which
+/// is what lets the simulator reason about the racing version offline.
+[[nodiscard]] std::vector<WalkerOutcome> run_independent_walks(
+    const csp::Problem& prototype, std::size_t num_walkers,
+    std::uint64_t master_seed, const std::optional<core::Params>& params = {});
+
+/// Deterministic first-finisher semantics over completed walks: the winner
+/// is the solved walker with the fewest iterations (the one that would have
+/// signalled completion first on an iteration-synchronous machine).
+[[nodiscard]] MultiWalkReport emulate_first_finisher(
+    std::vector<WalkerOutcome> walkers);
+
+// ---------------------------------------------------------------------------
+// Dependent multi-walk (future-work prototype)
+// ---------------------------------------------------------------------------
+
+struct DependentOptions {
+  MultiWalkOptions base;
+  /// Walkers publish their configuration to the elite pool every `period`
+  /// iterations (the paper's goal 1: minimise data transfers).
+  std::uint64_t period = 1000;
+  /// Probability that a partial reset adopts the elite configuration
+  /// instead of randomizing (the paper's goal 2: reuse common computations /
+  /// restart from recorded crossroads).
+  double adopt_probability = 0.5;
+};
+
+/// Multi-walk with a shared elite pool (best configuration seen so far).
+/// Shares the first-finisher termination of MultiWalkSolver.
+class DependentMultiWalkSolver {
+ public:
+  explicit DependentMultiWalkSolver(DependentOptions options) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] MultiWalkReport solve(const csp::Problem& prototype) const;
+
+ private:
+  DependentOptions options_;
+};
+
+}  // namespace cspls::parallel

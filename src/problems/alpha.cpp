@@ -1,0 +1,165 @@
+#include "problems/alpha.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace cspls::problems {
+
+using csp::Cost;
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "ballet", "cello",     "concert", "flute", "fugue",
+    "glee",   "jazz",      "lyre",    "oboe",  "opera",
+    "polka",  "quartet",   "saxophone", "scale", "solo",
+    "song",   "soprano",   "theme",   "violin", "waltz"};
+
+std::vector<int> canonical_values() {
+  std::vector<int> v(26);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+}  // namespace
+
+std::array<int, 26> Alpha::reference_solution() noexcept {
+  // The published solution of the classic puzzle (A..Z).  The targets below
+  // are *derived* from it, so the instance is solvable by construction.
+  return {5,  13, 9,  16, 20, 4,  24, 21, 25, 17, 23, 2,  8,
+          12, 10, 19, 7,  11, 15, 3,  1,  26, 6,  22, 18, 14};
+}
+
+Alpha::Alpha() : PermutationProblem(canonical_values()), letter_eqs_(26) {
+  const std::array<int, 26> ref = reference_solution();
+  for (const char* word : kWords) {
+    words_.emplace_back(word);
+    std::array<int, 26> coeff{};
+    Cost target = 0;
+    for (const char* p = word; *p; ++p) {
+      const auto letter = static_cast<std::size_t>(*p - 'a');
+      ++coeff[letter];
+      target += ref[letter];
+    }
+    const std::size_t eq = coeffs_.size();
+    coeffs_.push_back(coeff);
+    targets_.push_back(target);
+    for (std::size_t letter = 0; letter < 26; ++letter) {
+      if (coeff[letter] > 0) letter_eqs_[letter].push_back(eq);
+    }
+  }
+  sums_.assign(coeffs_.size(), 0);
+}
+
+const std::string& Alpha::name() const noexcept { return name_; }
+
+std::string Alpha::instance_description() const {
+  std::ostringstream os;
+  os << "alpha cipher (" << words_.size() << " equations, 26 letters)";
+  return os.str();
+}
+
+std::unique_ptr<csp::Problem> Alpha::clone() const {
+  return std::make_unique<Alpha>(*this);
+}
+
+Cost Alpha::on_rebind() {
+  Cost cost = 0;
+  for (std::size_t e = 0; e < coeffs_.size(); ++e) {
+    Cost sum = 0;
+    for (std::size_t letter = 0; letter < 26; ++letter) {
+      sum += static_cast<Cost>(coeffs_[e][letter]) * value(letter);
+    }
+    sums_[e] = sum;
+    cost += equation_error(e);
+  }
+  return cost;
+}
+
+Cost Alpha::full_cost() const {
+  Cost cost = 0;
+  for (std::size_t e = 0; e < coeffs_.size(); ++e) {
+    Cost sum = 0;
+    for (std::size_t letter = 0; letter < 26; ++letter) {
+      sum += static_cast<Cost>(coeffs_[e][letter]) * value(letter);
+    }
+    const Cost d = sum - targets_[e];
+    cost += d < 0 ? -d : d;
+  }
+  return cost;
+}
+
+Cost Alpha::cost_on_variable(std::size_t i) const {
+  Cost err = 0;
+  for (const std::size_t e : letter_eqs_[i]) err += equation_error(e);
+  return err;
+}
+
+Cost Alpha::cost_if_swap(std::size_t i, std::size_t j) const {
+  const Cost d = static_cast<Cost>(value(j)) - static_cast<Cost>(value(i));
+  if (d == 0) return total_cost();
+  Cost delta = 0;
+  // Equations containing i gain (cj - ci_coeff...) — walk both lists and
+  // handle the overlap once via the coefficient difference.
+  for (const std::size_t e : letter_eqs_[i]) {
+    const Cost change =
+        d * (static_cast<Cost>(coeffs_[e][i]) - static_cast<Cost>(coeffs_[e][j]));
+    if (change == 0) continue;
+    const Cost s = sums_[e] + change - targets_[e];
+    delta += (s < 0 ? -s : s) - equation_error(e);
+  }
+  for (const std::size_t e : letter_eqs_[j]) {
+    if (coeffs_[e][i] > 0) continue;  // already handled above
+    const Cost change = -d * static_cast<Cost>(coeffs_[e][j]);
+    const Cost s = sums_[e] + change - targets_[e];
+    delta += (s < 0 ? -s : s) - equation_error(e);
+  }
+  return total_cost() + delta;
+}
+
+Cost Alpha::did_swap(std::size_t i, std::size_t j) {
+  // values() are post-swap; letter i's value changed by value(i) - value(j)
+  // (its new value minus its old one, which is now at j).
+  const Cost d = static_cast<Cost>(value(i)) - static_cast<Cost>(value(j));
+  for (const std::size_t e : letter_eqs_[i]) {
+    sums_[e] += d * (static_cast<Cost>(coeffs_[e][i]) -
+                     static_cast<Cost>(coeffs_[e][j]));
+  }
+  for (const std::size_t e : letter_eqs_[j]) {
+    if (coeffs_[e][i] > 0) continue;
+    sums_[e] += -d * static_cast<Cost>(coeffs_[e][j]);
+  }
+  Cost cost = 0;
+  for (std::size_t e = 0; e < coeffs_.size(); ++e) cost += equation_error(e);
+  return cost;
+}
+
+bool Alpha::verify(std::span<const int> vals) const {
+  if (vals.size() != 26) return false;
+  if (!csp::is_permutation_of(vals, canonical_values())) return false;
+  for (std::size_t e = 0; e < coeffs_.size(); ++e) {
+    Cost sum = 0;
+    for (std::size_t letter = 0; letter < 26; ++letter) {
+      sum += static_cast<Cost>(coeffs_[e][letter]) * vals[letter];
+    }
+    if (sum != targets_[e]) return false;
+  }
+  return true;
+}
+
+csp::TuningHints Alpha::tuning() const noexcept {
+  csp::TuningHints hints;
+  // Swept empirically: the linear system rewards *long* freezes (letters in
+  // many equations must stay out of the spotlight long enough for the rest
+  // to settle) plus full plateau walking.
+  hints.freeze_loc_min = 6;
+  hints.freeze_swap = 3;
+  hints.reset_limit = 12;
+  hints.reset_fraction = 0.1;
+  hints.restart_limit = 300'000;
+  hints.prob_accept_plateau = 1.0;
+  hints.prob_accept_local_min = 0.0;
+  return hints;
+}
+
+}  // namespace cspls::problems

@@ -1,0 +1,188 @@
+#include "problems/costas.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cspls::problems {
+
+using csp::Cost;
+
+namespace {
+std::vector<int> canonical_values(std::size_t n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+}  // namespace
+
+Costas::Costas(std::size_t n)
+    : PermutationProblem(canonical_values(n)),
+      n_(n),
+      stride_(2 * n + 1),
+      occ_((n - 1) * (2 * n + 1), 0) {
+  if (n < 2) {
+    throw std::invalid_argument("Costas: n must be >= 2");
+  }
+}
+
+const std::string& Costas::name() const noexcept { return name_; }
+
+std::string Costas::instance_description() const {
+  std::ostringstream os;
+  os << "costas n=" << n_;
+  return os.str();
+}
+
+std::unique_ptr<csp::Problem> Costas::clone() const {
+  return std::make_unique<Costas>(*this);
+}
+
+Cost Costas::on_rebind() {
+  std::fill(occ_.begin(), occ_.end(), 0);
+  Cost cost = 0;
+  for (std::size_t d = 1; d < n_; ++d) {
+    for (std::size_t a = 0; a + d < n_; ++a) {
+      const int diff = value(a + d) - value(a);
+      if (occ_[slot(d, diff)]++ >= 1) ++cost;
+    }
+  }
+  return cost;
+}
+
+Cost Costas::full_cost() const {
+  std::vector<int> occ((n_ - 1) * stride_, 0);
+  Cost cost = 0;
+  for (std::size_t d = 1; d < n_; ++d) {
+    for (std::size_t a = 0; a + d < n_; ++a) {
+      const int diff = value(a + d) - value(a);
+      if (occ[slot(d, diff)]++ >= 1) ++cost;
+    }
+  }
+  return cost;
+}
+
+Cost Costas::cost_on_variable(std::size_t i) const {
+  // Surplus occurrences of every difference produced by a pair through i.
+  Cost err = 0;
+  for (std::size_t q = 0; q < n_; ++q) {
+    if (q == i) continue;
+    const std::size_t a = std::min(i, q);
+    const std::size_t d = (i > q) ? i - q : q - i;
+    const int diff = value(a + d) - value(a);
+    const int occ = occ_[slot(d, diff)];
+    if (occ >= 2) err += occ - 1;
+  }
+  return err;
+}
+
+namespace {
+/// Value at `pos` under an optional hypothetical exchange of positions i, j.
+inline int view(std::span<const int> vals, std::size_t pos, bool swapped,
+                std::size_t i, std::size_t j) noexcept {
+  if (swapped) {
+    if (pos == i) return vals[j];
+    if (pos == j) return vals[i];
+  }
+  return vals[pos];
+}
+}  // namespace
+
+Cost Costas::bump(std::size_t a, std::size_t d, int step,
+                  const int* probe) const {
+  // probe encodes (swapped?, i, j) packed by the callers below via the
+  // three-int convention {swapped, i, j}; see for_affected_pairs call sites.
+  const bool swapped = probe[0] != 0;
+  const auto i = static_cast<std::size_t>(probe[1]);
+  const auto j = static_cast<std::size_t>(probe[2]);
+  const int diff = view(values(), a + d, swapped, i, j) -
+                   view(values(), a, swapped, i, j);
+  int& occ = occ_[slot(d, diff)];
+  if (step > 0) {
+    return occ++ >= 1 ? Cost{1} : Cost{0};
+  }
+  return --occ >= 1 ? Cost{-1} : Cost{0};
+}
+
+template <typename F>
+void Costas::for_affected_pairs(std::size_t i, std::size_t j, F&& f) const {
+  for (std::size_t q = 0; q < n_; ++q) {
+    if (q == i) continue;
+    f(std::min(i, q), (i > q) ? i - q : q - i);
+  }
+  for (std::size_t q = 0; q < n_; ++q) {
+    if (q == j || q == i) continue;  // the {i, j} pair was already visited
+    f(std::min(j, q), (j > q) ? j - q : q - j);
+  }
+}
+
+Cost Costas::cost_if_swap(std::size_t i, std::size_t j) const {
+  const int current[3] = {0, static_cast<int>(i), static_cast<int>(j)};
+  const int exchanged[3] = {1, static_cast<int>(i), static_cast<int>(j)};
+  Cost delta = 0;
+  // Retract the differences of all affected pairs (current configuration)...
+  for_affected_pairs(
+      i, j, [&](std::size_t a, std::size_t d) { delta += bump(a, d, -1, current); });
+  // ...assert them under the hypothetical exchange...
+  for_affected_pairs(i, j, [&](std::size_t a, std::size_t d) {
+    delta += bump(a, d, +1, exchanged);
+  });
+  const Cost result = total_cost() + delta;
+  // ...and roll the probe back.
+  for_affected_pairs(i, j, [&](std::size_t a, std::size_t d) {
+    (void)bump(a, d, -1, exchanged);
+  });
+  for_affected_pairs(
+      i, j, [&](std::size_t a, std::size_t d) { (void)bump(a, d, +1, current); });
+  return result;
+}
+
+Cost Costas::did_swap(std::size_t i, std::size_t j) {
+  // values() are post-swap; "swapped view" therefore reconstructs the
+  // pre-swap configuration (exchange is involutive).
+  const int pre_swap[3] = {1, static_cast<int>(i), static_cast<int>(j)};
+  const int post_swap[3] = {0, static_cast<int>(i), static_cast<int>(j)};
+  Cost delta = 0;
+  for_affected_pairs(i, j, [&](std::size_t a, std::size_t d) {
+    delta += bump(a, d, -1, pre_swap);
+  });
+  for_affected_pairs(i, j, [&](std::size_t a, std::size_t d) {
+    delta += bump(a, d, +1, post_swap);
+  });
+  return total_cost() + delta;
+}
+
+bool Costas::verify(std::span<const int> vals) const {
+  if (vals.size() != n_) return false;
+  if (!csp::is_permutation_of(vals, canonical_values(n_))) return false;
+  for (std::size_t d = 1; d < n_; ++d) {
+    std::vector<bool> seen(2 * n_ + 1, false);
+    for (std::size_t a = 0; a + d < n_; ++a) {
+      const int diff = vals[a + d] - vals[a];
+      const auto idx = static_cast<std::size_t>(diff + static_cast<int>(n_));
+      if (seen[idx]) return false;
+      seen[idx] = true;
+    }
+  }
+  return true;
+}
+
+csp::TuningHints Costas::tuning() const noexcept {
+  csp::TuningHints hints;
+  // CAP settings follow the dedicated Costas study (Diaz et al.): very
+  // short freezes and frequent tiny perturbations (every second local
+  // minimum shuffles two positions) — an iterated-descent regime.  Plateau
+  // walking hurts here (pp = 0): the difference-triangle landscape rewards
+  // strict descent plus perturbation.  Swept in scratch harnesses; n = 10
+  // solves in ~60 iterations median with these settings.
+  hints.freeze_loc_min = 1;
+  hints.freeze_swap = 0;
+  hints.reset_limit = 2;
+  hints.reset_fraction = 0.05;
+  hints.restart_limit = static_cast<std::uint64_t>(n_) * n_ * n_ * 500;
+  hints.prob_accept_plateau = 0.0;
+  hints.prob_accept_local_min = 0.0;
+  return hints;
+}
+
+}  // namespace cspls::problems

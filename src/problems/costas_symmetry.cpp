@@ -1,0 +1,42 @@
+#include "problems/costas_symmetry.hpp"
+
+#include <cstddef>
+
+namespace cspls::problems {
+
+std::vector<int> costas_reverse(const std::vector<int>& v) {
+  return std::vector<int>(v.rbegin(), v.rend());
+}
+
+std::vector<int> costas_complement(const std::vector<int>& v) {
+  const int n = static_cast<int>(v.size());
+  std::vector<int> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = n + 1 - v[i];
+  return out;
+}
+
+std::vector<int> costas_transpose(const std::vector<int>& v) {
+  // V'[row-1] = column+1 where V[column] = row: the inverse permutation.
+  std::vector<int> out(v.size());
+  for (std::size_t col = 0; col < v.size(); ++col) {
+    out[static_cast<std::size_t>(v[col] - 1)] = static_cast<int>(col) + 1;
+  }
+  return out;
+}
+
+std::vector<int> costas_rotate90(const std::vector<int>& v) {
+  return costas_reverse(costas_transpose(v));
+}
+
+std::set<std::vector<int>> costas_symmetry_class(const std::vector<int>& v) {
+  std::set<std::vector<int>> out;
+  std::vector<int> r = v;
+  for (int rotation = 0; rotation < 4; ++rotation) {
+    out.insert(r);
+    out.insert(costas_reverse(r));
+    r = costas_rotate90(r);
+  }
+  return out;
+}
+
+}  // namespace cspls::problems

@@ -1,0 +1,108 @@
+// Perfect Square placement (CSPLib prob009), the paper's third CSPLib
+// benchmark.
+//
+// Tile a master square of side S exactly with a given list of squares
+// (sum of their areas equals S²).  The original C model is unpublished; as
+// documented in DESIGN.md (§3), we use the standard permutation + decoder
+// formulation from the packing-metaheuristics literature, which keeps the
+// problem inside Adaptive Search's native permutation frame:
+//
+//   - a configuration is a *placement order* (permutation of square ids);
+//   - a deterministic skyline bottom-left decoder places the squares in that
+//     order, each at the position minimising (y, x) on the current skyline;
+//   - the cost charges, per placement, the area it buries below itself
+//     (columns lower than the chosen support level can never be filled by a
+//     skyline decoder) plus any area protruding above the master square's
+//     lid.
+//
+// Because the areas sum to S², the final buried area equals the protruding
+// area, so the cost is twice the waste and zero exactly on perfect tilings;
+// charging waste at creation time gives the search a positional gradient.  cost_if_swap re-runs the decoder (O(n·S) with a monotone-deque
+// sliding maximum), which mirrors the evaluation weight of the original
+// benchmark (perfect-square was the paper's fastest-running benchmark).
+//
+// Instances: quadtree-generated classes (exactly solvable by construction,
+// hardness tuned by split count) and the classic order-21 simple perfect
+// squared square of side 112 (Duijvestijn 1978).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csp/problem.hpp"
+
+namespace cspls::problems {
+
+/// A perfect-square placement instance: master side and square sizes.
+struct PerfectSquareInstance {
+  int side = 0;
+  std::vector<int> sizes;
+  std::string label;
+
+  /// Exactly-solvable instance built by recursively splitting squares into
+  /// four half-size quadrants, starting from one square of side 2^side_log2.
+  /// `splits` controls the square count (n = 1 + 3*splits).  Deterministic
+  /// in `seed`.
+  static PerfectSquareInstance quadtree(int side_log2, int splits,
+                                        std::uint64_t seed);
+
+  /// Duijvestijn's order-21 simple perfect squared square (side 112).
+  static PerfectSquareInstance duijvestijn21();
+};
+
+/// One decoded placement (for reporting and verification).
+struct SquarePlacement {
+  int x = 0;
+  int y = 0;
+  int size = 0;
+  int id = 0;
+};
+
+class PerfectSquare final : public csp::PermutationProblem {
+ public:
+  explicit PerfectSquare(PerfectSquareInstance instance);
+
+  [[nodiscard]] const std::string& name() const noexcept override;
+  [[nodiscard]] std::string instance_description() const override;
+  [[nodiscard]] std::unique_ptr<csp::Problem> clone() const override;
+
+  [[nodiscard]] csp::Cost full_cost() const override;
+  [[nodiscard]] csp::Cost cost_on_variable(std::size_t i) const override;
+  [[nodiscard]] csp::Cost cost_if_swap(std::size_t i,
+                                       std::size_t j) const override;
+  [[nodiscard]] bool verify(std::span<const int> values) const override;
+  [[nodiscard]] csp::TuningHints tuning() const noexcept override;
+
+  [[nodiscard]] const PerfectSquareInstance& instance() const noexcept {
+    return instance_;
+  }
+
+  /// Placements decoded from the current configuration.
+  [[nodiscard]] const std::vector<SquarePlacement>& placements() const noexcept {
+    return placements_;
+  }
+
+  /// ASCII rendering of the current packing (one char per id, '.' empty).
+  [[nodiscard]] std::string packing_to_string() const;
+
+ protected:
+  csp::Cost on_rebind() override;
+  csp::Cost did_swap(std::size_t i, std::size_t j) override;
+
+ private:
+  /// Run the skyline decoder on `order`; optionally fill per-order-position
+  /// waste (buried + protruding area) and placements.  Returns total waste.
+  [[nodiscard]] csp::Cost decode(std::span<const int> order,
+                                 std::vector<csp::Cost>* overflow_by_pos,
+                                 std::vector<SquarePlacement>* placements) const;
+
+  PerfectSquareInstance instance_;
+  std::string name_ = "perfect-square";
+  std::vector<csp::Cost> overflow_by_pos_;      ///< per order position
+  std::vector<SquarePlacement> placements_;     ///< decoded, current config
+  mutable std::vector<int> scratch_order_;      ///< probe buffer
+  mutable std::vector<int> heights_;            ///< decoder skyline buffer
+};
+
+}  // namespace cspls::problems

@@ -1,0 +1,176 @@
+#include "sim/order_stats.hpp"
+
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cspls::sim {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  if (!sorted_.empty() && sorted_.front() < 0.0) {
+    throw std::invalid_argument(
+        "EmpiricalDistribution: negative runtime sample");
+  }
+}
+
+double EmpiricalDistribution::mean() const {
+  if (sorted_.empty()) return 0.0;
+  return std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::median() const { return quantile(0.5); }
+
+double EmpiricalDistribution::quantile(double p) const {
+  if (sorted_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double EmpiricalDistribution::min() const {
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double EmpiricalDistribution::expected_min_of_k(std::size_t k) const {
+  if (sorted_.empty() || k == 0) return 0.0;
+  // E[min_k] = sum_i x_(i) * [ ((n-i+1)/n)^k - ((n-i)/n)^k ]  (i is 1-based).
+  // Evaluate with pow of ratios; n is small (hundreds), k up to thousands —
+  // all well-conditioned in double.
+  const double n = static_cast<double>(sorted_.size());
+  double expectation = 0.0;
+  double upper = 1.0;  // ((n - i + 1)/n)^k with i = 1
+  for (std::size_t i = 1; i <= sorted_.size(); ++i) {
+    const double lower =
+        std::pow((n - static_cast<double>(i)) / n, static_cast<double>(k));
+    expectation += sorted_[i - 1] * (upper - lower);
+    upper = lower;
+  }
+  return expectation;
+}
+
+double EmpiricalDistribution::quantile_min_of_k(std::size_t k,
+                                                double p) const {
+  if (sorted_.empty() || k == 0) return 0.0;
+  // P(min_k <= t) = 1 - (1 - F(t))^k = p  =>  F(t) = 1 - (1-p)^(1/k).
+  const double pf =
+      1.0 - std::pow(1.0 - std::clamp(p, 0.0, 1.0), 1.0 / static_cast<double>(k));
+  return quantile(pf);
+}
+
+double EmpiricalDistribution::sample_min_of_k(std::size_t k,
+                                              util::Xoshiro256& rng) const {
+  if (sorted_.empty() || k == 0) return 0.0;
+  double best = sorted_.back();
+  for (std::size_t i = 0; i < k; ++i) {
+    const double draw =
+        sorted_[static_cast<std::size_t>(rng.below(sorted_.size()))];
+    best = std::min(best, draw);
+  }
+  return best;
+}
+
+double EmpiricalDistribution::cdf(double t) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<double> exponential_samples(double lambda, std::size_t count,
+                                        util::Xoshiro256& rng) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("exponential_samples: lambda must be > 0");
+  }
+  std::vector<double> samples(count);
+  for (auto& s : samples) {
+    // Inverse CDF; 1 - u in (0, 1] avoids log(0).
+    s = -std::log(1.0 - rng.uniform01()) / lambda;
+  }
+  return samples;
+}
+
+std::vector<double> shifted_exponential_samples(double t0, double lambda,
+                                                std::size_t count,
+                                                util::Xoshiro256& rng) {
+  auto samples = exponential_samples(lambda, count, rng);
+  for (auto& s : samples) s += t0;
+  return samples;
+}
+
+double ShiftedExponentialFit::expected_min_of_k(std::size_t k) const {
+  if (k == 0 || rate <= 0.0) return shift;
+  return shift + 1.0 / (static_cast<double>(k) * rate);
+}
+
+ShiftedExponentialFit fit_shifted_exponential(
+    const EmpiricalDistribution& dist) {
+  ShiftedExponentialFit fit;
+  if (dist.empty()) return fit;
+  fit.shift = dist.min();
+  const double excess = dist.mean() - dist.min();
+  fit.rate = excess > 0.0 ? 1.0 / excess : 0.0;
+
+  // Kolmogorov–Smirnov distance between the empirical CDF and the fit.
+  const auto samples = dist.sorted_samples();
+  const double n = static_cast<double>(samples.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double model =
+        fit.rate > 0.0
+            ? 1.0 - std::exp(-fit.rate * (samples[i] - fit.shift))
+            : (samples[i] >= fit.shift ? 1.0 : 0.0);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    ks = std::max({ks, std::abs(model - emp_hi), std::abs(model - emp_lo)});
+  }
+  fit.ks_distance = ks;
+  return fit;
+}
+
+std::vector<SurvivalPoint> log_survival_points(
+    const EmpiricalDistribution& dist) {
+  std::vector<SurvivalPoint> points;
+  const auto samples = dist.sorted_samples();
+  if (samples.size() < 2) return points;
+  const double n = static_cast<double>(samples.size());
+  points.reserve(samples.size() - 1);
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    // After the i-th smallest sample, n-i-1 samples survive.
+    const double survival = (n - static_cast<double>(i) - 1.0) / n;
+    points.push_back(SurvivalPoint{samples[i], std::log(survival)});
+  }
+  return points;
+}
+
+ExponentialityEvidence exponentiality_evidence(
+    const EmpiricalDistribution& dist) {
+  ExponentialityEvidence evidence;
+  const auto points = log_survival_points(dist);
+  if (points.size() < 2) return evidence;
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const auto& p : points) {
+    xs.push_back(p.t);
+    ys.push_back(p.log_survival);
+  }
+  const util::LinearFit fit = util::fit_line(xs, ys);
+  evidence.slope = fit.slope;
+  evidence.r2 = fit.r2;
+  return evidence;
+}
+
+}  // namespace cspls::sim

@@ -1,0 +1,61 @@
+#include "sim/platform.hpp"
+
+namespace cspls::sim {
+
+double PlatformModel::overhead_seconds(std::size_t cores) const {
+  return startup_seconds +
+         per_node_startup_seconds * static_cast<double>(nodes_for(cores)) +
+         completion_seconds;
+}
+
+std::size_t PlatformModel::nodes_for(std::size_t cores) const {
+  const std::size_t per = cores_per_node == 0 ? 1 : cores_per_node;
+  return (cores + per - 1) / per;
+}
+
+PlatformModel ha8000() {
+  PlatformModel p;
+  p.name = "HA8000";
+  p.cores_per_node = 16;  // 4x quad-core Opteron 8356
+  p.max_cores = 1024;     // normal-service cap (64 nodes)
+  // 2.3 GHz 2008-era Opteron vs the measurement host: walks run slower.
+  p.core_speed = 0.85;
+  // Batch-system job launch on a supercomputer is comparatively heavy.
+  p.startup_seconds = 0.050;
+  p.per_node_startup_seconds = 0.004;
+  p.completion_seconds = 0.020;
+  p.node_jitter = 0.02;  // dedicated nodes: nearly homogeneous
+  return p;
+}
+
+PlatformModel grid5000_suno() {
+  PlatformModel p;
+  p.name = "Grid5000/Suno";
+  p.cores_per_node = 8;  // Dell PowerEdge R410
+  p.max_cores = 360;
+  p.core_speed = 1.0;    // Nehalem-era Xeons, the faster of the two grids
+  p.startup_seconds = 0.030;
+  p.per_node_startup_seconds = 0.002;
+  p.completion_seconds = 0.010;
+  p.node_jitter = 0.05;  // shared grid: mild heterogeneity
+  return p;
+}
+
+PlatformModel grid5000_helios() {
+  PlatformModel p;
+  p.name = "Grid5000/Helios";
+  p.cores_per_node = 4;  // Sun Fire X4100
+  p.max_cores = 224;
+  p.core_speed = 0.80;   // older Opteron nodes
+  p.startup_seconds = 0.030;
+  p.per_node_startup_seconds = 0.002;
+  p.completion_seconds = 0.010;
+  p.node_jitter = 0.05;
+  return p;
+}
+
+std::vector<std::size_t> paper_core_grid() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+}  // namespace cspls::sim

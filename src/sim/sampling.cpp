@@ -1,0 +1,73 @@
+#include "sim/sampling.hpp"
+
+#include "core/adaptive_search.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::sim {
+
+EmpiricalDistribution SampleSet::seconds_distribution() const {
+  std::vector<double> xs;
+  xs.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (s.solved) xs.push_back(s.seconds);
+  }
+  return EmpiricalDistribution(std::move(xs));
+}
+
+EmpiricalDistribution SampleSet::iterations_distribution() const {
+  std::vector<double> xs;
+  xs.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (s.solved) xs.push_back(static_cast<double>(s.iterations));
+  }
+  return EmpiricalDistribution(std::move(xs));
+}
+
+double SampleSet::solve_rate() const {
+  if (samples.empty()) return 0.0;
+  std::size_t solved = 0;
+  for (const auto& s : samples) solved += s.solved ? 1 : 0;
+  return static_cast<double>(solved) / static_cast<double>(samples.size());
+}
+
+double SampleSet::seconds_per_iteration() const {
+  double seconds = 0.0;
+  double iterations = 0.0;
+  for (const auto& s : samples) {
+    seconds += s.seconds;
+    iterations += static_cast<double>(s.iterations);
+  }
+  return iterations > 0.0 ? seconds / iterations : 0.0;
+}
+
+SampleSet collect_walk_samples(const csp::Problem& prototype,
+                               const SamplingOptions& options) {
+  core::Params params;
+  if (options.params.has_value()) {
+    params = *options.params;
+  } else {
+    params = core::Params::from_hints(prototype.tuning(),
+                                      prototype.num_variables());
+    // A single *walk* sample should terminate with a solution essentially
+    // always; runaway walks restart rather than fail.
+    params.max_restarts = 1000;
+  }
+  const core::AdaptiveSearch engine(params);
+  const util::RngStreamFactory streams(options.master_seed);
+
+  SampleSet set;
+  set.samples.reserve(options.num_samples);
+  for (std::size_t i = 0; i < options.num_samples; ++i) {
+    auto problem = prototype.clone();
+    util::Xoshiro256 rng = streams.stream(i);
+    const core::Result result = engine.solve(*problem, rng);
+    WalkSample sample;
+    sample.solved = result.solved;
+    sample.seconds = result.stats.seconds;
+    sample.iterations = result.stats.iterations;
+    set.samples.push_back(sample);
+  }
+  return set;
+}
+
+}  // namespace cspls::sim

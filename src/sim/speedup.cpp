@@ -1,0 +1,161 @@
+#include "sim/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace cspls::sim {
+
+const SpeedupPoint& SpeedupCurve::at(std::size_t cores) const {
+  for (const auto& p : points) {
+    if (p.cores == cores) return p;
+  }
+  throw std::out_of_range("SpeedupCurve: no point for requested core count");
+}
+
+namespace {
+
+/// Deterministic standard-normal draw (Box-Muller, single value).
+double draw_normal(util::Xoshiro256& rng) {
+  const double u1 = 1.0 - rng.uniform01();  // (0, 1]
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+struct TimeEstimate {
+  double mean = 0.0;
+  double q10 = 0.0;
+  double q90 = 0.0;
+};
+
+/// E and spread of min over k walkers, with per-node speed jitter, via
+/// seeded resampling of the empirical law.
+TimeEstimate jittered_min(const EmpiricalDistribution& dist,
+                          const PlatformModel& platform, std::size_t cores,
+                          util::Xoshiro256& rng, std::size_t resamples) {
+  std::vector<double> mins(resamples);
+  const std::size_t per_node = std::max<std::size_t>(1, platform.cores_per_node);
+  for (auto& out : mins) {
+    double best = std::numeric_limits<double>::infinity();
+    double node_factor = 1.0;
+    for (std::size_t i = 0; i < cores; ++i) {
+      if (i % per_node == 0) {
+        node_factor = std::max(
+            0.5, 1.0 + platform.node_jitter * draw_normal(rng));
+      }
+      const double draw = dist.sample_min_of_k(1, rng);
+      best = std::min(best, draw / (platform.core_speed * node_factor));
+    }
+    out = best;
+  }
+  std::sort(mins.begin(), mins.end());
+  TimeEstimate est;
+  est.mean = util::mean(mins);
+  est.q10 = util::quantile_sorted(mins, 0.10);
+  est.q90 = util::quantile_sorted(mins, 0.90);
+  return est;
+}
+
+TimeEstimate exact_min(const EmpiricalDistribution& dist,
+                       const PlatformModel& platform, std::size_t cores) {
+  TimeEstimate est;
+  est.mean = dist.expected_min_of_k(cores) / platform.core_speed;
+  est.q10 = dist.quantile_min_of_k(cores, 0.10) / platform.core_speed;
+  est.q90 = dist.quantile_min_of_k(cores, 0.90) / platform.core_speed;
+  return est;
+}
+
+}  // namespace
+
+SpeedupCurve compute_speedup_curve(const EmpiricalDistribution& walk_seconds,
+                                   const PlatformModel& platform,
+                                   const std::vector<std::size_t>& cores_grid,
+                                   std::string benchmark, std::uint64_t seed,
+                                   std::size_t jitter_resamples) {
+  if (walk_seconds.empty()) {
+    throw std::invalid_argument("compute_speedup_curve: empty distribution");
+  }
+  SpeedupCurve curve;
+  curve.benchmark = std::move(benchmark);
+  curve.platform = platform.name;
+
+  util::Xoshiro256 rng(seed);
+  const auto estimate = [&](std::size_t cores) {
+    TimeEstimate est =
+        platform.node_jitter > 0.0
+            ? jittered_min(walk_seconds, platform, cores, rng,
+                           jitter_resamples)
+            : exact_min(walk_seconds, platform, cores);
+    const double overhead = platform.overhead_seconds(cores);
+    est.mean += overhead;
+    est.q10 += overhead;
+    est.q90 += overhead;
+    return est;
+  };
+
+  // Sequential reference: one core of the *same* platform (the paper's
+  // speedup is measured within each machine).
+  const double t1 = estimate(1).mean;
+
+  for (const std::size_t cores : cores_grid) {
+    const TimeEstimate est = estimate(cores);
+    SpeedupPoint point;
+    point.cores = cores;
+    point.expected_seconds = est.mean;
+    point.q10_seconds = est.q10;
+    point.q90_seconds = est.q90;
+    point.speedup = est.mean > 0.0 ? t1 / est.mean : 0.0;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+SpeedupCurve compute_fit_speedup_curve(const ShiftedExponentialFit& fit,
+                                       const PlatformModel& platform,
+                                       const std::vector<std::size_t>& cores_grid,
+                                       std::string benchmark) {
+  SpeedupCurve curve;
+  curve.benchmark = std::move(benchmark);
+  curve.platform = platform.name;
+  const auto time_at = [&](std::size_t cores) {
+    return fit.expected_min_of_k(cores) / platform.core_speed +
+           platform.overhead_seconds(cores);
+  };
+  const double t1 = time_at(1);
+  for (const std::size_t cores : cores_grid) {
+    SpeedupPoint point;
+    point.cores = cores;
+    point.expected_seconds = time_at(cores);
+    point.q10_seconds = point.expected_seconds;  // analytic: no spread model
+    point.q90_seconds = point.expected_seconds;
+    point.speedup =
+        point.expected_seconds > 0.0 ? t1 / point.expected_seconds : 0.0;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+SpeedupCurve rebase_to(const SpeedupCurve& curve,
+                       std::size_t reference_cores) {
+  const double t_ref = curve.at(reference_cores).expected_seconds;
+  SpeedupCurve rebased = curve;
+  for (auto& p : rebased.points) {
+    p.speedup = p.expected_seconds > 0.0 ? t_ref / p.expected_seconds : 0.0;
+  }
+  return rebased;
+}
+
+double loglog_slope(const SpeedupCurve& curve) {
+  std::vector<double> xs, ys;
+  for (const auto& p : curve.points) {
+    if (p.speedup > 0.0 && p.cores > 0) {
+      xs.push_back(std::log2(static_cast<double>(p.cores)));
+      ys.push_back(std::log2(p.speedup));
+    }
+  }
+  return util::fit_line(xs, ys).slope;
+}
+
+}  // namespace cspls::sim

@@ -1,0 +1,70 @@
+// Speedup-curve evaluation: empirical single-walk law + platform model
+// -> the series plotted in the paper's Figures 1-3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/order_stats.hpp"
+#include "sim/platform.hpp"
+
+namespace cspls::sim {
+
+/// One point of a speedup curve.
+struct SpeedupPoint {
+  std::size_t cores = 1;
+  double expected_seconds = 0.0;  ///< E[T(k)] incl. platform overheads
+  double speedup = 1.0;           ///< T(1) / T(k), the paper's metric
+  double q10_seconds = 0.0;       ///< spread of T(k) (10th pctile)
+  double q90_seconds = 0.0;       ///< spread of T(k) (90th pctile)
+};
+
+struct SpeedupCurve {
+  std::string benchmark;
+  std::string platform;
+  std::vector<SpeedupPoint> points;
+
+  /// Point for an exact core count (must exist).
+  [[nodiscard]] const SpeedupPoint& at(std::size_t cores) const;
+};
+
+/// Evaluate the expected parallel completion time and speedup on `platform`
+/// for each core count in `cores_grid`.
+///
+/// `walk_seconds` is the empirical distribution of single-walk runtimes *on
+/// the measurement host*; the platform model rescales them by its per-core
+/// speed (optionally jittered per node to model heterogeneous grids) and
+/// adds launch/termination overheads:
+///
+///     T(k) = overhead(k) + E[ min_{i=1..k}  T_i / (speed * jitter_node(i)) ]
+///
+/// The expectation is exact on the empirical CDF when jitter is zero and
+/// estimated by deterministic resampling (seeded) otherwise.
+[[nodiscard]] SpeedupCurve compute_speedup_curve(
+    const EmpiricalDistribution& walk_seconds, const PlatformModel& platform,
+    const std::vector<std::size_t>& cores_grid, std::string benchmark,
+    std::uint64_t seed = 0xC0FFEE, std::size_t jitter_resamples = 4000);
+
+/// Analytic companion of compute_speedup_curve: min-of-k evaluated on a
+/// shifted-exponential fit of the walk law instead of the raw sample.
+///
+/// The empirical estimator degenerates once k approaches the sample count
+/// (all probability mass collapses onto the sample minimum, a single noisy
+/// order statistic); the fit — justified whenever the reported KS distance
+/// is small, which holds for every benchmark law in this suite — provides
+/// the stable continuation.  Figures print both.
+[[nodiscard]] SpeedupCurve compute_fit_speedup_curve(
+    const ShiftedExponentialFit& fit, const PlatformModel& platform,
+    const std::vector<std::size_t>& cores_grid, std::string benchmark);
+
+/// Rebase a curve's speedups to a reference core count (Figure 3 plots
+/// "speedup w.r.t. 32 cores"): speedup'(k) = T(ref)/T(k).
+[[nodiscard]] SpeedupCurve rebase_to(const SpeedupCurve& curve,
+                                     std::size_t reference_cores);
+
+/// Log-log slope of speedup vs cores over the curve (1.0 = ideal linear
+/// speedup, the paper's observation for CAP).
+[[nodiscard]] double loglog_slope(const SpeedupCurve& curve);
+
+}  // namespace cspls::sim

@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+namespace cspls::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  // Create the parent directory if the caller asked for one (harness
+  // binaries write their mirrors under csv/ so the bench directory stays a
+  // pure list of executables).
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+  }
+  out_.open(path);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_all(const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows) {
+  write_row(header);
+  for (const auto& row : rows) write_row(row);
+  out_.flush();
+}
+
+}  // namespace cspls::util

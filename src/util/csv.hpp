@@ -1,0 +1,33 @@
+// Minimal RFC-4180-ish CSV writer.  Every bench mirrors its printed table to
+// a CSV file next to the binary so figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cspls::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`.  Throws std::runtime_error if unwritable.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; fields containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: header row then delegate to write_row per data row.
+  void write_all(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace cspls::util

@@ -1,0 +1,61 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cspls::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(std::max(hi, lo)), counts_(std::max<std::size_t>(bins, 1)) {
+  if (hi_ == lo_) hi_ = lo_ + 1.0;
+  bin_width_ = (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+Histogram Histogram::from_data(std::span<const double> values,
+                               std::size_t bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!values.empty()) {
+    const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    lo = *mn;
+    hi = *mx;
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(values);
+  return h;
+}
+
+void Histogram::add(double value) noexcept {
+  auto raw = static_cast<std::ptrdiff_t>((value - lo_) / bin_width_);
+  raw = std::clamp<std::ptrdiff_t>(
+      raw, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  const double lo = lo_ + bin_width_ * static_cast<double>(bin);
+  return {lo, lo + bin_width_};
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (const std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [blo, bhi] = bin_range(b);
+    const auto bar =
+        (counts_[b] * width + max_count - 1) / max_count;  // ceil scale
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%10.4g,%10.4g) %6zu |", blo, bhi,
+                  counts_[b]);
+    os << label << std::string(counts_[b] == 0 ? 0 : bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cspls::util

@@ -1,0 +1,48 @@
+// Fixed-bin histogram with an ASCII renderer, used by the harness to show the
+// shape of runtime distributions (the heavy tail is what makes independent
+// multi-walk parallelism pay off, so we surface it).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cspls::util {
+
+class Histogram {
+ public:
+  /// Build `bins` equal-width bins over [lo, hi]; values outside are clamped
+  /// into the first/last bin so no observation is lost.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build from data with automatic range (min..max) and the given bin count.
+  static Histogram from_data(std::span<const double> values, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  /// Inclusive-exclusive bounds of one bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering, one row per bin, bar scaled to `width`.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cspls::util

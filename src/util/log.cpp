@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace cspls::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fputs(line.c_str(), stderr);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log(level, buf);
+}
+
+}  // namespace cspls::util

@@ -1,0 +1,30 @@
+// Leveled stderr logger.  Verbosity is process-global and settable from the
+// harness (`--verbose`); default level keeps bench output clean.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cspls::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Set / query the global verbosity threshold.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit `message` at `level` if enabled.  Message is one line (no trailing
+/// newline needed).  Thread-safe: a single fputs per call.
+void log(LogLevel level, std::string_view message);
+
+/// printf-style convenience wrappers.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+
+}  // namespace cspls::util

@@ -1,0 +1,149 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through splitmix64 as
+// its authors recommend.  It provides jump() / long_jump() so that a family of
+// walkers can be given provably non-overlapping subsequences from one master
+// seed — the property the independent multi-walk engine relies on: the paper's
+// parallel scheme launches "several search engines starting from different
+// initial configurations", and those configurations must be independent even
+// when thousands of walkers share a single experiment seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace cspls::util {
+
+/// splitmix64: used to expand a 64-bit seed into engine state.  Also a fine
+/// standalone generator for non-critical uses (hashing, quick decorrelation).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 256-bit-state generator.
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via splitmix64 expansion (never yields the all-zero state).
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps: partitions the period into 2^128 non-overlapping
+  /// streams.  Used to derive sibling streams for parallel walkers.
+  void jump() noexcept;
+
+  /// Advance 2^192 steps: partitions into 2^64 streams of 2^192 numbers each.
+  /// Used to separate *experiments* (each of which may jump() per walker).
+  void long_jump() noexcept;
+
+  /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
+  /// method (unbiased, one division in the rare rejection path).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Fisher–Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty span.
+  template <typename T>
+  [[nodiscard]] std::size_t pick_index(std::span<const T> values) noexcept {
+    return static_cast<std::size_t>(below(values.size()));
+  }
+
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Factory producing decorrelated sibling generators from one master seed.
+///
+/// Stream i is the master engine advanced by i jump()s (each jump is 2^128
+/// steps), so any two streams are non-overlapping for any realistic run
+/// length.  This mirrors how the reproduction assigns one stream per parallel
+/// walker and one long_jump per experiment repetition.
+class RngStreamFactory {
+ public:
+  explicit RngStreamFactory(std::uint64_t master_seed) noexcept
+      : base_(master_seed) {}
+
+  /// Engine for walker `stream`; identical (seed, stream) always yields the
+  /// identical sequence, regardless of how many streams are created.
+  [[nodiscard]] Xoshiro256 stream(std::uint64_t stream_index) const noexcept;
+
+  /// Derive a factory for repetition `rep` of the same experiment: the base
+  /// engine long_jump()ed rep times, so repetitions never share streams.
+  [[nodiscard]] RngStreamFactory repetition(std::uint64_t rep) const noexcept;
+
+  [[nodiscard]] std::uint64_t master_seed() const noexcept { return seed_; }
+
+ private:
+  RngStreamFactory(Xoshiro256 base, std::uint64_t seed) noexcept
+      : base_(base), seed_(seed) {}
+
+  Xoshiro256 base_;
+  std::uint64_t seed_ = 0;
+};
+
+/// Convenience: n distinct seeds derived from one master seed via splitmix64.
+[[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::uint64_t master_seed,
+                                                      std::size_t count);
+
+}  // namespace cspls::util

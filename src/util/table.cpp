@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cspls::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+  }
+  if (aligns_.size() != headers_.size()) {
+    throw std::invalid_argument("Table: aligns/headers size mismatch");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string Table::sig(double value, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant, value);
+  return buf;
+}
+
+std::string Table::render(std::string_view title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_cell = [&](std::ostringstream& os, const std::string& cell,
+                             std::size_t c) {
+    const std::size_t pad = widths[c] - cell.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << cell;
+    else os << cell << std::string(pad, ' ');
+  };
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    emit_cell(os, headers_[c], c);
+  }
+  os << '\n';
+  std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (const std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      emit_cell(os, row[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cspls::util

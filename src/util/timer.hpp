@@ -1,0 +1,53 @@
+// Monotonic wall-clock stopwatch used by every experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cspls::util {
+
+/// RAII-free stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Render a duration in seconds as a compact human string ("482ms", "1.24s",
+/// "3m12s").  Used by harness progress output.
+[[nodiscard]] inline std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm%02.0fs", minutes,
+                  seconds - 60.0 * minutes);
+  }
+  return buf;
+}
+
+}  // namespace cspls::util

@@ -1,0 +1,194 @@
+// Complete-search baseline tests: solution counts against published values
+// and cross-validation with the local-search models.
+#include "baseline/backtracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/checkers.hpp"
+#include "problems/all_interval.hpp"
+#include "problems/costas.hpp"
+#include "problems/queens.hpp"
+
+namespace cspls::baseline {
+namespace {
+
+TEST(Backtracker, QueensCountsMatchPublishedValues) {
+  // OEIS A000170: 4->2, 5->10, 6->4, 7->40, 8->92.
+  const std::pair<std::size_t, std::uint64_t> expected[] = {
+      {4, 2}, {5, 10}, {6, 4}, {7, 40}, {8, 92}};
+  for (const auto& [n, count] : expected) {
+    QueensChecker checker(n);
+    SearchLimits limits;
+    limits.count_all = true;
+    const SearchOutcome out = backtrack_search(checker, limits);
+    EXPECT_EQ(out.solutions, count) << "n=" << n;
+    EXPECT_TRUE(out.found);
+    EXPECT_FALSE(out.hit_limit);
+  }
+}
+
+TEST(Backtracker, CostasCountsMatchPublishedValues) {
+  // Total Costas arrays (all symmetries counted): 2->2, 3->4, 4->12,
+  // 5->40, 6->116.
+  const std::pair<std::size_t, std::uint64_t> expected[] = {
+      {2, 2}, {3, 4}, {4, 12}, {5, 40}, {6, 116}};
+  for (const auto& [n, count] : expected) {
+    CostasChecker checker(n);
+    SearchLimits limits;
+    limits.count_all = true;
+    const SearchOutcome out = backtrack_search(checker, limits);
+    EXPECT_EQ(out.solutions, count) << "n=" << n;
+  }
+}
+
+TEST(Backtracker, FirstSolutionIsWellFormed) {
+  QueensChecker checker(8);
+  const SearchOutcome out = backtrack_search(checker);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.solutions, 1u);  // stopped at the first
+  EXPECT_EQ(out.first_solution.size(), 8u);
+  problems::Queens model(8);
+  EXPECT_TRUE(model.verify(out.first_solution));
+}
+
+TEST(Backtracker, NodeLimitAborts) {
+  QueensChecker checker(20);
+  SearchLimits limits;
+  limits.max_nodes = 50;
+  limits.count_all = true;
+  const SearchOutcome out = backtrack_search(checker, limits);
+  EXPECT_TRUE(out.hit_limit);
+  EXPECT_LE(out.nodes, 50u);
+}
+
+TEST(Backtracker, EveryCostasSolutionPassesTheLocalSearchModel) {
+  // Cross-validation: the systematic solver and the local-search model must
+  // agree on what a Costas array is.
+  constexpr std::size_t kN = 5;
+  CostasChecker checker(kN);
+  SearchLimits limits;
+  limits.count_all = true;
+  const SearchOutcome out = backtrack_search(checker, limits);
+  EXPECT_EQ(out.solutions, 40u);
+
+  // Enumerate all permutations and compare accept/reject sets exactly.
+  problems::Costas model(kN);
+  std::vector<int> perm(kN);
+  std::iota(perm.begin(), perm.end(), 1);
+  std::uint64_t accepted = 0;
+  do {
+    const bool ls_ok = model.verify(perm);
+    const csp::Cost cost = model.assign(perm);
+    ASSERT_EQ(ls_ok, cost == 0);
+    if (ls_ok) ++accepted;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(accepted, out.solutions);
+}
+
+TEST(Backtracker, EveryQueensSolutionAgreesWithModel) {
+  constexpr std::size_t kN = 6;
+  problems::Queens model(kN);
+  std::vector<int> perm(kN);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint64_t accepted = 0;
+  do {
+    const bool ok = model.verify(perm);
+    const csp::Cost cost = model.assign(perm);
+    ASSERT_EQ(ok, cost == 0);
+    if (ok) ++accepted;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(accepted, 4u);  // 6-queens has 4 solutions
+}
+
+TEST(Backtracker, AllIntervalAgreesWithBruteForce) {
+  // Count AIS(n) by complete search and by brute-force enumeration through
+  // the local-search model; the two independent implementations must agree.
+  for (const std::size_t n : {4u, 5u, 6u, 7u}) {
+    AllIntervalChecker checker(n);
+    SearchLimits limits;
+    limits.count_all = true;
+    const SearchOutcome out = backtrack_search(checker, limits);
+
+    problems::AllInterval model(n);
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::uint64_t accepted = 0;
+    do {
+      if (model.verify(perm)) ++accepted;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(out.solutions, accepted) << "n=" << n;
+    EXPECT_GT(out.solutions, 0u);
+  }
+}
+
+TEST(Backtracker, PruningNeverLosesSolutions) {
+  // The incremental checker must accept exactly the permutations the model
+  // accepts: compare complete search against leaf-checking search.
+  constexpr std::size_t kN = 6;
+  AllIntervalChecker checker(kN);
+  SearchLimits limits;
+  limits.count_all = true;
+  const SearchOutcome pruned = backtrack_search(checker, limits);
+
+  // Leaf oracle: enumerate and verify.
+  problems::AllInterval model(kN);
+  std::vector<int> perm(kN);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint64_t leaves = 0;
+  do {
+    if (model.verify(perm)) ++leaves;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(pruned.solutions, leaves);
+  // And pruning must actually prune: a naive complete search attempts
+  // sum_{k=1..n} n!/(n-k)! placements (1956 for n = 6).
+  std::uint64_t naive_nodes = 0, falling = 1;
+  for (std::size_t k = 1; k <= kN; ++k) {
+    falling *= kN - k + 1;
+    naive_nodes += falling;
+  }
+  EXPECT_LT(pruned.nodes, naive_nodes);
+}
+
+TEST(Checkers, PushPopRoundTripLeavesStateClean) {
+  CostasChecker checker(6);
+  // A valid prefix, then retract it all; a second identical pass must
+  // succeed identically (state fully restored).
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(checker.push(0, 1));
+    ASSERT_TRUE(checker.push(1, 3));
+    ASSERT_TRUE(checker.push(2, 2));
+    checker.pop(2, 2);
+    checker.pop(1, 3);
+    checker.pop(0, 1);
+  }
+}
+
+TEST(Checkers, CostasPushRejectsRepeatedDifference) {
+  CostasChecker checker(4);
+  ASSERT_TRUE(checker.push(0, 1));
+  ASSERT_TRUE(checker.push(1, 2));  // row-1 diff 1
+  EXPECT_FALSE(checker.push(2, 3)); // row-1 diff 1 again
+  ASSERT_TRUE(checker.push(2, 4));  // diff 2 is fine
+}
+
+TEST(Checkers, QueensPushRejectsDiagonalAttack) {
+  QueensChecker checker(4);
+  ASSERT_TRUE(checker.push(0, 0));
+  EXPECT_FALSE(checker.push(1, 1));  // same down diagonal
+  ASSERT_TRUE(checker.push(1, 2));
+}
+
+TEST(Checkers, AllIntervalPushRejectsZeroAndRepeatedDistances) {
+  AllIntervalChecker checker(5);
+  ASSERT_TRUE(checker.push(0, 0));
+  ASSERT_TRUE(checker.push(1, 2));   // distance 2
+  EXPECT_FALSE(checker.push(2, 0));  // value reuse would give distance 2
+  EXPECT_FALSE(checker.push(2, 4));  // distance 2 again
+  ASSERT_TRUE(checker.push(2, 3));   // distance 1
+}
+
+}  // namespace
+}  // namespace cspls::baseline

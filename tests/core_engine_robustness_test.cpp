@@ -1,0 +1,111 @@
+// Engine robustness sweep: the engine must uphold its contract for *any*
+// parameter combination a user can configure — extreme freezes, degenerate
+// reset settings, plateau probabilities at both ends, tiny and huge
+// budgets — across models.  Failure injection for configuration space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <tuple>
+
+#include "core/adaptive_search.hpp"
+#include "problems/registry.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::core {
+namespace {
+
+struct ParamCase {
+  const char* label;
+  std::uint32_t freeze_loc_min;
+  std::uint32_t freeze_swap;
+  std::uint32_t reset_limit;
+  double reset_fraction;
+  double prob_plateau;
+  double prob_local_min;
+  RestartSchedule schedule;
+};
+
+const ParamCase kCases[] = {
+    {"degenerate-freeze0", 0, 0, 1, 0.0, 0.0, 0.0, RestartSchedule::kFixed},
+    {"huge-freeze", 1000, 1000, 2, 0.1, 1.0, 0.0, RestartSchedule::kFixed},
+    {"always-accept", 1, 0, 5, 0.2, 1.0, 1.0, RestartSchedule::kFixed},
+    {"never-reset", 3, 2, UINT32_MAX, 0.5, 0.5, 0.1, RestartSchedule::kFixed},
+    {"always-reset", 1, 0, 1, 1.0, 0.0, 0.0, RestartSchedule::kLuby},
+    {"full-shuffle-reset", 2, 1, 3, 1.0, 0.7, 0.3, RestartSchedule::kLuby},
+};
+
+class EngineRobustness
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {
+};
+
+TEST_P(EngineRobustness, ContractHoldsUnderHostileParameters) {
+  const auto& [problem_name, case_index] = GetParam();
+  const ParamCase& pc = kCases[case_index];
+
+  auto problem = problems::make_problem(
+      problem_name, problems::default_size(problem_name), 3);
+  Params params;
+  params.freeze_loc_min = pc.freeze_loc_min;
+  params.freeze_swap = pc.freeze_swap;
+  params.reset_limit = pc.reset_limit;
+  params.reset_fraction = pc.reset_fraction;
+  params.prob_accept_plateau = pc.prob_plateau;
+  params.prob_accept_local_min = pc.prob_local_min;
+  params.restart_schedule = pc.schedule;
+  params.restart_limit = 2'000;  // keep every configuration bounded
+  params.max_restarts = 3;
+  const AdaptiveSearch engine(params);
+
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(case_index) * 101 + 7);
+  const Result result = engine.solve(*problem, rng);
+
+  // Contract invariants regardless of outcome:
+  EXPECT_GE(result.cost, 0) << pc.label;
+  EXPECT_EQ(result.solution.size(), problem->num_variables()) << pc.label;
+  EXPECT_EQ(problem->total_cost(), result.cost) << pc.label;
+  EXPECT_EQ(problem->full_cost(), result.cost) << pc.label;
+  EXPECT_LE(result.stats.restarts, 3u) << pc.label;
+  EXPECT_LE(result.stats.swaps + result.stats.plateau_moves,
+            result.stats.iterations)
+      << pc.label;
+  if (result.solved) {
+    EXPECT_TRUE(problem->verify(result.solution)) << pc.label;
+  } else {
+    EXPECT_FALSE(problem->verify(result.solution)) << pc.label;
+    EXPECT_GT(result.cost, 0) << pc.label;
+  }
+  // The walk must stay a permutation whatever the reset settings did.
+  std::vector<int> multiset(problem->values().begin(),
+                            problem->values().end());
+  auto canonical = problems::make_problem(
+      problem_name, problems::default_size(problem_name), 3);
+  std::vector<int> expected(canonical->values().begin(),
+                            canonical->values().end());
+  std::sort(multiset.begin(), multiset.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(multiset, expected) << pc.label;
+}
+
+std::vector<std::tuple<std::string, std::size_t>> all_cases() {
+  std::vector<std::tuple<std::string, std::size_t>> cases;
+  for (const auto& name : problems::problem_names()) {
+    for (std::size_t i = 0; i < std::size(kCases); ++i) {
+      cases.emplace_back(name, i);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineRobustness, ::testing::ValuesIn(all_cases()),
+    [](const auto& param_info) {
+      std::string name =
+          std::string(kCases[std::get<1>(param_info.param)].label) + "_" +
+          std::get<0>(param_info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace cspls::core

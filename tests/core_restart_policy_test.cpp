@@ -1,0 +1,103 @@
+// Luby restart schedule tests.
+#include "core/restart_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_search.hpp"
+#include "problems/costas.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::core {
+namespace {
+
+TEST(Luby, MatchesTheCanonicalPrefix) {
+  const std::uint64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1,
+                                    1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(luby(i + 1), expected[i]) << "index " << i + 1;
+  }
+}
+
+TEST(Luby, PowersAtCompleteBlocks) {
+  // luby(2^k - 1) = 2^(k-1).
+  EXPECT_EQ(luby(1), 1u);
+  EXPECT_EQ(luby(3), 2u);
+  EXPECT_EQ(luby(7), 4u);
+  EXPECT_EQ(luby(15), 8u);
+  EXPECT_EQ(luby(31), 16u);
+  EXPECT_EQ(luby(63), 32u);
+  EXPECT_EQ(luby(1023), 512u);
+}
+
+TEST(Luby, ValuesArePowersOfTwo) {
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    const std::uint64_t v = luby(i);
+    EXPECT_EQ(v & (v - 1), 0u) << i;
+    EXPECT_GE(v, 1u);
+  }
+}
+
+TEST(Luby, CumulativeSumGrowthIsQuasiLinear) {
+  // sum_{i<=m} luby(i) = Theta(m log m); sanity-check the constant stays
+  // tame (regression guard for the recursion).
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 1; i <= 1023; ++i) sum += luby(i);
+  // 1023 = 2^10 - 1 completes a block; S(k) = 2 S(k-1) + 2^(k-1) = k 2^(k-1),
+  // so S(10) = 10 * 512.
+  EXPECT_EQ(sum, 5120u);
+}
+
+TEST(WalkBudget, FixedScheduleIsConstant) {
+  for (std::uint64_t walk = 0; walk < 20; ++walk) {
+    EXPECT_EQ(walk_budget(RestartSchedule::kFixed, 500, walk), 500u);
+  }
+}
+
+TEST(WalkBudget, LubyScheduleScalesTheBase) {
+  EXPECT_EQ(walk_budget(RestartSchedule::kLuby, 500, 0), 500u);
+  EXPECT_EQ(walk_budget(RestartSchedule::kLuby, 500, 2), 1000u);
+  EXPECT_EQ(walk_budget(RestartSchedule::kLuby, 500, 6), 2000u);
+  EXPECT_EQ(walk_budget(RestartSchedule::kLuby, 500, 14), 4000u);
+}
+
+TEST(LubyEngine, RespectsScheduleBudgets) {
+  // With an unreachable target the engine must burn exactly the scheduled
+  // budgets: base * (luby(1) + luby(2) + ... + luby(restarts+1)).
+  problems::Costas costas(10);
+  Params params = Params::from_hints(costas.tuning(), costas.num_variables());
+  params.target_cost = -1;  // unreachable
+  params.restart_limit = 50;
+  params.max_restarts = 6;
+  params.restart_schedule = RestartSchedule::kLuby;
+  const AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(1);
+  const Result result = engine.solve(costas, rng);
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 1; i <= 7; ++i) expected += 50 * luby(i);
+  EXPECT_EQ(result.stats.iterations, expected);
+  EXPECT_EQ(result.stats.restarts, 6u);
+}
+
+TEST(LubyEngine, SolvesWithLubySchedule) {
+  problems::Costas costas(11);
+  Params params = Params::from_hints(costas.tuning(), costas.num_variables());
+  params.restart_limit = 200;  // deliberately small base: Luby grows it
+  params.max_restarts = 200;
+  params.restart_schedule = RestartSchedule::kLuby;
+  const AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(2);
+  const Result result = engine.solve(costas, rng);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(costas.verify(result.solution));
+}
+
+TEST(LubyEngine, DescribeMentionsLuby) {
+  Params params;
+  params.restart_schedule = RestartSchedule::kLuby;
+  EXPECT_NE(params.describe().find("luby"), std::string::npos);
+  params.restart_schedule = RestartSchedule::kFixed;
+  EXPECT_EQ(params.describe().find("luby"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cspls::core

@@ -1,0 +1,212 @@
+// Independent multi-walk engine tests: first-finisher protocol, stream
+// seeding, determinism of the sequential paths, elite-pool semantics.
+#include "parallel/multi_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "parallel/elite_pool.hpp"
+#include "problems/costas.hpp"
+#include "problems/langford.hpp"
+#include "problems/registry.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::parallel {
+namespace {
+
+TEST(MultiWalkSolver, SolvesAndWinnerIsWellFormed) {
+  problems::Costas costas(10);
+  MultiWalkOptions options;
+  options.num_walkers = 4;
+  options.master_seed = 1;
+  const MultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(costas);
+  ASSERT_TRUE(report.solved);
+  ASSERT_LT(report.winner, 4u);
+  EXPECT_TRUE(report.best.solved);
+  EXPECT_EQ(report.best.cost, 0);
+  EXPECT_TRUE(costas.verify(report.best.solution));
+  EXPECT_EQ(report.walkers.size(), 4u);
+  EXPECT_GT(report.total_iterations(), 0u);
+  EXPECT_GE(report.wall_seconds, report.time_to_solution_seconds);
+}
+
+TEST(MultiWalkSolver, EveryWalkerEitherFinishedOrWasInterrupted) {
+  problems::Costas costas(11);
+  MultiWalkOptions options;
+  options.num_walkers = 6;
+  options.master_seed = 2;
+  const MultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(costas);
+  ASSERT_TRUE(report.solved);
+  for (const auto& w : report.walkers) {
+    EXPECT_TRUE(w.result.solved || w.result.interrupted)
+        << "walker " << w.walker_id;
+  }
+  // The winner must have finished on its own.
+  EXPECT_FALSE(report.walkers[report.winner].result.interrupted);
+}
+
+TEST(MultiWalkSolver, SingleWalkerDegeneratesToSequential) {
+  problems::Costas costas(9);
+  MultiWalkOptions options;
+  options.num_walkers = 1;
+  options.master_seed = 3;
+  const MultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(costas);
+  ASSERT_TRUE(report.solved);
+  EXPECT_EQ(report.winner, 0u);
+}
+
+TEST(MultiWalkSolver, ThreadCapStillCompletesAllWalkers) {
+  problems::Costas costas(9);
+  MultiWalkOptions options;
+  options.num_walkers = 8;
+  options.master_seed = 4;
+  options.max_threads = 2;
+  const MultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(costas);
+  ASSERT_TRUE(report.solved);
+  EXPECT_EQ(report.walkers.size(), 8u);
+}
+
+TEST(MultiWalkSolver, UnsolvableInstanceReportsBestEffort) {
+  // L(2,5) has no solution (n must be ≡ 0 or 3 mod 4).
+  problems::Langford langford(5);
+  MultiWalkOptions options;
+  options.num_walkers = 3;
+  options.master_seed = 5;
+  core::Params params =
+      core::Params::from_hints(langford.tuning(), langford.num_variables());
+  params.restart_limit = 2'000;
+  params.max_restarts = 2;
+  options.params = params;
+  const MultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(langford);
+  EXPECT_FALSE(report.solved);
+  EXPECT_GT(report.best.cost, 0);
+  EXPECT_FALSE(report.best.solution.empty());
+}
+
+TEST(RunIndependentWalks, DeterministicPerStream) {
+  problems::Costas costas(10);
+  const auto a = run_independent_walks(costas, 5, 42);
+  const auto b = run_independent_walks(costas, 5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.stats.iterations, b[i].result.stats.iterations);
+    EXPECT_EQ(a[i].result.solution, b[i].result.solution);
+  }
+}
+
+TEST(RunIndependentWalks, StreamsExploreIndependently) {
+  problems::Costas costas(11);
+  const auto walks = run_independent_walks(costas, 8, 7);
+  std::set<std::uint64_t> iteration_counts;
+  for (const auto& w : walks) {
+    EXPECT_TRUE(w.result.solved);
+    iteration_counts.insert(w.result.stats.iterations);
+  }
+  // Eight independent heavy-tailed walks almost surely differ.
+  EXPECT_GT(iteration_counts.size(), 4u);
+}
+
+TEST(RunIndependentWalks, PrefixStabilityAcrossPopulationSize) {
+  // Walker i's trajectory must not depend on how many walkers run: this is
+  // what makes offline min-of-k analysis equivalent to the racing version.
+  problems::Costas costas(9);
+  const auto small = run_independent_walks(costas, 3, 99);
+  const auto large = run_independent_walks(costas, 6, 99);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].result.stats.iterations,
+              large[i].result.stats.iterations);
+  }
+}
+
+TEST(EmulateFirstFinisher, PicksFewestIterations) {
+  problems::Costas costas(10);
+  auto walks = run_independent_walks(costas, 6, 11);
+  const MultiWalkReport report = emulate_first_finisher(walks);
+  ASSERT_TRUE(report.solved);
+  const auto& winner = report.walkers[report.winner];
+  for (const auto& w : report.walkers) {
+    if (w.result.solved) {
+      EXPECT_LE(winner.result.stats.iterations, w.result.stats.iterations);
+    }
+  }
+  EXPECT_EQ(report.best.stats.iterations, winner.result.stats.iterations);
+}
+
+TEST(EmulateFirstFinisher, HandlesAllFailed) {
+  problems::Langford langford(5);  // unsolvable
+  core::Params params =
+      core::Params::from_hints(langford.tuning(), langford.num_variables());
+  params.restart_limit = 500;
+  params.max_restarts = 0;
+  auto walks = run_independent_walks(langford, 3, 1, params);
+  const MultiWalkReport report = emulate_first_finisher(walks);
+  EXPECT_FALSE(report.solved);
+  EXPECT_GT(report.best.cost, 0);
+}
+
+TEST(ElitePool, OfferAcceptsOnlyStrictImprovements) {
+  ElitePool pool;
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{3, 2, 1};
+  EXPECT_TRUE(pool.offer(10, a));
+  EXPECT_FALSE(pool.offer(10, b));  // equal is rejected
+  EXPECT_FALSE(pool.offer(11, b));
+  EXPECT_TRUE(pool.offer(9, b));
+  EXPECT_EQ(pool.best_cost(), 9);
+  EXPECT_EQ(pool.accepted_offers(), 2u);
+}
+
+TEST(ElitePool, TakeIfBetterHonoursThreshold) {
+  ElitePool pool;
+  std::vector<int> out;
+  EXPECT_EQ(pool.take_if_better(100, out), csp::kInfiniteCost);  // empty
+  pool.offer(10, std::vector<int>{4, 5, 6});
+  EXPECT_EQ(pool.take_if_better(10, out), csp::kInfiniteCost);  // not better
+  EXPECT_EQ(pool.take_if_better(11, out), 10);
+  EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(DependentMultiWalk, SolvesWithCommunicationEnabled) {
+  problems::Costas costas(10);
+  DependentOptions options;
+  options.base.num_walkers = 4;
+  options.base.master_seed = 6;
+  options.period = 50;
+  options.adopt_probability = 0.5;
+  const DependentMultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(costas);
+  ASSERT_TRUE(report.solved);
+  EXPECT_TRUE(costas.verify(report.best.solution));
+}
+
+/// Sweep: the racing solver must succeed across walker counts and seeds.
+class MultiWalkSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(MultiWalkSweep, AlwaysSolvesCostas9) {
+  const auto [walkers, seed] = GetParam();
+  problems::Costas costas(9);
+  MultiWalkOptions options;
+  options.num_walkers = walkers;
+  options.master_seed = seed;
+  const MultiWalkSolver solver(options);
+  const MultiWalkReport report = solver.solve(costas);
+  ASSERT_TRUE(report.solved);
+  EXPECT_TRUE(costas.verify(report.best.solution));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiWalkSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 8u),
+                       ::testing::Values(1ULL, 77ULL)));
+
+}  // namespace
+}  // namespace cspls::parallel

@@ -1,0 +1,139 @@
+// All-Interval Series model tests (CSPLib prob007).
+#include "problems/all_interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/adaptive_search.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::problems {
+namespace {
+
+using csp::Cost;
+
+/// The zigzag construction 0, n-1, 1, n-2, ... is an all-interval series for
+/// every n (differences n-1, n-2, ..., 1).
+std::vector<int> zigzag(std::size_t n) {
+  std::vector<int> v(n);
+  int lo = 0, hi = static_cast<int>(n) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (i % 2 == 0) ? lo++ : hi--;
+  }
+  return v;
+}
+
+TEST(AllInterval, RejectsDegenerateSizes) {
+  EXPECT_THROW(AllInterval(0), std::invalid_argument);
+  EXPECT_THROW(AllInterval(1), std::invalid_argument);
+}
+
+TEST(AllInterval, ZigzagIsASolutionForAllSizes) {
+  for (std::size_t n = 2; n <= 30; ++n) {
+    AllInterval p(n);
+    const auto sol = zigzag(n);
+    EXPECT_EQ(p.assign(sol), 0) << "n=" << n;
+    EXPECT_TRUE(p.verify(sol)) << "n=" << n;
+  }
+}
+
+TEST(AllInterval, IdentityPermutationIsMaximallyBad) {
+  AllInterval p(10);
+  std::vector<int> identity(10);
+  std::iota(identity.begin(), identity.end(), 0);
+  // All 9 differences are 1: 8 surplus occurrences.
+  EXPECT_EQ(p.assign(identity), 8);
+  EXPECT_FALSE(p.verify(identity));
+}
+
+TEST(AllInterval, CostCountsSurplusOccurrences) {
+  AllInterval p(5);
+  // 0 2 4 1 3 -> differences 2 2 3 2: distance 2 thrice -> cost 2.
+  const std::vector<int> config{0, 2, 4, 1, 3};
+  EXPECT_EQ(p.assign(config), 2);
+}
+
+TEST(AllInterval, CostOnVariableBlamesDuplicatedDistances) {
+  AllInterval p(5);
+  const std::vector<int> config{0, 2, 4, 1, 3};  // diffs 2 2 3 2
+  p.assign(config);
+  // Position 0 touches diff (0,1)=2 which has occ 3 -> err 2.
+  EXPECT_EQ(p.cost_on_variable(0), 2);
+  // Position 2 touches diffs 2 and 3 -> err 2 + 0.
+  EXPECT_EQ(p.cost_on_variable(2), 2);
+  // Position 3 touches diffs 3 and 2 -> 0 + 2.
+  EXPECT_EQ(p.cost_on_variable(3), 2);
+}
+
+TEST(AllInterval, AdjacentSwapKeepsSharedDifferenceCorrect) {
+  AllInterval p(8);
+  util::Xoshiro256 rng(5);
+  p.randomize(rng);
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    const Cost probed = p.cost_if_swap(i, i + 1);
+    const Cost committed = p.swap(i, i + 1);
+    ASSERT_EQ(probed, committed) << "adjacent swap at " << i;
+    ASSERT_EQ(committed, p.full_cost());
+  }
+}
+
+TEST(AllInterval, EndpointSwapsStayConsistent) {
+  AllInterval p(12);
+  util::Xoshiro256 rng(6);
+  p.randomize(rng);
+  const Cost probed = p.cost_if_swap(0, 11);
+  EXPECT_EQ(p.swap(0, 11), probed);
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+TEST(AllInterval, ResetPerturbationReversesSegment) {
+  AllInterval p(20);
+  const auto sol = zigzag(20);
+  p.assign(sol);
+  util::Xoshiro256 rng(7);
+  const Cost cost = p.reset_perturbation(0.3, rng);
+  EXPECT_EQ(cost, p.full_cost());
+  // A reversal preserves the multiset.
+  std::vector<int> sorted(p.values().begin(), p.values().end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int>(i));
+  }
+  // A reversal changes at most two differences, so the damage is bounded.
+  EXPECT_LE(cost, 2);
+}
+
+TEST(AllInterval, VerifyRejectsMalformedInputs) {
+  AllInterval p(6);
+  EXPECT_FALSE(p.verify(std::vector<int>{0, 1, 2}));          // size
+  EXPECT_FALSE(p.verify(std::vector<int>{0, 0, 1, 2, 3, 4})); // not perm
+  EXPECT_FALSE(p.verify(std::vector<int>{0, 1, 2, 3, 4, 5})); // dup diffs
+}
+
+TEST(AllInterval, EngineSolvesModerateInstance) {
+  AllInterval p(14);
+  auto params = core::Params::from_hints(p.tuning(), p.num_variables());
+  params.max_restarts = 100;
+  const core::AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(8);
+  const auto result = engine.solve(p, rng);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(p.verify(result.solution));
+}
+
+TEST(AllInterval, RandomWalkKeepsCacheCoherent) {
+  AllInterval p(16);
+  util::Xoshiro256 rng(9);
+  p.randomize(rng);
+  for (int step = 0; step < 1000; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(16));
+    auto j = static_cast<std::size_t>(rng.below(16));
+    if (i == j) j = (j + 1) % 16;
+    p.swap(i, j);
+  }
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+}  // namespace
+}  // namespace cspls::problems

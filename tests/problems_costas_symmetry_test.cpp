@@ -1,0 +1,110 @@
+// Costas symmetry-group tests: closure of the Costas property under the
+// dihedral group, and consistency with the complete-search counts.
+#include "problems/costas_symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "baseline/backtracker.hpp"
+#include "baseline/checkers.hpp"
+#include "problems/costas.hpp"
+
+namespace cspls::problems {
+namespace {
+
+const std::vector<int> kPaperExample = {3, 4, 2, 1, 5};  // from the paper
+
+TEST(CostasSymmetry, GeneratorsAreInvolutions) {
+  EXPECT_EQ(costas_reverse(costas_reverse(kPaperExample)), kPaperExample);
+  EXPECT_EQ(costas_complement(costas_complement(kPaperExample)),
+            kPaperExample);
+  EXPECT_EQ(costas_transpose(costas_transpose(kPaperExample)),
+            kPaperExample);
+}
+
+TEST(CostasSymmetry, Rotate90HasOrderFour) {
+  auto r = kPaperExample;
+  for (int i = 0; i < 4; ++i) r = costas_rotate90(r);
+  EXPECT_EQ(r, kPaperExample);
+  EXPECT_NE(costas_rotate90(kPaperExample), kPaperExample);
+}
+
+TEST(CostasSymmetry, TransposeIsTheInversePermutation) {
+  const auto t = costas_transpose(kPaperExample);
+  for (std::size_t col = 0; col < kPaperExample.size(); ++col) {
+    const auto row = static_cast<std::size_t>(kPaperExample[col] - 1);
+    EXPECT_EQ(t[row], static_cast<int>(col) + 1);
+  }
+}
+
+TEST(CostasSymmetry, ClassMembersAreAllCostasArrays) {
+  Costas model(5);
+  ASSERT_TRUE(model.verify(kPaperExample));
+  const auto cls = costas_symmetry_class(kPaperExample);
+  EXPECT_GE(cls.size(), 1u);
+  EXPECT_LE(cls.size(), 8u);
+  EXPECT_EQ(8u % cls.size(), 0u);  // class size divides the group order
+  for (const auto& member : cls) {
+    EXPECT_TRUE(model.verify(member));
+  }
+  EXPECT_EQ(cls.count(kPaperExample), 1u);
+}
+
+TEST(CostasSymmetry, ClassesPartitionTheFullEnumeration) {
+  // Union of the symmetry classes of all order-4 Costas arrays must be the
+  // full set of 12, and classes must not overlap partially.
+  baseline::CostasChecker checker(4);
+  baseline::SearchLimits limits;
+  limits.count_all = true;
+  // Enumerate all arrays by brute force through the model.
+  Costas model(4);
+  std::vector<int> perm{1, 2, 3, 4};
+  std::set<std::vector<int>> all;
+  std::sort(perm.begin(), perm.end());
+  do {
+    if (model.verify(perm)) all.insert(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(all.size(), 12u);
+
+  std::set<std::vector<int>> covered;
+  std::size_t num_classes = 0;
+  for (const auto& array : all) {
+    if (covered.count(array)) continue;
+    ++num_classes;
+    const auto cls = costas_symmetry_class(array);
+    for (const auto& member : cls) {
+      EXPECT_TRUE(all.count(member)) << "symmetry left the solution set";
+      EXPECT_FALSE(covered.count(member)) << "classes overlap";
+      covered.insert(member);
+    }
+  }
+  EXPECT_EQ(covered.size(), all.size());
+  // Known: the 12 order-4 Costas arrays form 2 equivalence classes.
+  EXPECT_EQ(num_classes, 2u);
+}
+
+TEST(CostasSymmetry, ClassExpansionFindsNewArraysForFree) {
+  // The practical use: one solver hit expands to its whole class.
+  Costas model(6);
+  // Find one array by brute force.
+  std::vector<int> perm{1, 2, 3, 4, 5, 6};
+  std::vector<int> found;
+  do {
+    if (model.verify(perm)) {
+      found = perm;
+      break;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  ASSERT_FALSE(found.empty());
+  const auto cls = costas_symmetry_class(found);
+  EXPECT_GT(cls.size(), 1u);
+  for (const auto& member : cls) {
+    EXPECT_TRUE(model.verify(member));
+  }
+}
+
+}  // namespace
+}  // namespace cspls::problems

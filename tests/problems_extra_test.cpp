@@ -1,0 +1,278 @@
+// Tests for the additional models from the original distribution:
+// queens, langford, partition, alpha.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/adaptive_search.hpp"
+#include "problems/alpha.hpp"
+#include "problems/langford.hpp"
+#include "problems/partition.hpp"
+#include "problems/queens.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::problems {
+namespace {
+
+using csp::Cost;
+
+// ---------------------------------------------------------------- Queens ---
+
+TEST(Queens, KnownSolutionVerifies) {
+  Queens p(5);
+  // Rows 0 2 4 1 3 — the classic knight-step solution.
+  const std::vector<int> sol{0, 2, 4, 1, 3};
+  EXPECT_EQ(p.assign(sol), 0);
+  EXPECT_TRUE(p.verify(sol));
+}
+
+TEST(Queens, DiagonalConflictsAreCounted) {
+  Queens p(4);
+  std::vector<int> identity{0, 1, 2, 3};  // one full down-diagonal
+  // Down diagonal holds 4 queens: 3 surplus; up diagonals all distinct.
+  EXPECT_EQ(p.assign(identity), 3);
+  EXPECT_FALSE(p.verify(identity));
+  EXPECT_GT(p.cost_on_variable(0), 0);
+}
+
+TEST(Queens, ProbeMatchesCommit) {
+  Queens p(16);
+  util::Xoshiro256 rng(1);
+  p.randomize(rng);
+  for (int step = 0; step < 300; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(16));
+    auto j = static_cast<std::size_t>(rng.below(16));
+    if (i == j) j = (j + 1) % 16;
+    const Cost probed = p.cost_if_swap(i, j);
+    ASSERT_EQ(p.swap(i, j), probed);
+  }
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+TEST(Queens, EngineSolvesLargeInstanceQuickly) {
+  Queens p(200);
+  auto params = core::Params::from_hints(p.tuning(), p.num_variables());
+  params.max_restarts = 20;
+  const core::AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(2);
+  const auto result = engine.solve(p, rng);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(p.verify(result.solution));
+  EXPECT_LT(result.stats.iterations, 10'000u);
+}
+
+// -------------------------------------------------------------- Langford ---
+
+TEST(Langford, ClassicSequenceVerifies) {
+  Langford p(3);
+  // Sequence 2 3 1 2 1 3: items (2k, 2k+1) are the copies of number k+1.
+  // positions of 1: 2 and 4; of 2: 0 and 3; of 3: 1 and 5.
+  const std::vector<int> items{2, 4, 0, 3, 1, 5};
+  EXPECT_EQ(p.assign(items), 0);
+  EXPECT_TRUE(p.verify(items));
+  EXPECT_EQ(p.sequence_to_string(), "2 3 1 2 1 3");
+}
+
+TEST(Langford, GapErrorsAreAbsoluteDeviations) {
+  Langford p(3);
+  // Identity: copies of k+1 sit adjacent (gap 1); want gap k+2.
+  std::vector<int> identity(6);
+  std::iota(identity.begin(), identity.end(), 0);
+  // Errors: |1-2| + |1-3| + |1-4| = 1 + 2 + 3 = 6.
+  EXPECT_EQ(p.assign(identity), 6);
+}
+
+TEST(Langford, SameNumberSwapIsNeutral) {
+  Langford p(4);
+  util::Xoshiro256 rng(3);
+  p.randomize(rng);
+  const auto vals = p.values();
+  // Find the two copies of number 1 (items 0 and 1).
+  std::size_t a = 0, b = 0;
+  for (std::size_t pos = 0; pos < vals.size(); ++pos) {
+    if (vals[pos] == 0) a = pos;
+    if (vals[pos] == 1) b = pos;
+  }
+  const Cost before = p.total_cost();
+  EXPECT_EQ(p.cost_if_swap(a, b), before);
+  EXPECT_EQ(p.swap(a, b), before);
+}
+
+TEST(Langford, ProbeMatchesCommit) {
+  Langford p(8);
+  util::Xoshiro256 rng(4);
+  p.randomize(rng);
+  const std::size_t n = p.num_variables();
+  for (int step = 0; step < 400; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(n));
+    auto j = static_cast<std::size_t>(rng.below(n));
+    if (i == j) j = (j + 1) % n;
+    const Cost probed = p.cost_if_swap(i, j);
+    ASSERT_EQ(p.swap(i, j), probed);
+  }
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+TEST(Langford, EngineSolvesSolvableSizes) {
+  for (const std::size_t n : {7u, 8u, 11u, 12u}) {  // n ≡ 0 or 3 (mod 4)
+    Langford p(n);
+    auto params = core::Params::from_hints(p.tuning(), p.num_variables());
+    params.max_restarts = 100;
+    const core::AdaptiveSearch engine(params);
+    util::Xoshiro256 rng(n);
+    const auto result = engine.solve(p, rng);
+    ASSERT_TRUE(result.solved) << "n=" << n;
+    EXPECT_TRUE(p.verify(result.solution)) << "n=" << n;
+  }
+}
+
+TEST(Langford, VerifyRejectsWrongGaps) {
+  Langford p(3);
+  std::vector<int> identity(6);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_FALSE(p.verify(identity));
+  EXPECT_FALSE(p.verify(std::vector<int>{0, 1, 2}));  // size
+}
+
+// ------------------------------------------------------------- Partition ---
+
+TEST(Partition, RejectsNonMultiplesOfFour) {
+  EXPECT_THROW(Partition(0), std::invalid_argument);
+  EXPECT_THROW(Partition(6), std::invalid_argument);
+  EXPECT_THROW(Partition(13), std::invalid_argument);
+}
+
+TEST(Partition, KnownSolutionForNEight) {
+  Partition p(8);
+  // {1,4,6,7} and {2,3,5,8}: sums 18/18, squares 102/102.
+  const std::vector<int> sol{1, 4, 6, 7, 2, 3, 5, 8};
+  EXPECT_EQ(p.assign(sol), 0);
+  EXPECT_TRUE(p.verify(sol));
+}
+
+TEST(Partition, CostCombinesSumAndSquareDeviations) {
+  Partition p(8);
+  std::vector<int> ordered(8);
+  std::iota(ordered.begin(), ordered.end(), 1);
+  // Side A = {1,2,3,4}: sum 10 vs 26 (diff 16), squares 30 vs 174 (144).
+  EXPECT_EQ(p.assign(ordered), 16 + 144);
+}
+
+TEST(Partition, SameSideSwapIsFree) {
+  Partition p(12);
+  util::Xoshiro256 rng(5);
+  p.randomize(rng);
+  const Cost before = p.total_cost();
+  EXPECT_EQ(p.cost_if_swap(0, 3), before);  // both in side A
+  EXPECT_EQ(p.swap(0, 3), before);
+  EXPECT_EQ(p.cost_if_swap(7, 11), before);  // both in side B
+}
+
+TEST(Partition, CrossSideSwapTracksAggregates) {
+  Partition p(16);
+  util::Xoshiro256 rng(6);
+  p.randomize(rng);
+  for (int step = 0; step < 300; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(16));
+    auto j = static_cast<std::size_t>(rng.below(16));
+    if (i == j) j = (j + 1) % 16;
+    const Cost probed = p.cost_if_swap(i, j);
+    ASSERT_EQ(p.swap(i, j), probed);
+  }
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+TEST(Partition, EngineSolvesModerateInstance) {
+  Partition p(40);
+  auto params = core::Params::from_hints(p.tuning(), p.num_variables());
+  params.max_restarts = 100;
+  const core::AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(7);
+  const auto result = engine.solve(p, rng);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(p.verify(result.solution));
+}
+
+// ----------------------------------------------------------------- Alpha ---
+
+TEST(Alpha, ReferenceSolutionHasCostZero) {
+  Alpha p;
+  const auto ref = Alpha::reference_solution();
+  const std::vector<int> sol(ref.begin(), ref.end());
+  EXPECT_EQ(p.assign(sol), 0);
+  EXPECT_TRUE(p.verify(sol));
+}
+
+TEST(Alpha, HasTwentyEquationsOverTwentySixLetters) {
+  Alpha p;
+  EXPECT_EQ(p.num_variables(), 26u);
+  EXPECT_EQ(p.words().size(), 20u);
+  EXPECT_EQ(p.targets().size(), 20u);
+  for (const auto& word : p.words()) {
+    EXPECT_FALSE(word.empty());
+  }
+}
+
+TEST(Alpha, TargetsMatchReferenceWordSums) {
+  Alpha p;
+  const auto ref = Alpha::reference_solution();
+  for (std::size_t e = 0; e < p.words().size(); ++e) {
+    Cost sum = 0;
+    for (const char ch : p.words()[e]) {
+      sum += ref[static_cast<std::size_t>(ch - 'a')];
+    }
+    EXPECT_EQ(sum, p.targets()[e]) << p.words()[e];
+  }
+}
+
+TEST(Alpha, RepeatedLettersUseCoefficients) {
+  Alpha p;
+  // "glee" has two e's: moving E by +1 moves the sum by +2.
+  const auto ref = Alpha::reference_solution();
+  std::vector<int> sol(ref.begin(), ref.end());
+  // Swap E (index 4) with the letter holding value ref[4]+... simply swap
+  // E and A and check cost reflects coefficient-weighted changes exactly
+  // via the incremental bookkeeping == full recomputation.
+  p.assign(sol);
+  const Cost probed = p.cost_if_swap(0, 4);
+  EXPECT_EQ(p.swap(0, 4), probed);
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+  EXPECT_GT(p.total_cost(), 0);
+}
+
+TEST(Alpha, ProbeMatchesCommitOnRandomWalk) {
+  Alpha p;
+  util::Xoshiro256 rng(8);
+  p.randomize(rng);
+  for (int step = 0; step < 500; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(26));
+    auto j = static_cast<std::size_t>(rng.below(26));
+    if (i == j) j = (j + 1) % 26;
+    const Cost probed = p.cost_if_swap(i, j);
+    ASSERT_EQ(p.swap(i, j), probed);
+  }
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+TEST(Alpha, EngineSolvesThePuzzle) {
+  Alpha p;
+  auto params = core::Params::from_hints(p.tuning(), p.num_variables());
+  params.max_restarts = 50;
+  const core::AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(9);
+  const auto result = engine.solve(p, rng);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(p.verify(result.solution));
+}
+
+TEST(Alpha, VerifyRejectsNearMisses) {
+  Alpha p;
+  const auto ref = Alpha::reference_solution();
+  std::vector<int> sol(ref.begin(), ref.end());
+  std::swap(sol[0], sol[25]);
+  EXPECT_FALSE(p.verify(sol));
+  EXPECT_FALSE(p.verify(std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace cspls::problems

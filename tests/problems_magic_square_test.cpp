@@ -1,0 +1,144 @@
+// Magic Square model tests (CSPLib prob019).
+#include "problems/magic_square.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_search.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::problems {
+namespace {
+
+using csp::Cost;
+
+// The classic Lo Shu square.
+const std::vector<int> kLoShu = {2, 7, 6,  //
+                                 9, 5, 1,  //
+                                 4, 3, 8};
+
+TEST(MagicSquare, MagicConstant) {
+  EXPECT_EQ(MagicSquare(3).magic_constant(), 15);
+  EXPECT_EQ(MagicSquare(4).magic_constant(), 34);
+  EXPECT_EQ(MagicSquare(10).magic_constant(), 505);
+}
+
+TEST(MagicSquare, RejectsTinyBoards) {
+  EXPECT_THROW(MagicSquare(0), std::invalid_argument);
+  EXPECT_THROW(MagicSquare(2), std::invalid_argument);
+}
+
+TEST(MagicSquare, KnownSolutionHasZeroCostAndVerifies) {
+  MagicSquare p(3);
+  EXPECT_EQ(p.assign(kLoShu), 0);
+  EXPECT_EQ(p.full_cost(), 0);
+  EXPECT_TRUE(p.verify(kLoShu));
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(p.cost_on_variable(i), 0);
+  }
+}
+
+TEST(MagicSquare, PerturbedSolutionCostsAndFails) {
+  MagicSquare p(3);
+  std::vector<int> broken = kLoShu;
+  std::swap(broken[0], broken[1]);  // 2 <-> 7 breaks two columns
+  const Cost cost = p.assign(broken);
+  EXPECT_GT(cost, 0);
+  EXPECT_FALSE(p.verify(broken));
+}
+
+TEST(MagicSquare, CostOnVariableSumsLineErrors) {
+  MagicSquare p(3);
+  std::vector<int> broken = kLoShu;
+  std::swap(broken[0], broken[1]);  // columns 0 and 1 now off by ±5
+  p.assign(broken);
+  // Cell (0,0): row 0 ok, col 0 sum = 7+9+4 = 20 (err 5), main diag
+  // 7+5+8 = 20 (err 5) -> 10.
+  EXPECT_EQ(p.cost_on_variable(0), 10);
+  // Cell (1,1): row ok, col 1 = 2+5+3 = 10 (err 5), main diag err 5,
+  // anti diag 6+5+4 = 15 ok -> 10.
+  EXPECT_EQ(p.cost_on_variable(4), 10);
+}
+
+TEST(MagicSquare, SwapRestoresKnownSolution) {
+  MagicSquare p(3);
+  std::vector<int> broken = kLoShu;
+  std::swap(broken[2], broken[5]);
+  p.assign(broken);
+  EXPECT_GT(p.total_cost(), 0);
+  const Cost probed = p.cost_if_swap(2, 5);
+  EXPECT_EQ(probed, 0);
+  EXPECT_EQ(p.swap(2, 5), 0);
+  EXPECT_TRUE(p.verify(p.values()));
+}
+
+TEST(MagicSquare, VerifyRejectsMalformedInputs) {
+  MagicSquare p(3);
+  EXPECT_FALSE(p.verify(std::vector<int>{1, 2, 3}));                // size
+  std::vector<int> dup = kLoShu;
+  dup[0] = dup[1];                                                  // not perm
+  EXPECT_FALSE(p.verify(dup));
+  std::vector<int> rowsum_ok_diag_bad{2, 7, 6, 9, 5, 1, 4, 3, 8};
+  std::swap(rowsum_ok_diag_bad[0], rowsum_ok_diag_bad[2]);  // rows keep sums
+  EXPECT_FALSE(p.verify(rowsum_ok_diag_bad));
+}
+
+TEST(MagicSquare, BoardToStringShowsAllCells) {
+  MagicSquare p(3);
+  p.assign(kLoShu);
+  const std::string board = p.board_to_string();
+  EXPECT_NE(board.find('9'), std::string::npos);
+  EXPECT_EQ(std::count(board.begin(), board.end(), '\n'), 3);
+}
+
+TEST(MagicSquare, EngineSolvesSmallBoards) {
+  for (const std::size_t n : {3u, 4u, 5u}) {
+    MagicSquare p(n);
+    auto params =
+        core::Params::from_hints(p.tuning(), p.num_variables());
+    params.max_restarts = 100;
+    const core::AdaptiveSearch engine(params);
+    util::Xoshiro256 rng(n);
+    const auto result = engine.solve(p, rng);
+    ASSERT_TRUE(result.solved) << "n=" << n;
+    EXPECT_TRUE(p.verify(result.solution)) << "n=" << n;
+  }
+}
+
+TEST(MagicSquare, DiagonalBookkeepingSurvivesDiagonalSwaps) {
+  MagicSquare p(4);
+  util::Xoshiro256 rng(3);
+  p.randomize(rng);
+  // Swap two main-diagonal cells, two anti-diagonal cells, and one of each.
+  const std::size_t d1a = 0 * 4 + 0, d1b = 2 * 4 + 2;
+  const std::size_t d2a = 0 * 4 + 3, d2b = 3 * 4 + 0;
+  for (const auto& [i, j] : {std::pair{d1a, d1b}, std::pair{d2a, d2b},
+                            std::pair{d1a, d2b}, std::pair{d1b, d2a}}) {
+    const Cost probed = p.cost_if_swap(i, j);
+    const Cost committed = p.swap(i, j);
+    ASSERT_EQ(probed, committed);
+    ASSERT_EQ(committed, p.full_cost());
+  }
+}
+
+TEST(MagicSquare, CostIsInvariantUnderSelfConsistencyWalk) {
+  MagicSquare p(6);
+  util::Xoshiro256 rng(11);
+  p.randomize(rng);
+  for (int step = 0; step < 500; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(36));
+    auto j = static_cast<std::size_t>(rng.below(36));
+    if (i == j) j = (j + 1) % 36;
+    p.swap(i, j);
+  }
+  EXPECT_EQ(p.total_cost(), p.full_cost());
+}
+
+TEST(MagicSquare, InstanceDescriptionMentionsSizeAndConstant) {
+  MagicSquare p(5);
+  const std::string desc = p.instance_description();
+  EXPECT_NE(desc.find("5x5"), std::string::npos);
+  EXPECT_NE(desc.find("65"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cspls::problems

@@ -1,0 +1,188 @@
+// Speedup-curve and platform-model tests.
+#include "sim/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/order_stats.hpp"
+#include "sim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::sim {
+namespace {
+
+PlatformModel ideal_platform() {
+  PlatformModel p;
+  p.name = "ideal";
+  p.cores_per_node = 16;
+  p.max_cores = 1 << 20;
+  p.core_speed = 1.0;
+  return p;  // zero overheads, zero jitter
+}
+
+EmpiricalDistribution exponential_dist(double lambda, std::size_t n,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return EmpiricalDistribution(exponential_samples(lambda, n, rng));
+}
+
+TEST(Platform, PresetsMatchThePaperHardware) {
+  EXPECT_EQ(ha8000().cores_per_node, 16u);      // 4x quad-core Opteron
+  EXPECT_EQ(ha8000().max_cores, 1024u);         // 64-node service cap
+  EXPECT_EQ(grid5000_suno().cores_per_node, 8u);
+  EXPECT_EQ(grid5000_suno().max_cores, 360u);   // 45 nodes x 8
+  EXPECT_EQ(grid5000_helios().cores_per_node, 4u);
+  EXPECT_EQ(grid5000_helios().max_cores, 224u); // 56 nodes x 4
+}
+
+TEST(Platform, NodeCountRoundsUp) {
+  const PlatformModel p = ha8000();
+  EXPECT_EQ(p.nodes_for(1), 1u);
+  EXPECT_EQ(p.nodes_for(16), 1u);
+  EXPECT_EQ(p.nodes_for(17), 2u);
+  EXPECT_EQ(p.nodes_for(256), 16u);
+}
+
+TEST(Platform, OverheadGrowsWithCores) {
+  for (const PlatformModel& p :
+       {ha8000(), grid5000_suno(), grid5000_helios()}) {
+    EXPECT_GT(p.overhead_seconds(1), 0.0) << p.name;
+    EXPECT_LE(p.overhead_seconds(1), p.overhead_seconds(256)) << p.name;
+  }
+}
+
+TEST(Platform, PaperCoreGridIsPowersOfTwo) {
+  const auto grid = paper_core_grid();
+  ASSERT_EQ(grid.size(), 9u);
+  EXPECT_EQ(grid.front(), 1u);
+  EXPECT_EQ(grid.back(), 256u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i], grid[i - 1] * 2);
+  }
+}
+
+TEST(SpeedupCurve, ExponentialOnIdealPlatformIsLinear) {
+  const auto dist = exponential_dist(1.0, 20000, 1);
+  const auto curve = compute_speedup_curve(dist, ideal_platform(),
+                                           {1, 2, 4, 8, 16, 32}, "exp");
+  for (const auto& point : curve.points) {
+    EXPECT_NEAR(point.speedup, static_cast<double>(point.cores),
+                0.12 * static_cast<double>(point.cores))
+        << point.cores;
+  }
+  EXPECT_NEAR(loglog_slope(curve), 1.0, 0.05);
+}
+
+TEST(SpeedupCurve, ConstantRuntimeGivesNoSpeedup) {
+  const EmpiricalDistribution dist(std::vector<double>(100, 3.0));
+  const auto curve =
+      compute_speedup_curve(dist, ideal_platform(), {1, 4, 64}, "const");
+  for (const auto& point : curve.points) {
+    EXPECT_NEAR(point.speedup, 1.0, 1e-9);
+  }
+}
+
+TEST(SpeedupCurve, OverheadsFlattenTheCurve) {
+  const auto dist = exponential_dist(10.0, 20000, 2);  // mean 0.1 s walks
+  PlatformModel heavy = ideal_platform();
+  heavy.startup_seconds = 0.05;  // half a mean walk of fixed cost
+  const auto curve =
+      compute_speedup_curve(dist, heavy, {1, 2, 4, 8, 16, 64, 256}, "exp");
+  // Beyond some point the fixed overhead dominates: speedup saturates well
+  // below the core count.
+  EXPECT_LT(curve.at(256).speedup, 64.0);
+  EXPECT_GT(curve.at(4).speedup, 1.9);
+  // And the time series is monotone non-increasing.
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_LE(curve.points[i].expected_seconds,
+              curve.points[i - 1].expected_seconds + 1e-9);
+  }
+}
+
+TEST(SpeedupCurve, SlowerCoresScaleTimesNotShape) {
+  const auto dist = exponential_dist(1.0, 10000, 3);
+  PlatformModel slow = ideal_platform();
+  slow.core_speed = 0.5;
+  const auto fast_curve =
+      compute_speedup_curve(dist, ideal_platform(), {1, 8}, "exp");
+  const auto slow_curve = compute_speedup_curve(dist, slow, {1, 8}, "exp");
+  EXPECT_NEAR(slow_curve.at(1).expected_seconds,
+              2.0 * fast_curve.at(1).expected_seconds, 1e-9);
+  // Speedup is within-platform, so it is unchanged by a uniform slowdown.
+  EXPECT_NEAR(slow_curve.at(8).speedup, fast_curve.at(8).speedup, 1e-9);
+}
+
+TEST(SpeedupCurve, JitteredEstimateIsDeterministicAndClose) {
+  const auto dist = exponential_dist(1.0, 4000, 4);
+  PlatformModel jittery = ideal_platform();
+  jittery.node_jitter = 0.05;
+  const auto a = compute_speedup_curve(dist, jittery, {1, 4, 16}, "exp", 99);
+  const auto b = compute_speedup_curve(dist, jittery, {1, 4, 16}, "exp", 99);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].expected_seconds,
+                     b.points[i].expected_seconds);
+  }
+  // Mild jitter must stay close to the exact no-jitter expectation.
+  const auto exact =
+      compute_speedup_curve(dist, ideal_platform(), {1, 4, 16}, "exp");
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_NEAR(a.points[i].speedup, exact.points[i].speedup,
+                0.25 * exact.points[i].speedup);
+  }
+}
+
+TEST(SpeedupCurve, QuantileBandBracketsTheMean) {
+  const auto dist = exponential_dist(1.0, 10000, 5);
+  const auto curve =
+      compute_speedup_curve(dist, ideal_platform(), {1, 4, 16}, "exp");
+  for (const auto& point : curve.points) {
+    EXPECT_LE(point.q10_seconds, point.expected_seconds * 1.05);
+    EXPECT_GE(point.q90_seconds, point.expected_seconds * 0.95);
+  }
+}
+
+TEST(SpeedupCurve, RebaseMakesReferenceUnity) {
+  const auto dist = exponential_dist(1.0, 10000, 6);
+  const auto curve = compute_speedup_curve(
+      dist, ideal_platform(), {32, 64, 128, 256}, "cap");
+  const auto rebased = rebase_to(curve, 32);
+  EXPECT_NEAR(rebased.at(32).speedup, 1.0, 1e-9);
+  EXPECT_NEAR(rebased.at(64).speedup, 2.0, 0.35);
+  EXPECT_NEAR(rebased.at(256).speedup, 8.0, 2.0);
+  EXPECT_THROW(rebase_to(curve, 7), std::out_of_range);
+}
+
+TEST(SpeedupCurve, AtThrowsForMissingCoreCount) {
+  const auto dist = exponential_dist(1.0, 100, 7);
+  const auto curve = compute_speedup_curve(dist, ideal_platform(), {1}, "x");
+  EXPECT_NO_THROW((void)curve.at(1));
+  EXPECT_THROW((void)curve.at(2), std::out_of_range);
+}
+
+TEST(SpeedupCurve, EmptyDistributionIsRejected) {
+  EXPECT_THROW(compute_speedup_curve(EmpiricalDistribution(),
+                                     ideal_platform(), {1}, "x"),
+               std::invalid_argument);
+}
+
+/// Sweep: on the ideal platform the speedup at k cores grows with the
+/// dispersion of the runtime law — pinned here with shifted exponentials
+/// whose shift bounds the parallelism.
+class SaturationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SaturationSweep, ShiftBoundsSpeedup) {
+  const double t0 = GetParam();
+  util::Xoshiro256 rng(8);
+  const EmpiricalDistribution dist(
+      shifted_exponential_samples(t0, 1.0, 20000, rng));
+  const auto curve =
+      compute_speedup_curve(dist, ideal_platform(), {1, 1024}, "shifted");
+  const double bound = (t0 + 1.0) / t0;
+  EXPECT_LE(curve.at(1024).speedup, bound * 1.1);
+  EXPECT_GT(curve.at(1024).speedup, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, SaturationSweep,
+                         ::testing::Values(0.25, 1.0, 4.0));
+
+}  // namespace
+}  // namespace cspls::sim

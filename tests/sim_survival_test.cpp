@@ -1,0 +1,99 @@
+// Log-survival analysis tests (the CAP study's exponentiality diagnostic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "problems/registry.hpp"
+#include "sim/order_stats.hpp"
+#include "sim/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::sim {
+namespace {
+
+TEST(LogSurvival, PointsAreMonotoneAndNegative) {
+  util::Xoshiro256 rng(1);
+  const EmpiricalDistribution dist(exponential_samples(1.0, 500, rng));
+  const auto points = log_survival_points(dist);
+  ASSERT_EQ(points.size(), 499u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_LT(points[i].log_survival, 1e-12);
+    if (i > 0) {
+      EXPECT_GE(points[i].t, points[i - 1].t);
+      EXPECT_LE(points[i].log_survival, points[i - 1].log_survival + 1e-12);
+    }
+  }
+  // First point: survival (n-1)/n.
+  EXPECT_NEAR(points.front().log_survival, std::log(499.0 / 500.0), 1e-12);
+}
+
+TEST(LogSurvival, DegenerateInputs) {
+  EXPECT_TRUE(log_survival_points(EmpiricalDistribution()).empty());
+  EXPECT_TRUE(
+      log_survival_points(EmpiricalDistribution({1.0})).empty());
+  const auto ev = exponentiality_evidence(EmpiricalDistribution());
+  EXPECT_DOUBLE_EQ(ev.slope, 0.0);
+}
+
+TEST(Exponentiality, ExponentialLawIsLinearWithMatchingRate) {
+  util::Xoshiro256 rng(2);
+  const double lambda = 2.5;
+  const EmpiricalDistribution dist(
+      exponential_samples(lambda, 5000, rng));
+  const auto ev = exponentiality_evidence(dist);
+  EXPECT_GT(ev.r2, 0.98);
+  EXPECT_NEAR(-ev.slope, lambda, 0.35 * lambda);
+}
+
+TEST(Exponentiality, UniformLawIsVisiblyNonExponential) {
+  // Uniform on [1, 2]: log-survival is log((2-t)/1), strongly convex;
+  // linear fit quality must be clearly below the exponential case.
+  util::Xoshiro256 rng(3);
+  std::vector<double> xs(4000);
+  for (auto& x : xs) x = 1.0 + rng.uniform01();
+  const auto uniform_ev = exponentiality_evidence(EmpiricalDistribution(xs));
+  const auto exp_ev = exponentiality_evidence(
+      EmpiricalDistribution(exponential_samples(1.0, 4000, rng)));
+  EXPECT_LT(uniform_ev.r2, exp_ev.r2);
+}
+
+TEST(Exponentiality, MeasuredCostasLawPassesTheCapDiagnostic) {
+  // The reproduction's cornerstone: the real solver's CAP runtimes must
+  // pass the same test the CAP study applied to justify linear speedup.
+  auto costas = problems::make_problem("costas", 10);
+  SamplingOptions options;
+  options.num_samples = 150;
+  options.master_seed = 4;
+  const auto set = collect_walk_samples(*costas, options);
+  ASSERT_GT(set.solve_rate(), 0.99);
+  const auto ev = exponentiality_evidence(set.iterations_distribution());
+  EXPECT_GT(ev.r2, 0.90);
+  EXPECT_LT(ev.slope, 0.0);
+  const auto fit = fit_shifted_exponential(set.iterations_distribution());
+  EXPECT_LT(fit.ks_distance, 0.15);
+}
+
+TEST(ShiftedExponentialFitExtra, RecoverParametersFromSyntheticData) {
+  util::Xoshiro256 rng(5);
+  const EmpiricalDistribution dist(
+      shifted_exponential_samples(3.0, 0.5, 20000, rng));
+  const auto fit = fit_shifted_exponential(dist);
+  EXPECT_NEAR(fit.shift, 3.0, 0.05);
+  EXPECT_NEAR(fit.rate, 0.5, 0.05);
+  EXPECT_LT(fit.ks_distance, 0.03);
+  // Analytic min-of-k: shift + 1/(k*rate).
+  EXPECT_NEAR(fit.expected_min_of_k(1), 3.0 + 2.0, 0.1);
+  EXPECT_NEAR(fit.expected_min_of_k(8), 3.0 + 0.25, 0.1);
+  EXPECT_NEAR(fit.expected_min_of_k(1 << 20), 3.0, 0.1);
+}
+
+TEST(ShiftedExponentialFitExtra, ConstantLawDegradesGracefully) {
+  const EmpiricalDistribution dist(std::vector<double>(50, 4.0));
+  const auto fit = fit_shifted_exponential(dist);
+  EXPECT_DOUBLE_EQ(fit.shift, 4.0);
+  EXPECT_DOUBLE_EQ(fit.rate, 0.0);
+  EXPECT_DOUBLE_EQ(fit.expected_min_of_k(64), 4.0);
+}
+
+}  // namespace
+}  // namespace cspls::sim
