@@ -1,50 +1,60 @@
-// Ablation 1 — independent vs dependent multi-walk.
+// Ablation 1 — communication topology under the WalkerPool runtime.
 //
 // The paper's future-work section asks whether limited communication
 // (recording "interesting crossroads" and restarting from them) can beat
 // the zero-communication scheme, and warns that "the global cost of a
 // configuration is not a reliable information since given by heuristic
-// error functions".  This harness runs both schemes head-to-head: the
-// independent racing solver vs the elite-pool dependent solver across a
-// sweep of exchange periods and adoption probabilities, measuring the
-// total search effort (iterations summed over walkers) to solution.
+// error functions".  This harness runs the WalkerPool topologies
+// head-to-head on identical walker populations: independent (the paper's
+// scheme), shared elite pool (the future-work prototype) and ring elite
+// exchange (bounded-degree communication in the spirit of the X10/Cell
+// follow-ups), across a sweep of exchange periods and adoption
+// probabilities, measuring the total search effort (iterations summed over
+// walkers) to solution.
 #include <cstdio>
 
 #include "common.hpp"
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
 struct SchemeResult {
-  double median_effort = 0.0;  // total iterations across walkers
-  double median_time = 0.0;    // time to solution, seconds
+  double median_effort = 0.0;   // total iterations across walkers
+  double median_time = 0.0;     // time to solution, seconds
+  double mean_publishes = 0.0;  // elite offers accepted into slots per race
   int solved = 0;
 };
 
+const char* topology_name(cspls::parallel::Topology topology) {
+  switch (topology) {
+    case cspls::parallel::Topology::kIndependent: return "independent";
+    case cspls::parallel::Topology::kSharedElite: return "shared-elite";
+    case cspls::parallel::Topology::kRingElite: return "ring-elite";
+  }
+  return "?";
+}
+
 SchemeResult run_scheme(const cspls::csp::Problem& prototype,
                         std::size_t walkers, std::uint64_t seed, int reps,
+                        cspls::parallel::Topology topology,
                         std::uint64_t period, double adopt) {
   using namespace cspls;
   SchemeResult out;
   std::vector<double> efforts, times;
+  double publishes = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
-    parallel::MultiWalkOptions base;
-    base.num_walkers = walkers;
-    base.master_seed = seed + static_cast<std::uint64_t>(rep) * 4099;
-    parallel::MultiWalkReport report;
-    if (period == 0) {
-      const parallel::MultiWalkSolver solver(base);
-      report = solver.solve(prototype);
-    } else {
-      parallel::DependentOptions dep;
-      dep.base = base;
-      dep.period = period;
-      dep.adopt_probability = adopt;
-      const parallel::DependentMultiWalkSolver solver(dep);
-      report = solver.solve(prototype);
-    }
+    parallel::WalkerPoolOptions pool;
+    pool.num_walkers = walkers;
+    pool.master_seed = seed + static_cast<std::uint64_t>(rep) * 4099;
+    pool.scheduling = parallel::Scheduling::kThreads;
+    pool.termination = parallel::Termination::kFirstFinisher;
+    pool.communication.topology = topology;
+    pool.communication.period = period;
+    pool.communication.adopt_probability = adopt;
+    const auto report = parallel::WalkerPool(pool).run(prototype);
+    publishes += static_cast<double>(report.elite_accepted);
     if (report.solved) {
       ++out.solved;
       efforts.push_back(static_cast<double>(report.total_iterations()));
@@ -53,6 +63,7 @@ SchemeResult run_scheme(const cspls::csp::Problem& prototype,
   }
   out.median_effort = cspls::util::quantile(efforts, 0.5);
   out.median_time = cspls::util::quantile(times, 0.5);
+  out.mean_publishes = publishes / reps;
   return out;
 }
 
@@ -62,13 +73,15 @@ int main(int argc, char** argv) {
   using namespace cspls;
   const auto options = bench::parse_harness_options(
       argc, argv, "bench_ablation_communication",
-      "Ablation: independent vs dependent (elite-pool) multi-walk", 0);
+      "Ablation: WalkerPool communication topologies (independent vs "
+      "shared-elite vs ring-elite)",
+      0);
   if (!options) return 0;
 
   bench::print_preamble(
       "Ablation 1 — inter-walker communication (paper future work)",
-      "Independent scheme vs elite-pool exchange; effort = total iterations "
-      "across walkers.");
+      "Independent scheme vs shared-elite vs ring-elite exchange; effort = "
+      "total iterations across walkers.");
 
   constexpr int kReps = 9;
   constexpr std::size_t kWalkers = 4;
@@ -78,50 +91,61 @@ int main(int argc, char** argv) {
     const auto spec = bench::spec_for(name, false);
     const auto prototype = spec.instantiate();
 
-    util::Table table({"scheme", "period", "p(adopt)", "solved",
-                       "med effort (iters)", "med T (s)", "vs independent"});
+    util::Table table({"topology", "period", "p(adopt)", "solved",
+                       "med effort (iters)", "med T (s)", "publishes",
+                       "vs independent"});
     const SchemeResult indep =
-        run_scheme(*prototype, kWalkers, options->seed, kReps, 0, 0.0);
+        run_scheme(*prototype, kWalkers, options->seed, kReps,
+                   parallel::Topology::kIndependent, 0, 0.0);
     table.add_row({"independent", "-", "-",
                    std::to_string(indep.solved) + "/" + std::to_string(kReps),
                    util::Table::num(indep.median_effort, 0),
-                   util::Table::sig(indep.median_time, 3), "1.00x"});
+                   util::Table::sig(indep.median_time, 3), "0", "1.00x"});
     csv_rows.push_back({spec.label(), "independent", "0", "0",
                         util::Table::num(indep.median_effort, 0)});
 
-    for (const std::uint64_t period : {100ULL, 1000ULL}) {
-      for (const double adopt : {0.25, 0.75}) {
-        const SchemeResult dep = run_scheme(*prototype, kWalkers,
-                                            options->seed, kReps, period,
-                                            adopt);
-        const double ratio = indep.median_effort > 0.0
-                                 ? dep.median_effort / indep.median_effort
-                                 : 0.0;
-        table.add_row(
-            {"dependent", std::to_string(period), util::Table::num(adopt, 2),
-             std::to_string(dep.solved) + "/" + std::to_string(kReps),
-             util::Table::num(dep.median_effort, 0),
-             util::Table::sig(dep.median_time, 3),
-             util::Table::num(ratio, 2) + "x"});
-        csv_rows.push_back({spec.label(), "dependent",
-                            std::to_string(period), util::Table::num(adopt, 2),
-                            util::Table::num(dep.median_effort, 0)});
+    for (const auto topology : {parallel::Topology::kSharedElite,
+                                parallel::Topology::kRingElite}) {
+      for (const std::uint64_t period : {100ULL, 1000ULL}) {
+        for (const double adopt : {0.25, 0.75}) {
+          const SchemeResult dep =
+              run_scheme(*prototype, kWalkers, options->seed, kReps, topology,
+                         period, adopt);
+          const double ratio = indep.median_effort > 0.0
+                                   ? dep.median_effort / indep.median_effort
+                                   : 0.0;
+          table.add_row(
+              {topology_name(topology), std::to_string(period),
+               util::Table::num(adopt, 2),
+               std::to_string(dep.solved) + "/" + std::to_string(kReps),
+               util::Table::num(dep.median_effort, 0),
+               util::Table::sig(dep.median_time, 3),
+               util::Table::num(dep.mean_publishes, 1),
+               util::Table::num(ratio, 2) + "x"});
+          csv_rows.push_back({spec.label(), topology_name(topology),
+                              std::to_string(period),
+                              util::Table::num(adopt, 2),
+                              util::Table::num(dep.median_effort, 0)});
+        }
       }
     }
     std::printf("%s\n", table.render(spec.label()).c_str());
   }
 
   std::printf(
-      "Reading: every dependent configuration costs MORE total effort than\n"
-      "the independent scheme (up to ~20x when walkers adopt the elite\n"
-      "aggressively and herd into one basin) — a quantitative confirmation\n"
-      "of the paper's caution that \"the global cost of a configuration is\n"
-      "not a reliable information since given by heuristic error\n"
-      "functions\", and of its conclusion that beating independent\n"
-      "multi-walk with communication is a genuine challenge.\n");
+      "Reading: aggressive elite adoption (short periods, shared pool)\n"
+      "inflates total effort — walkers herd into one basin — a quantitative\n"
+      "echo of the paper's caution that \"the global cost of a configuration\n"
+      "is not a reliable information since given by heuristic error\n"
+      "functions\".  The ring topology bounds the damage: a walker only\n"
+      "sees its predecessor's elite, so diversity collapses one hop at a\n"
+      "time instead of globally.  At harness scale the ratios are noisy\n"
+      "(instances solve in milliseconds); none of the communicating\n"
+      "variants beats independence *consistently*, matching the paper's\n"
+      "conclusion that doing so is a genuine challenge.\n");
 
   util::CsvWriter csv(options->csv_prefix + "schemes.csv");
-  csv.write_all({"benchmark", "scheme", "period", "adopt", "median_effort"},
+  csv.write_all({"benchmark", "topology", "period", "adopt", "median_effort"},
                 csv_rows);
   std::printf("\nCSV written to %s\n", csv.path().c_str());
   return 0;

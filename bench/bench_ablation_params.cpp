@@ -10,11 +10,25 @@
 
 #include "common.hpp"
 #include "core/adaptive_search.hpp"
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace {
+
+/// One budgeted walk per sample, run through the sequential WalkerPool.
+std::vector<cspls::parallel::WalkerOutcome> sequential_walks(
+    const cspls::csp::Problem& prototype, std::size_t samples,
+    std::uint64_t seed, const cspls::core::Params& params) {
+  if (samples == 0) return {};
+  cspls::parallel::WalkerPoolOptions pool;
+  pool.num_walkers = samples;
+  pool.master_seed = seed;
+  pool.params = params;
+  pool.scheduling = cspls::parallel::Scheduling::kSequential;
+  pool.termination = cspls::parallel::Termination::kBestAfterBudget;
+  return cspls::parallel::WalkerPool(pool).run(prototype).walkers;
+}
 
 struct Variant {
   const char* label;
@@ -71,8 +85,8 @@ int main(int argc, char** argv) {
       // harness terminates (the solved column then reads the damage).
       params.restart_limit =
           std::min<std::uint64_t>(params.restart_limit, 60'000);
-      const auto walks = parallel::run_independent_walks(
-          *prototype, options->samples, options->seed, params);
+      const auto walks =
+          sequential_walks(*prototype, options->samples, options->seed, params);
       std::vector<double> iters, ms;
       int solved = 0;
       for (const auto& w : walks) {
@@ -115,8 +129,8 @@ int main(int argc, char** argv) {
       // matters (with a generous budget both behave identically).
       params.restart_limit = 2'000;
       params.max_restarts = 200;
-      const auto walks = parallel::run_independent_walks(
-          *prototype, options->samples, options->seed, params);
+      const auto walks =
+          sequential_walks(*prototype, options->samples, options->seed, params);
       std::vector<double> iters;
       int solved = 0;
       for (const auto& w : walks) {

@@ -11,7 +11,7 @@
 #include <thread>
 
 #include "common.hpp"
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -53,11 +53,12 @@ int main(int argc, char** argv) {
     std::vector<double> times;
     int solved = 0;
     for (int rep = 0; rep < kRepetitions; ++rep) {
-      parallel::MultiWalkOptions mw;
-      mw.num_walkers = k;
-      mw.master_seed = options->seed + static_cast<std::uint64_t>(rep) * 1000;
-      const parallel::MultiWalkSolver solver(mw);
-      const auto report = solver.solve(*prototype);
+      parallel::WalkerPoolOptions pool;
+      pool.num_walkers = k;
+      pool.master_seed = options->seed + static_cast<std::uint64_t>(rep) * 1000;
+      pool.scheduling = parallel::Scheduling::kThreads;
+      pool.termination = parallel::Termination::kFirstFinisher;
+      const auto report = parallel::WalkerPool(pool).run(*prototype);
       if (report.solved) {
         ++solved;
         times.push_back(report.time_to_solution_seconds);

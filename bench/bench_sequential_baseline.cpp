@@ -7,7 +7,7 @@
 
 #include "common.hpp"
 #include "core/adaptive_search.hpp"
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "problems/registry.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -30,8 +30,14 @@ int main(int argc, char** argv) {
   for (const auto& name : problems::problem_names()) {
     const auto spec = bench::spec_for(name, options->paper_scale);
     const auto prototype = spec.instantiate();
-    const auto walks = parallel::run_independent_walks(
-        *prototype, options->samples, options->seed);
+    parallel::WalkerPoolOptions pool;
+    pool.num_walkers = options->samples;
+    pool.master_seed = options->seed;
+    pool.scheduling = parallel::Scheduling::kSequential;
+    pool.termination = parallel::Termination::kBestAfterBudget;
+    const auto walks = options->samples == 0
+                           ? std::vector<parallel::WalkerOutcome>{}
+                           : parallel::WalkerPool(pool).run(*prototype).walkers;
 
     std::vector<double> iters, ms;
     double locmin = 0.0, resets = 0.0, total_iters = 0.0;

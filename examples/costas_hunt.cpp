@@ -7,7 +7,7 @@
 // hours" sequentially — effort here visibly explodes order by order.
 #include <cstdio>
 
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "problems/costas.hpp"
 #include "problems/costas_symmetry.hpp"
 #include "util/cli.hpp"
@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
   std::printf("------+---------------------------------+------------\n");
   for (std::size_t n = lo; n <= hi; ++n) {
     problems::Costas prototype(n);
-    parallel::MultiWalkOptions options;
+    parallel::WalkerPoolOptions options;
     options.num_walkers = static_cast<std::size_t>(args.get_int("walkers"));
     options.master_seed = static_cast<std::uint64_t>(args.get_int("seed")) + n;
-    const parallel::MultiWalkSolver solver(options);
+    const parallel::WalkerPool solver(options);
 
     util::Stopwatch watch;
-    const auto report = solver.solve(prototype);
+    const auto report = solver.run(prototype);
     if (!report.solved) {
       std::printf("%5zu | FAILED within budget\n", n);
       continue;

@@ -12,7 +12,7 @@
 
 #include "core/adaptive_search.hpp"
 #include "csp/problem.hpp"
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -112,11 +112,10 @@ int main(int argc, char** argv) {
                      static_cast<int>(args.get_int("min-gap")));
   std::printf("Instance: %s\n", problem.instance_description().c_str());
 
-  parallel::MultiWalkOptions options;
+  parallel::WalkerPoolOptions options;
   options.num_walkers = static_cast<std::size_t>(args.get_int("walkers"));
   options.master_seed = 99;
-  const parallel::MultiWalkSolver solver(options);
-  const auto report = solver.solve(problem);
+  const auto report = parallel::WalkerPool(options).run(problem);
 
   if (!report.solved) {
     std::printf("No seating found within budget (cost reached %lld).\n",

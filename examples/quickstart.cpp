@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "core/adaptive_search.hpp"
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "problems/registry.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -49,13 +49,17 @@ int main(int argc, char** argv) {
                 problem->verify(seq.solution) ? "yes" : "NO (bug!)");
   }
 
-  // 3. The paper's parallel scheme: independent walkers, first finisher
-  //    wins, no communication except completion.
-  parallel::MultiWalkOptions options;
+  // 3. The paper's parallel scheme as one point of the WalkerPool policy
+  //    matrix: real threads x independent walkers x first finisher wins —
+  //    no communication except completion.
+  parallel::WalkerPoolOptions options;
   options.num_walkers = static_cast<std::size_t>(args.get_int("walkers"));
   options.master_seed = seed;
-  const parallel::MultiWalkSolver solver(options);
-  const parallel::MultiWalkReport report = solver.solve(*problem);
+  options.scheduling = parallel::Scheduling::kThreads;
+  options.communication.topology = parallel::Topology::kIndependent;
+  options.termination = parallel::Termination::kFirstFinisher;
+  const parallel::WalkerPool solver(options);
+  const parallel::MultiWalkReport report = solver.run(*problem);
   std::printf("\nMulti-walk (%zu walkers):  solved=%s  winner=#%zu  "
               "time-to-solution=%.3fs  total-work=%llu iters\n",
               options.num_walkers, report.solved ? "yes" : "no",

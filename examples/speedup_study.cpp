@@ -9,7 +9,7 @@
 //   4. cross-check the prediction with real threaded races at small k.
 #include <cstdio>
 
-#include "parallel/multi_walk.hpp"
+#include "parallel/walker_pool.hpp"
 #include "problems/registry.hpp"
 #include "sim/platform.hpp"
 #include "sim/sampling.hpp"
@@ -89,12 +89,11 @@ int main(int argc, char** argv) {
   for (const std::size_t k : {1u, 2u, 4u}) {
     std::vector<double> times;
     for (int rep = 0; rep < 9; ++rep) {
-      parallel::MultiWalkOptions options;
+      parallel::WalkerPoolOptions options;
       options.num_walkers = k;
       options.master_seed =
           sampling.master_seed + 17u + static_cast<std::uint64_t>(rep);
-      const parallel::MultiWalkSolver solver(options);
-      const auto report = solver.solve(*prototype);
+      const auto report = parallel::WalkerPool(options).run(*prototype);
       if (report.solved) times.push_back(report.time_to_solution_seconds);
     }
     std::printf("  k=%zu  median time-to-solution %.4fs\n", k,

@@ -41,6 +41,11 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
 
   Cost cost = problem.randomize(rng);
 
+  WalkerTrace* trace = hooks.trace;
+  if (trace != nullptr && hooks.trace_sample_period != 0) {
+    trace->cost_samples.push_back(TraceSample{0, cost});
+  }
+
   // Track the best configuration ever seen (across restarts) so the run
   // reports something useful even when it fails.
   Cost best_cost = cost;
@@ -88,6 +93,10 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       if (hooks.observer && hooks.observer_period != 0 &&
           iter % hooks.observer_period == 0) {
         hooks.observer(iter, cost, problem.values());
+      }
+      if (trace != nullptr && hooks.trace_sample_period != 0 &&
+          iter % hooks.trace_sample_period == 0) {
+        trace->cost_samples.push_back(TraceSample{iter, cost});
       }
 
       // --- Step 2: pick the worst non-tabu variable (random tie-break). ---
@@ -186,6 +195,27 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
     problem.assign(result.solution);
   }
   result.stats.seconds = watch.elapsed_seconds();
+  if (trace != nullptr) {
+    trace->solved = result.solved;
+    trace->interrupted = result.interrupted;
+    trace->iterations = result.stats.iterations;
+    trace->resets = result.stats.resets;
+    trace->restarts = result.stats.restarts;
+    trace->local_minima = result.stats.local_minima;
+    trace->seconds = result.stats.seconds;
+    trace->best_cost = best_cost;
+    if (hooks.trace_sample_period != 0) {
+      // When the walk ended exactly on a sampling boundary, fold the final
+      // best into that sample instead of duplicating the iteration.
+      if (!trace->cost_samples.empty() &&
+          trace->cost_samples.back().iteration == result.stats.iterations) {
+        trace->cost_samples.back().cost = best_cost;
+      } else {
+        trace->cost_samples.push_back(
+            TraceSample{result.stats.iterations, best_cost});
+      }
+    }
+  }
   return result;
 }
 

@@ -30,6 +30,7 @@
 
 #include "core/params.hpp"
 #include "core/result.hpp"
+#include "core/trace.hpp"
 #include "csp/problem.hpp"
 #include "util/rng.hpp"
 
@@ -37,7 +38,8 @@ namespace cspls::core {
 
 /// Optional extension points (all disabled by default).  They implement the
 /// paper's "future work" section — dependent multi-walk with inter-process
-/// communication — without contaminating the independent-walk hot path.
+/// communication — and passive instrumentation, without contaminating the
+/// independent-walk hot path.
 struct Hooks {
   /// Called when a partial reset is about to happen.  If it returns true the
   /// hook has replaced the configuration itself (e.g. adopted an elite
@@ -48,6 +50,13 @@ struct Hooks {
   /// current iteration count, cost and configuration.
   std::function<void(std::uint64_t, csp::Cost, std::span<const int>)> observer;
   std::uint64_t observer_period = 0;  ///< 0 disables the observer
+
+  /// When non-null, the engine fills this instrumentation record: final
+  /// counters always, plus (iteration, cost) samples every
+  /// `trace_sample_period` iterations when the period is non-zero.  Purely
+  /// observational — never consumes the walk's RNG stream.
+  WalkerTrace* trace = nullptr;
+  std::uint64_t trace_sample_period = 0;  ///< 0 = counters only
 };
 
 class AdaptiveSearch {

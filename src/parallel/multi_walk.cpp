@@ -1,221 +1,47 @@
 #include "parallel/multi_walk.hpp"
 
-#include <algorithm>
-#include <thread>
-
-#include "parallel/elite_pool.hpp"
-#include "util/rng.hpp"
-#include "util/timer.hpp"
-
 namespace cspls::parallel {
 
-std::uint64_t MultiWalkReport::total_iterations() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& w : walkers) total += w.result.stats.iterations;
-  return total;
+WalkerPoolOptions MultiWalkOptions::to_pool_options() const {
+  WalkerPoolOptions pool;
+  pool.num_walkers = num_walkers;
+  pool.master_seed = master_seed;
+  pool.params = params;
+  pool.max_threads = max_threads;
+  pool.scheduling = Scheduling::kThreads;
+  pool.communication.topology = Topology::kIndependent;
+  pool.termination = Termination::kFirstFinisher;
+  return pool;
 }
-
-namespace {
-
-core::Params params_for(const csp::Problem& prototype,
-                        const std::optional<core::Params>& params) {
-  return params.has_value() ? *params
-                            : core::Params::from_hints(
-                                  prototype.tuning(),
-                                  prototype.num_variables());
-}
-
-/// Shared driver for both multi-walk variants.  `make_hooks(walker_id)`
-/// returns the engine hooks for that walker (empty hooks = independent).
-template <typename HookFactory>
-MultiWalkReport run_threaded(const csp::Problem& prototype,
-                             const MultiWalkOptions& options,
-                             HookFactory&& make_hooks) {
-  const std::size_t k = std::max<std::size_t>(1, options.num_walkers);
-  const core::Params params = params_for(prototype, options.params);
-  const core::AdaptiveSearch engine(params);
-  const util::RngStreamFactory streams(options.master_seed);
-
-  // The *only* shared state among walkers: the completion flag, the winner
-  // slot and the time-to-solution stamp.
-  std::atomic<bool> stop{false};
-  std::atomic<std::size_t> winner{static_cast<std::size_t>(-1)};
-  std::atomic<std::uint64_t> solution_time_us{0};
-
-  MultiWalkReport report;
-  report.walkers.resize(k);
-  util::Stopwatch watch;
-
-  const auto run_walker = [&](std::size_t id) {
-    auto problem = prototype.clone();
-    util::Xoshiro256 rng = streams.stream(id);
-    const core::Hooks hooks = make_hooks(id);
-    core::Result result = engine.solve(*problem, rng, &stop, hooks);
-    if (result.solved && !result.interrupted) {
-      // First walker to flip the flag is the winner; latecomers keep their
-      // result but lose the race (exactly the paper's completion protocol).
-      bool expected = false;
-      if (stop.compare_exchange_strong(expected, true,
-                                       std::memory_order_acq_rel)) {
-        winner.store(id, std::memory_order_release);
-        solution_time_us.store(watch.elapsed_us(), std::memory_order_release);
-      }
-    }
-    report.walkers[id] = WalkerOutcome{id, std::move(result)};
-  };
-
-  const std::size_t hw = std::thread::hardware_concurrency() == 0
-                             ? 2
-                             : std::thread::hardware_concurrency();
-  const std::size_t thread_cap =
-      options.max_threads == 0 ? k : std::min(options.max_threads, k);
-  const std::size_t num_threads = std::min({k, thread_cap, hw * 16});
-
-  if (num_threads <= 1) {
-    for (std::size_t id = 0; id < k; ++id) run_walker(id);
-  } else {
-    // Wave execution: an atomic ticket dispenser hands walker ids to a
-    // bounded pool of OS threads.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::jthread> pool;
-    pool.reserve(num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
-          if (id >= k) return;
-          run_walker(id);
-        }
-      });
-    }
-    pool.clear();  // join
-  }
-
-  report.wall_seconds = watch.elapsed_seconds();
-  const std::size_t win = winner.load(std::memory_order_acquire);
-  report.winner = win;
-  report.solved = win != static_cast<std::size_t>(-1);
-  if (report.solved) {
-    report.best = report.walkers[win].result;
-    report.time_to_solution_seconds =
-        static_cast<double>(
-            solution_time_us.load(std::memory_order_acquire)) /
-        1e6;
-  } else {
-    // Nobody finished: report the best configuration reached.  (A walker
-    // may still have solved *after* being interrupted lost the race; prefer
-    // any solved result.)
-    const auto best_it = std::min_element(
-        report.walkers.begin(), report.walkers.end(),
-        [](const WalkerOutcome& a, const WalkerOutcome& b) {
-          if (a.result.solved != b.result.solved) return a.result.solved;
-          return a.result.cost < b.result.cost;
-        });
-    if (best_it != report.walkers.end()) {
-      report.best = best_it->result;
-      report.solved = best_it->result.solved;
-      if (report.solved) {
-        report.winner =
-            static_cast<std::size_t>(best_it - report.walkers.begin());
-      }
-    }
-    report.time_to_solution_seconds = report.wall_seconds;
-  }
-  return report;
-}
-
-}  // namespace
 
 MultiWalkReport MultiWalkSolver::solve(const csp::Problem& prototype) const {
-  return run_threaded(prototype, options_,
-                      [](std::size_t) { return core::Hooks{}; });
+  return WalkerPool(options_.to_pool_options()).run(prototype);
 }
 
 std::vector<WalkerOutcome> run_independent_walks(
     const csp::Problem& prototype, std::size_t num_walkers,
     std::uint64_t master_seed, const std::optional<core::Params>& params) {
-  const core::Params p = params_for(prototype, params);
-  const core::AdaptiveSearch engine(p);
-  const util::RngStreamFactory streams(master_seed);
-  std::vector<WalkerOutcome> outcomes;
-  outcomes.reserve(num_walkers);
-  for (std::size_t id = 0; id < num_walkers; ++id) {
-    auto problem = prototype.clone();
-    util::Xoshiro256 rng = streams.stream(id);
-    outcomes.push_back(WalkerOutcome{id, engine.solve(*problem, rng)});
-  }
-  return outcomes;
+  if (num_walkers == 0) return {};
+  WalkerPoolOptions pool;
+  pool.num_walkers = num_walkers;
+  pool.master_seed = master_seed;
+  pool.params = params;
+  pool.scheduling = Scheduling::kSequential;
+  pool.termination = Termination::kBestAfterBudget;
+  return std::move(WalkerPool(pool).run(prototype).walkers);
 }
 
 MultiWalkReport emulate_first_finisher(std::vector<WalkerOutcome> walkers) {
-  MultiWalkReport report;
-  report.walkers = std::move(walkers);
-  std::uint64_t best_iters = UINT64_MAX;
-  csp::Cost best_cost = csp::kInfiniteCost;
-  std::size_t best_id = static_cast<std::size_t>(-1);
-  double wall = 0.0;
-  for (const auto& w : report.walkers) {
-    wall = std::max(wall, w.result.stats.seconds);
-    if (w.result.solved) {
-      if (w.result.stats.iterations < best_iters) {
-        best_iters = w.result.stats.iterations;
-        best_id = w.walker_id;
-      }
-    } else if (best_id == static_cast<std::size_t>(-1) &&
-               w.result.cost < best_cost) {
-      best_cost = w.result.cost;
-    }
-  }
-  report.wall_seconds = wall;
-  if (best_id != static_cast<std::size_t>(-1)) {
-    report.solved = true;
-    report.winner = best_id;
-    for (const auto& w : report.walkers) {
-      if (w.walker_id == best_id) {
-        report.best = w.result;
-        report.time_to_solution_seconds = w.result.stats.seconds;
-        break;
-      }
-    }
-  } else {
-    for (const auto& w : report.walkers) {
-      if (w.result.cost <= best_cost) {
-        report.best = w.result;
-        break;
-      }
-    }
-    report.time_to_solution_seconds = wall;
-  }
-  return report;
+  return resolve_emulated_race(std::move(walkers));
 }
 
 MultiWalkReport DependentMultiWalkSolver::solve(
     const csp::Problem& prototype) const {
-  ElitePool pool;
-  const double adopt_probability = options_.adopt_probability;
-  const std::uint64_t period = options_.period;
-
-  const auto make_hooks = [&pool, adopt_probability,
-                           period](std::size_t) {
-    core::Hooks hooks;
-    hooks.observer_period = period;
-    hooks.observer = [&pool](std::uint64_t, csp::Cost cost,
-                             std::span<const int> values) {
-      pool.offer(cost, values);
-    };
-    hooks.on_reset = [&pool, adopt_probability](csp::Problem& problem,
-                                                util::Xoshiro256& rng) {
-      if (!rng.chance(adopt_probability)) return false;
-      std::vector<int> elite;
-      const csp::Cost cost =
-          pool.take_if_better(problem.total_cost(), elite);
-      if (cost == csp::kInfiniteCost) return false;
-      problem.assign(elite);
-      return true;
-    };
-    return hooks;
-  };
-  return run_threaded(prototype, options_.base, make_hooks);
+  WalkerPoolOptions pool = options_.base.to_pool_options();
+  pool.communication.topology = Topology::kSharedElite;
+  pool.communication.period = options_.period;
+  pool.communication.adopt_probability = options_.adopt_probability;
+  return WalkerPool(pool).run(prototype);
 }
 
 }  // namespace cspls::parallel

@@ -1,40 +1,46 @@
-// Independent multi-walk parallel search — the paper's parallel scheme.
+// Legacy façade over the unified WalkerPool runtime (walker_pool.hpp).
 //
 // "The implemented algorithm is a parallel version of adaptive search in a
 //  multiple independent-walk manner, that is, each process is an independent
 //  search engine and there is no communication between the simultaneous
 //  computations" — except for completion.
 //
-// Three execution modes are provided:
+// Historically each execution regime was a separate code path; they are now
+// thin wrappers over WalkerPool policy combinations, preserved because
+// their walker-for-walker outcomes for a fixed master seed are part of the
+// reproduction's contract (locked in by tests/parallel_walker_pool_test):
 //
-//   * MultiWalkSolver::solve — real std::jthread walkers, one cloned problem
-//     and one decorrelated RNG stream each, an atomic first-finisher flag as
-//     the *only* shared state (the "completion" communication), polled once
-//     per engine iteration.
+//   * MultiWalkSolver::solve
+//       = WalkerPool{kThreads, kIndependent, kFirstFinisher}
+//     real std::jthread walkers, one cloned problem and one decorrelated
+//     RNG stream each, an atomic first-finisher flag as the *only* shared
+//     state, polled once per engine iteration.
 //
-//   * run_independent_walks — the same walker population executed to
-//     completion sequentially (no racing).  This yields the full runtime
-//     distribution of the walkers and is the sampling primitive of the
-//     cluster simulator (sim/): on k cores the parallel completion time is
-//     min over k walkers, which the simulator evaluates from these samples.
+//   * run_independent_walks
+//       = WalkerPool{kSequential, kIndependent, kBestAfterBudget}.walkers
+//     the same walker population executed to completion sequentially.
+//     This yields the full runtime distribution of the walkers and is the
+//     sampling primitive of the cluster simulator (sim/).
 //
-//   * emulate_first_finisher — deterministic first-finisher semantics over
-//     such a population (winner = fewest iterations), used by tests and by
-//     the simulator's iteration-metered mode.
+//   * emulate_first_finisher
+//       = resolve_emulated_race (deterministic race replay; the winner is
+//     the solved walker with the fewest iterations).
 //
-// Plus DependentMultiWalkSolver, a prototype of the paper's future-work
-// scheme (periodic elite exchange), benched by bench_ablation_communication.
+//   * DependentMultiWalkSolver::solve
+//       = WalkerPool{kThreads, kSharedElite, kFirstFinisher}
+//     the paper's future-work prototype (periodic elite exchange), benched
+//     by bench_ablation_communication — which now also exercises the new
+//     kRingElite topology directly through WalkerPool.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "core/adaptive_search.hpp"
 #include "core/params.hpp"
 #include "core/result.hpp"
 #include "csp/problem.hpp"
+#include "parallel/walker_pool.hpp"
 
 namespace cspls::parallel {
 
@@ -54,28 +60,10 @@ struct MultiWalkOptions {
   /// times then measure throughput, not latency (the simulator corrects for
   /// this by working on per-walk solo runtimes instead).
   std::size_t max_threads = 0;
-};
 
-struct WalkerOutcome {
-  std::size_t walker_id = 0;
-  core::Result result;
-};
-
-struct MultiWalkReport {
-  bool solved = false;
-  /// Index of the walker whose solution was accepted (first to finish).
-  std::size_t winner = static_cast<std::size_t>(-1);
-  /// Wall-clock time from launch to the last walker having stopped.
-  double wall_seconds = 0.0;
-  /// Wall-clock time from launch to the winning solution (completion time).
-  double time_to_solution_seconds = 0.0;
-  /// The accepted result (winner's, or best-cost when nobody solved).
-  core::Result best;
-  /// Every walker's outcome, indexed by walker id.
-  std::vector<WalkerOutcome> walkers;
-
-  /// Aggregate iteration count across walkers (total work performed).
-  [[nodiscard]] std::uint64_t total_iterations() const noexcept;
+  /// The equivalent WalkerPool configuration (threads + independent +
+  /// first-finisher; extend the returned value to opt into other policies).
+  [[nodiscard]] WalkerPoolOptions to_pool_options() const;
 };
 
 /// Real-thread independent multi-walk with first-finisher termination.

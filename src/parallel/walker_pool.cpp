@@ -1,0 +1,277 @@
+#include "parallel/walker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "core/adaptive_search.hpp"
+#include "parallel/elite_pool.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace cspls::parallel {
+
+std::uint64_t MultiWalkReport::total_iterations() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& w : walkers) total += w.result.stats.iterations;
+  return total;
+}
+
+namespace {
+
+core::Params params_for(const csp::Problem& prototype,
+                        const std::optional<core::Params>& params) {
+  return params.has_value() ? *params
+                            : core::Params::from_hints(
+                                  prototype.tuning(),
+                                  prototype.num_variables());
+}
+
+/// Elite slots backing the communicating topologies.  kSharedElite owns one
+/// global slot; kRingElite owns one slot per walker (ElitePool holds a
+/// mutex, hence the unique_ptr indirection).
+struct CommState {
+  std::vector<std::unique_ptr<ElitePool>> slots;
+
+  static CommState make(Topology topology, std::size_t num_walkers) {
+    CommState state;
+    const std::size_t count = topology == Topology::kIndependent ? 0
+                              : topology == Topology::kSharedElite
+                                  ? 1
+                                  : num_walkers;
+    state.slots.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      state.slots.push_back(std::make_unique<ElitePool>());
+    }
+    return state;
+  }
+
+  [[nodiscard]] std::uint64_t accepted() const {
+    std::uint64_t total = 0;
+    for (const auto& slot : slots) total += slot->accepted_offers();
+    return total;
+  }
+};
+
+/// Engine hooks for walker `id` under the given communication policy:
+/// publish to the walker's slot every `period` iterations, adopt from its
+/// source slot on partial reset with probability `adopt_probability`.
+core::Hooks comm_hooks(const CommunicationPolicy& policy, CommState& state,
+                       std::size_t id, std::size_t num_walkers) {
+  core::Hooks hooks;
+  if (policy.topology == Topology::kIndependent) return hooks;
+
+  ElitePool* publish = nullptr;
+  ElitePool* adopt = nullptr;
+  if (policy.topology == Topology::kSharedElite) {
+    publish = adopt = state.slots.front().get();
+  } else {
+    // Ring: walker i publishes to slot i and adopts from its predecessor's
+    // slot, so improvements propagate around the ring one hop per exchange.
+    publish = state.slots[id].get();
+    adopt = state.slots[(id + num_walkers - 1) % num_walkers].get();
+  }
+
+  hooks.observer_period = policy.period;
+  hooks.observer = [publish](std::uint64_t, csp::Cost cost,
+                             std::span<const int> values) {
+    publish->offer(cost, values);
+  };
+  hooks.on_reset = [adopt, p = policy.adopt_probability](
+                       csp::Problem& problem, util::Xoshiro256& rng) {
+    if (!rng.chance(p)) return false;
+    std::vector<int> elite;
+    const csp::Cost cost = adopt->take_if_better(problem.total_cost(), elite);
+    if (cost == csp::kInfiniteCost) return false;
+    problem.assign(elite);
+    return true;
+  };
+  return hooks;
+}
+
+/// Best-cost selection over completed walks (Termination::kBestAfterBudget
+/// and the no-winner fallback of the threaded race): prefer any solved
+/// result, then the lowest cost, first index breaking ties.
+void select_best_after_budget(MultiWalkReport& report) {
+  const auto best_it = std::min_element(
+      report.walkers.begin(), report.walkers.end(),
+      [](const WalkerOutcome& a, const WalkerOutcome& b) {
+        if (a.result.solved != b.result.solved) return a.result.solved;
+        return a.result.cost < b.result.cost;
+      });
+  if (best_it != report.walkers.end()) {
+    report.best = best_it->result;
+    report.solved = best_it->result.solved;
+    report.winner = report.solved ? static_cast<std::size_t>(
+                                        best_it - report.walkers.begin())
+                                  : kNoWinner;
+  }
+}
+
+}  // namespace
+
+MultiWalkReport resolve_emulated_race(std::vector<WalkerOutcome> walkers) {
+  MultiWalkReport report;
+  report.walkers = std::move(walkers);
+  std::uint64_t best_iters = UINT64_MAX;
+  csp::Cost best_cost = csp::kInfiniteCost;
+  std::size_t best_id = kNoWinner;
+  double wall = 0.0;
+  for (const auto& w : report.walkers) {
+    wall = std::max(wall, w.result.stats.seconds);
+    if (w.result.solved) {
+      if (w.result.stats.iterations < best_iters) {
+        best_iters = w.result.stats.iterations;
+        best_id = w.walker_id;
+      }
+    } else if (best_id == kNoWinner && w.result.cost < best_cost) {
+      best_cost = w.result.cost;
+    }
+  }
+  report.wall_seconds = wall;
+  if (best_id != kNoWinner) {
+    report.solved = true;
+    report.winner = best_id;
+    for (const auto& w : report.walkers) {
+      if (w.walker_id == best_id) {
+        report.best = w.result;
+        report.time_to_solution_seconds = w.result.stats.seconds;
+        break;
+      }
+    }
+  } else {
+    for (const auto& w : report.walkers) {
+      if (w.result.cost <= best_cost) {
+        report.best = w.result;
+        break;
+      }
+    }
+    report.time_to_solution_seconds = wall;
+  }
+  return report;
+}
+
+MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
+  const std::size_t k = std::max<std::size_t>(1, options_.num_walkers);
+  const core::Params params = params_for(prototype, options_.params);
+  const core::AdaptiveSearch engine(params);
+  const util::RngStreamFactory streams(options_.master_seed);
+  CommState comm = CommState::make(options_.communication.topology, k);
+
+  const bool threaded = options_.scheduling == Scheduling::kThreads;
+  const bool race =
+      threaded && options_.termination == Termination::kFirstFinisher;
+
+  // The *only* shared state among racing walkers: the completion flag, the
+  // winner slot and the time-to-solution stamp.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> winner{kNoWinner};
+  std::atomic<std::uint64_t> solution_time_us{0};
+
+  MultiWalkReport report;
+  report.walkers.resize(k);
+  util::Stopwatch watch;
+
+  const auto run_walker = [&](std::size_t id) {
+    WalkerOutcome& out = report.walkers[id];
+    out.walker_id = id;
+    auto problem = prototype.clone();
+    util::Xoshiro256 rng = streams.stream(id);
+    core::Hooks hooks = comm_hooks(options_.communication, comm, id, k);
+    if (options_.trace.enabled) {
+      out.trace.walker_id = id;
+      hooks.trace = &out.trace;
+      hooks.trace_sample_period = options_.trace.sample_period;
+    }
+    core::Result result =
+        engine.solve(*problem, rng, race ? &stop : nullptr, hooks);
+    if (race && result.solved && !result.interrupted) {
+      // First walker to flip the flag is the winner; latecomers keep their
+      // result but lose the race (exactly the paper's completion protocol).
+      bool expected = false;
+      if (stop.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+        winner.store(id, std::memory_order_release);
+        solution_time_us.store(watch.elapsed_us(), std::memory_order_release);
+      }
+    }
+    out.result = std::move(result);
+  };
+
+  if (threaded) {
+    const std::size_t hw = std::thread::hardware_concurrency() == 0
+                               ? 2
+                               : std::thread::hardware_concurrency();
+    const std::size_t thread_cap =
+        options_.max_threads == 0 ? k : std::min(options_.max_threads, k);
+    const std::size_t num_threads = std::min({k, thread_cap, hw * 16});
+
+    if (num_threads <= 1) {
+      for (std::size_t id = 0; id < k; ++id) run_walker(id);
+    } else {
+      // Wave execution: an atomic ticket dispenser hands walker ids to a
+      // bounded pool of OS threads.
+      std::atomic<std::size_t> next{0};
+      std::vector<std::jthread> pool;
+      pool.reserve(num_threads);
+      for (std::size_t t = 0; t < num_threads; ++t) {
+        pool.emplace_back([&] {
+          for (;;) {
+            const std::size_t id =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (id >= k) return;
+            run_walker(id);
+          }
+        });
+      }
+      pool.clear();  // join
+    }
+  } else {
+    for (std::size_t id = 0; id < k; ++id) run_walker(id);
+  }
+
+  if (!threaded && options_.termination == Termination::kFirstFinisher) {
+    MultiWalkReport resolved = resolve_emulated_race(std::move(report.walkers));
+    resolved.elite_accepted = comm.accepted();
+    return resolved;
+  }
+
+  if (!threaded) {
+    // Emulated machine's wall clock: all walkers start together and the
+    // pool stops when the slowest one exhausts its budget.
+    double wall = 0.0;
+    for (const auto& w : report.walkers) {
+      wall = std::max(wall, w.result.stats.seconds);
+    }
+    report.wall_seconds = wall;
+  } else {
+    report.wall_seconds = watch.elapsed_seconds();
+  }
+
+  if (race) {
+    const std::size_t win = winner.load(std::memory_order_acquire);
+    report.winner = win;
+    report.solved = win != kNoWinner;
+    if (report.solved) {
+      report.best = report.walkers[win].result;
+      report.time_to_solution_seconds =
+          static_cast<double>(
+              solution_time_us.load(std::memory_order_acquire)) /
+          1e6;
+    } else {
+      // Nobody flipped the flag: report the best configuration reached.  (A
+      // walker may still have solved after losing the race; prefer any
+      // solved result.)
+      select_best_after_budget(report);
+      report.time_to_solution_seconds = report.wall_seconds;
+    }
+  } else {
+    select_best_after_budget(report);
+    report.time_to_solution_seconds = report.wall_seconds;
+  }
+  report.elite_accepted = comm.accepted();
+  return report;
+}
+
+}  // namespace cspls::parallel

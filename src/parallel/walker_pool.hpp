@@ -1,0 +1,176 @@
+// WalkerPool — the unified parallel execution runtime.
+//
+// The paper studies independent multi-walk adaptive search across execution
+// regimes; its follow-ups (the X10 study and the Cell BE study) show the
+// interesting design space is *communication topology × scheduling mode*.
+// WalkerPool makes that space first-class: one runtime, parameterized by
+// three orthogonal policies instead of one hard-coded code path per regime.
+//
+//   Scheduling — how walkers execute:
+//     * kThreads       real std::jthread walkers racing on the hardware;
+//     * kSequential    the same walker population run to completion one
+//                      after another (the sampling primitive of sim/);
+//     * kEmulatedRace  sequential execution, but the report replays the
+//                      race on a deterministic iteration-synchronous
+//                      machine (winner = fewest iterations).
+//
+//   Communication (Topology) — what walkers share:
+//     * kIndependent   nothing but completion (the paper's scheme);
+//     * kSharedElite   one global elite pool, periodic publish / adoption
+//                      on reset (the paper's future-work prototype);
+//     * kRingElite     per-walker elite slots on a ring: walker i publishes
+//                      to slot i and adopts from its predecessor's slot —
+//                      bounded-degree communication in the spirit of the
+//                      X10/Cell topologies.
+//
+//   Termination — when the pool stops:
+//     * kFirstFinisher    the first walker to solve wins and stops the rest
+//                         (the paper's completion protocol);
+//     * kBestAfterBudget  every walker runs its full budget; the best final
+//                         cost wins (anytime/optimization regime).
+//
+// Policy combinations reproduce every legacy entry point of multi_walk.hpp
+// byte-for-byte for a fixed master seed: walker i always receives RNG
+// stream i of the master seed and a clone of the prototype, regardless of
+// the policies — so scheduling, communication, termination and tracing can
+// be toggled without perturbing any walker's trajectory (communication
+// hooks excepted, since adoption is *meant* to change trajectories).
+//
+// Tracing: when enabled, each walker's core::WalkerTrace (counters +
+// cost-over-time samples) is recorded through core::Hooks and returned in
+// its WalkerOutcome.  Recording is passive and RNG-neutral.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "core/trace.hpp"
+#include "csp/problem.hpp"
+
+namespace cspls::parallel {
+
+/// Winner value of a report in which no walker produced a solution.
+inline constexpr std::size_t kNoWinner = static_cast<std::size_t>(-1);
+
+enum class Scheduling {
+  kThreads,     ///< real std::jthread walkers racing on the hardware
+  kSequential,  ///< walkers executed to completion one after another
+  /// Sequential execution whose kFirstFinisher reports replay the race on a
+  /// deterministic iteration-synchronous machine.  Behaviourally identical
+  /// to kSequential (both honour the termination policy); the distinct name
+  /// states the caller's intent: emulating the race, not sampling walks.
+  kEmulatedRace,
+};
+
+enum class Topology {
+  kIndependent,  ///< no inter-walker communication (the paper's scheme)
+  kSharedElite,  ///< one global elite pool shared by every walker
+  kRingElite,    ///< per-walker elite slot, adopt from ring predecessor
+};
+
+enum class Termination {
+  kFirstFinisher,    ///< first solver stops the pool (completion protocol)
+  kBestAfterBudget,  ///< all walkers run their budget; best cost wins
+};
+
+/// Communication policy: topology plus the exchange knobs shared by the
+/// elite-based topologies (ignored under kIndependent).
+struct CommunicationPolicy {
+  Topology topology = Topology::kIndependent;
+  /// Walkers publish their configuration every `period` iterations
+  /// (the paper's goal 1: minimise data transfers).
+  std::uint64_t period = 1000;
+  /// Probability that a partial reset adopts an elite configuration
+  /// instead of randomizing (goal 2: restart from recorded crossroads).
+  double adopt_probability = 0.5;
+};
+
+/// Instrumentation policy: fills WalkerOutcome::trace when enabled.
+struct TracePolicy {
+  bool enabled = false;
+  /// Cost-over-time sampling period in iterations (0 = counters only).
+  std::uint64_t sample_period = 0;
+};
+
+struct WalkerPoolOptions {
+  /// Number of parallel walkers (the paper's "number of cores").
+  std::size_t num_walkers = 4;
+
+  /// Master seed; walker i uses RNG stream i (non-overlapping subsequences).
+  std::uint64_t master_seed = 0x5eedULL;
+
+  /// Engine parameters; when unset, each walker uses the model's tuning
+  /// defaults (Params::from_hints).
+  std::optional<core::Params> params;
+
+  /// Cap on concurrently running OS threads under Scheduling::kThreads
+  /// (0 = one thread per walker).  With more walkers than threads, walkers
+  /// run in waves; wall times then measure throughput, not latency.
+  std::size_t max_threads = 0;
+
+  Scheduling scheduling = Scheduling::kThreads;
+  CommunicationPolicy communication;
+  Termination termination = Termination::kFirstFinisher;
+  TracePolicy trace;
+};
+
+struct WalkerOutcome {
+  std::size_t walker_id = 0;
+  core::Result result;
+  /// Instrumentation record; populated only when TracePolicy::enabled.
+  core::WalkerTrace trace;
+};
+
+struct MultiWalkReport {
+  bool solved = false;
+  /// Index of the walker whose solution was accepted, or kNoWinner.
+  std::size_t winner = kNoWinner;
+  /// Wall-clock time from launch to the last walker having stopped.  Under
+  /// sequential/emulated scheduling this is the emulated machine's wall
+  /// clock: the max of the walkers' solo runtimes.
+  double wall_seconds = 0.0;
+  /// Wall-clock time from launch to the winning solution (completion time).
+  double time_to_solution_seconds = 0.0;
+  /// The accepted result (winner's, or best-cost when nobody solved).
+  core::Result best;
+  /// Every walker's outcome, indexed by walker id.
+  std::vector<WalkerOutcome> walkers;
+  /// Elite configurations accepted across all communication slots (0 under
+  /// Topology::kIndependent).
+  std::uint64_t elite_accepted = 0;
+
+  [[nodiscard]] bool has_winner() const noexcept { return winner != kNoWinner; }
+
+  /// Aggregate iteration count across walkers (total work performed).
+  [[nodiscard]] std::uint64_t total_iterations() const noexcept;
+};
+
+/// The unified runtime: executes one walker population under the configured
+/// scheduling × communication × termination policies.
+class WalkerPool {
+ public:
+  explicit WalkerPool(WalkerPoolOptions options) noexcept
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] const WalkerPoolOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Run the pool on clones of `prototype` and report the accepted outcome.
+  [[nodiscard]] MultiWalkReport run(const csp::Problem& prototype) const;
+
+ private:
+  WalkerPoolOptions options_;
+};
+
+/// Deterministic race replay over completed walks: the winner is the solved
+/// walker with the fewest iterations (the one that would have signalled
+/// completion first on an iteration-synchronous machine).  Shared by
+/// Scheduling::kEmulatedRace and the legacy emulate_first_finisher wrapper.
+[[nodiscard]] MultiWalkReport resolve_emulated_race(
+    std::vector<WalkerOutcome> walkers);
+
+}  // namespace cspls::parallel

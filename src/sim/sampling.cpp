@@ -1,7 +1,6 @@
 #include "sim/sampling.hpp"
 
-#include "core/adaptive_search.hpp"
-#include "util/rng.hpp"
+#include "parallel/walker_pool.hpp"
 
 namespace cspls::sim {
 
@@ -42,6 +41,7 @@ double SampleSet::seconds_per_iteration() const {
 
 SampleSet collect_walk_samples(const csp::Problem& prototype,
                                const SamplingOptions& options) {
+  if (options.num_samples == 0) return {};
   core::Params params;
   if (options.params.has_value()) {
     params = *options.params;
@@ -52,20 +52,28 @@ SampleSet collect_walk_samples(const csp::Problem& prototype,
     // always; runaway walks restart rather than fail.
     params.max_restarts = 1000;
   }
-  const core::AdaptiveSearch engine(params);
-  const util::RngStreamFactory streams(options.master_seed);
+  // One sequential pool, one walker per sample: walker i runs on RNG
+  // stream i, exactly as it would inside the racing engine.
+  parallel::WalkerPoolOptions pool;
+  pool.num_walkers = options.num_samples;
+  pool.master_seed = options.master_seed;
+  pool.params = params;
+  pool.scheduling = parallel::Scheduling::kSequential;
+  pool.termination = parallel::Termination::kBestAfterBudget;
+  pool.trace.enabled = true;
+  pool.trace.sample_period = options.trace_sample_period;
+  auto report = parallel::WalkerPool(pool).run(prototype);
 
   SampleSet set;
-  set.samples.reserve(options.num_samples);
-  for (std::size_t i = 0; i < options.num_samples; ++i) {
-    auto problem = prototype.clone();
-    util::Xoshiro256 rng = streams.stream(i);
-    const core::Result result = engine.solve(*problem, rng);
+  set.samples.reserve(report.walkers.size());
+  set.traces.reserve(report.walkers.size());
+  for (auto& walker : report.walkers) {
     WalkSample sample;
-    sample.solved = result.solved;
-    sample.seconds = result.stats.seconds;
-    sample.iterations = result.stats.iterations;
+    sample.solved = walker.trace.solved;
+    sample.seconds = walker.trace.seconds;
+    sample.iterations = walker.trace.iterations;
     set.samples.push_back(sample);
+    set.traces.push_back(std::move(walker.trace));
   }
   return set;
 }

@@ -6,6 +6,12 @@
 // wall-clock seconds and in engine iterations; the iteration metering is
 // noise-free on a shared/throttled host and converts to platform seconds
 // through the measured cost-per-iteration.
+//
+// Sampling runs on the WalkerTrace API of the unified parallel runtime: one
+// sequential WalkerPool with tracing enabled, one walker per sample, walker
+// i on RNG stream i of the master seed — the exact streams the racing
+// engine would use, which is what makes offline min-of-k analysis of these
+// samples equivalent to the racing version.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "core/trace.hpp"
 #include "csp/problem.hpp"
 #include "sim/order_stats.hpp"
 
@@ -24,6 +31,9 @@ struct SamplingOptions {
   /// Engine parameters; default = the model's tuning hints with a generous
   /// restart budget so nearly every walk terminates with a solution.
   std::optional<core::Params> params;
+  /// Cost-over-time sampling period, in iterations, recorded into each
+  /// walk's trace (0 = counters only; keeps sampling allocation-free).
+  std::uint64_t trace_sample_period = 0;
 };
 
 struct WalkSample {
@@ -34,6 +44,9 @@ struct WalkSample {
 
 struct SampleSet {
   std::vector<WalkSample> samples;
+  /// Full instrumentation record of every sampled walk, indexed like
+  /// `samples`; cost_samples populated when trace_sample_period was set.
+  std::vector<core::WalkerTrace> traces;
 
   /// Distribution of wall-clock runtimes of the solved walks.
   [[nodiscard]] EmpiricalDistribution seconds_distribution() const;

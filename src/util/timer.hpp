@@ -31,6 +31,10 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Wall-clock measurements must come from a monotonic clock: system_clock
+  // can jump under NTP adjustment, which would corrupt time-to-solution
+  // figures mid-race.
+  static_assert(Clock::is_steady, "Stopwatch requires a monotonic clock");
   Clock::time_point start_;
 };
 

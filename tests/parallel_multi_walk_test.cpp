@@ -86,6 +86,8 @@ TEST(MultiWalkSolver, UnsolvableInstanceReportsBestEffort) {
   const MultiWalkSolver solver(options);
   const MultiWalkReport report = solver.solve(langford);
   EXPECT_FALSE(report.solved);
+  EXPECT_EQ(report.winner, kNoWinner);
+  EXPECT_FALSE(report.has_winner());
   EXPECT_GT(report.best.cost, 0);
   EXPECT_FALSE(report.best.solution.empty());
 }

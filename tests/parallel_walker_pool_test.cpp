@@ -1,0 +1,267 @@
+// WalkerPool policy-matrix tests: scheduling-mode equivalence against the
+// legacy entry points (walker-for-walker RNG-stream identity), the new
+// ring-elite topology, best-after-budget termination, and trace neutrality.
+#include "parallel/walker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_search.hpp"
+#include "parallel/multi_walk.hpp"
+#include "problems/costas.hpp"
+#include "problems/langford.hpp"
+#include "util/rng.hpp"
+
+namespace cspls::parallel {
+namespace {
+
+/// Reference implementation of the pre-refactor run_independent_walks: one
+/// engine, a clone of the prototype and RNG stream `id` per walker, each
+/// run to completion with no stop flag and no hooks.  The pool's sequential
+/// mode must reproduce this outcome walker-for-walker.
+std::vector<core::Result> reference_walks(const csp::Problem& prototype,
+                                          std::size_t num_walkers,
+                                          std::uint64_t master_seed) {
+  const core::Params params = core::Params::from_hints(
+      prototype.tuning(), prototype.num_variables());
+  const core::AdaptiveSearch engine(params);
+  const util::RngStreamFactory streams(master_seed);
+  std::vector<core::Result> results;
+  results.reserve(num_walkers);
+  for (std::size_t id = 0; id < num_walkers; ++id) {
+    auto problem = prototype.clone();
+    util::Xoshiro256 rng = streams.stream(id);
+    results.push_back(engine.solve(*problem, rng));
+  }
+  return results;
+}
+
+WalkerPoolOptions sequential_options(std::size_t num_walkers,
+                                     std::uint64_t master_seed) {
+  WalkerPoolOptions pool;
+  pool.num_walkers = num_walkers;
+  pool.master_seed = master_seed;
+  pool.scheduling = Scheduling::kSequential;
+  pool.termination = Termination::kBestAfterBudget;
+  return pool;
+}
+
+TEST(WalkerPoolEquivalence, SequentialModeReproducesLegacyIndependentWalks) {
+  problems::Costas costas(10);
+  const auto reference = reference_walks(costas, 5, 42);
+
+  const auto report = WalkerPool(sequential_options(5, 42)).run(costas);
+  ASSERT_EQ(report.walkers.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(report.walkers[i].walker_id, i);
+    EXPECT_EQ(report.walkers[i].result.solved, reference[i].solved);
+    EXPECT_EQ(report.walkers[i].result.cost, reference[i].cost);
+    EXPECT_EQ(report.walkers[i].result.solution, reference[i].solution);
+    EXPECT_EQ(report.walkers[i].result.stats.iterations,
+              reference[i].stats.iterations);
+    EXPECT_EQ(report.walkers[i].result.stats.swaps, reference[i].stats.swaps);
+    EXPECT_EQ(report.walkers[i].result.stats.resets,
+              reference[i].stats.resets);
+  }
+
+  // The legacy wrapper must be a pure façade over the same pool mode.
+  const auto wrapped = run_independent_walks(costas, 5, 42);
+  ASSERT_EQ(wrapped.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(wrapped[i].result.stats.iterations,
+              reference[i].stats.iterations);
+    EXPECT_EQ(wrapped[i].result.solution, reference[i].solution);
+  }
+}
+
+TEST(WalkerPoolEquivalence, TracingDoesNotPerturbOutcomes) {
+  problems::Costas costas(10);
+  const auto reference = reference_walks(costas, 4, 7);
+
+  WalkerPoolOptions pool = sequential_options(4, 7);
+  pool.trace.enabled = true;
+  pool.trace.sample_period = 50;
+  const auto report = WalkerPool(pool).run(costas);
+  ASSERT_EQ(report.walkers.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const auto& walker = report.walkers[i];
+    // Identical trajectory despite recording: tracing is RNG-neutral.
+    EXPECT_EQ(walker.result.stats.iterations, reference[i].stats.iterations);
+    EXPECT_EQ(walker.result.solution, reference[i].solution);
+    // Trace counters mirror the result's stats.
+    EXPECT_EQ(walker.trace.walker_id, i);
+    EXPECT_EQ(walker.trace.solved, walker.result.solved);
+    EXPECT_EQ(walker.trace.iterations, walker.result.stats.iterations);
+    EXPECT_EQ(walker.trace.resets, walker.result.stats.resets);
+    EXPECT_EQ(walker.trace.restarts, walker.result.stats.restarts);
+    EXPECT_EQ(walker.trace.best_cost, walker.result.cost);
+    EXPECT_DOUBLE_EQ(walker.trace.seconds, walker.result.stats.seconds);
+    // Cost-over-time series: starts at iteration 0, ends at the final
+    // iteration, sampled in non-decreasing order.
+    ASSERT_GE(walker.trace.cost_samples.size(), 2u);
+    EXPECT_EQ(walker.trace.cost_samples.front().iteration, 0u);
+    EXPECT_EQ(walker.trace.cost_samples.back().iteration,
+              walker.trace.iterations);
+    EXPECT_EQ(walker.trace.cost_samples.back().cost, walker.result.cost);
+    for (std::size_t s = 1; s < walker.trace.cost_samples.size(); ++s) {
+      EXPECT_LE(walker.trace.cost_samples[s - 1].iteration,
+                walker.trace.cost_samples[s].iteration);
+    }
+  }
+}
+
+TEST(WalkerPoolEquivalence, EmulatedRaceMatchesEmulateFirstFinisher) {
+  problems::Costas costas(10);
+  const auto legacy =
+      emulate_first_finisher(run_independent_walks(costas, 6, 11));
+
+  WalkerPoolOptions pool = sequential_options(6, 11);
+  pool.scheduling = Scheduling::kEmulatedRace;
+  pool.termination = Termination::kFirstFinisher;
+  const auto emulated = WalkerPool(pool).run(costas);
+
+  ASSERT_EQ(emulated.solved, legacy.solved);
+  EXPECT_EQ(emulated.winner, legacy.winner);
+  EXPECT_EQ(emulated.best.stats.iterations, legacy.best.stats.iterations);
+  EXPECT_EQ(emulated.best.solution, legacy.best.solution);
+  EXPECT_EQ(emulated.total_iterations(), legacy.total_iterations());
+}
+
+TEST(WalkerPool, ThreadedIndependentRaceSolves) {
+  problems::Costas costas(10);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 4;
+  pool.master_seed = 1;
+  pool.scheduling = Scheduling::kThreads;
+  pool.termination = Termination::kFirstFinisher;
+  const auto report = WalkerPool(pool).run(costas);
+  ASSERT_TRUE(report.solved);
+  ASSERT_TRUE(report.has_winner());
+  ASSERT_LT(report.winner, 4u);
+  EXPECT_TRUE(costas.verify(report.best.solution));
+  EXPECT_EQ(report.elite_accepted, 0u);
+}
+
+TEST(WalkerPool, RingEliteExchangeSolves) {
+  problems::Costas costas(10);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 4;
+  pool.master_seed = 6;
+  pool.scheduling = Scheduling::kThreads;
+  pool.termination = Termination::kFirstFinisher;
+  pool.communication.topology = Topology::kRingElite;
+  pool.communication.period = 50;
+  pool.communication.adopt_probability = 0.5;
+  const auto report = WalkerPool(pool).run(costas);
+  ASSERT_TRUE(report.solved);
+  EXPECT_TRUE(costas.verify(report.best.solution));
+}
+
+TEST(WalkerPool, RingEliteIsDeterministicSequentially) {
+  // In sequential mode the ring exchanges are fully deterministic: walker i
+  // only ever reads slot i-1, which was last written by an *earlier* walker
+  // of the same run.  Two runs with the same seed must agree exactly.
+  problems::Langford langford(5);  // unsolvable: every walker runs its budget
+  core::Params params =
+      core::Params::from_hints(langford.tuning(), langford.num_variables());
+  params.restart_limit = 2'000;
+  params.max_restarts = 1;
+
+  WalkerPoolOptions pool = sequential_options(4, 13);
+  pool.params = params;
+  pool.communication.topology = Topology::kRingElite;
+  pool.communication.period = 100;
+  pool.communication.adopt_probability = 0.5;
+
+  const auto a = WalkerPool(pool).run(langford);
+  const auto b = WalkerPool(pool).run(langford);
+  ASSERT_EQ(a.walkers.size(), b.walkers.size());
+  for (std::size_t i = 0; i < a.walkers.size(); ++i) {
+    EXPECT_EQ(a.walkers[i].result.stats.iterations,
+              b.walkers[i].result.stats.iterations);
+    EXPECT_EQ(a.walkers[i].result.cost, b.walkers[i].result.cost);
+    EXPECT_EQ(a.walkers[i].result.solution, b.walkers[i].result.solution);
+  }
+  EXPECT_EQ(a.elite_accepted, b.elite_accepted);
+  // Every walker ran >= period iterations, so every ring slot accepted at
+  // least its owner's first offer.
+  EXPECT_GE(a.elite_accepted, pool.num_walkers);
+}
+
+TEST(WalkerPool, EmulatedRaceHonoursBestAfterBudgetTermination) {
+  // The termination policy stays orthogonal under emulated scheduling: with
+  // kBestAfterBudget the report must match the sequential pool's selection,
+  // not first-finisher race replay.
+  problems::Costas costas(9);
+  WalkerPoolOptions pool = sequential_options(3, 5);
+  pool.scheduling = Scheduling::kEmulatedRace;  // termination: kBestAfterBudget
+  const auto emulated = WalkerPool(pool).run(costas);
+  const auto sequential = WalkerPool(sequential_options(3, 5)).run(costas);
+  EXPECT_EQ(emulated.solved, sequential.solved);
+  EXPECT_EQ(emulated.winner, sequential.winner);
+  EXPECT_EQ(emulated.best.solution, sequential.best.solution);
+  EXPECT_DOUBLE_EQ(emulated.time_to_solution_seconds,
+                   emulated.wall_seconds);
+}
+
+TEST(WalkerPool, BestAfterBudgetReportsLowestCost) {
+  problems::Langford langford(5);  // unsolvable
+  core::Params params =
+      core::Params::from_hints(langford.tuning(), langford.num_variables());
+  params.restart_limit = 1'000;
+  params.max_restarts = 1;
+
+  WalkerPoolOptions pool = sequential_options(5, 21);
+  pool.params = params;
+  const auto report = WalkerPool(pool).run(langford);
+
+  EXPECT_FALSE(report.solved);
+  EXPECT_EQ(report.winner, kNoWinner);
+  EXPECT_FALSE(report.has_winner());
+  csp::Cost lowest = csp::kInfiniteCost;
+  for (const auto& w : report.walkers) {
+    lowest = std::min(lowest, w.result.cost);
+    EXPECT_FALSE(w.result.interrupted);  // nobody raced anybody
+  }
+  EXPECT_EQ(report.best.cost, lowest);
+}
+
+TEST(WalkerPool, ThreadedBestAfterBudgetRunsEveryWalkerToCompletion) {
+  problems::Costas costas(9);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 4;
+  pool.master_seed = 3;
+  pool.scheduling = Scheduling::kThreads;
+  pool.termination = Termination::kBestAfterBudget;
+  const auto report = WalkerPool(pool).run(costas);
+  ASSERT_TRUE(report.solved);
+  ASSERT_TRUE(report.has_winner());
+  EXPECT_TRUE(costas.verify(report.best.solution));
+  for (const auto& w : report.walkers) {
+    // No stop flag in this regime: every walker finishes its own budget.
+    EXPECT_FALSE(w.result.interrupted);
+    EXPECT_TRUE(w.result.solved);
+  }
+}
+
+TEST(WalkerPool, LegacyWrappersShareWalkerTrajectories) {
+  // The sequential pool, the racing wrapper's stream assignment and the
+  // emulated race all draw walker i from stream i of the master seed; the
+  // emulated winner's trajectory therefore appears verbatim among the
+  // sequential walkers.
+  problems::Costas costas(9);
+  const auto sequential = WalkerPool(sequential_options(3, 77)).run(costas);
+
+  WalkerPoolOptions emulated_options = sequential_options(3, 77);
+  emulated_options.scheduling = Scheduling::kEmulatedRace;
+  emulated_options.termination = Termination::kFirstFinisher;
+  const auto emulated = WalkerPool(emulated_options).run(costas);
+
+  ASSERT_TRUE(emulated.solved);
+  ASSERT_LT(emulated.winner, sequential.walkers.size());
+  const auto& winner_seq = sequential.walkers[emulated.winner].result;
+  EXPECT_EQ(emulated.best.stats.iterations, winner_seq.stats.iterations);
+  EXPECT_EQ(emulated.best.solution, winner_seq.solution);
+}
+
+}  // namespace
+}  // namespace cspls::parallel
