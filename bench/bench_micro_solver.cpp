@@ -1,140 +1,225 @@
-// Microbenchmarks (google-benchmark) of the solver's hot path: incremental
-// cost probes vs full recomputation, committed swaps, projected errors, RNG
-// throughput and whole engine iterations.  These are the constants behind
-// the "seconds per iteration" calibration used by the cluster simulator.
-#include <benchmark/benchmark.h>
+// Hot-path measurement harness: drives the Adaptive Search engine over every
+// kernel through both hot paths — the batched kernel overrides
+// (cost_on_all_variables / best_swap_for) and the scalar reference
+// (csp::ScalarPathProblem, reproducing the pre-batched per-variable virtual
+// loop) — in the same binary, and reports iterations/sec and
+// cost-evaluations/sec per path plus the batched/scalar speedup.
+//
+// Emits machine-readable BENCH_micro.json (schema cspls-bench-micro/1) so CI
+// and future PRs can track the perf trajectory; exits non-zero if the two
+// paths ever disagree on a fixed-seed trajectory (they must be identical —
+// the batched API is a pure constant-factor optimization).
+//
+// Usage: bench_micro_solver [--quick] [--out FILE] [--seed N]
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/adaptive_search.hpp"
+#include "csp/scalar_path.hpp"
 #include "problems/registry.hpp"
-#include "util/rng.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace cspls;
 
-std::unique_ptr<csp::Problem> bench_problem(const std::string& name) {
-  return problems::make_problem(name, problems::bench_size(name), 7);
+struct Workload {
+  std::string problem;
+  std::size_t size = 0;
+  std::uint64_t iteration_budget = 0;  ///< full-mode budget; --quick /10
+};
+
+/// Paper-order workloads at (or near) paper sizes where a single walk stays
+/// affordable; budgets target roughly 0.2-1 s per path in full mode.
+std::vector<Workload> workloads() {
+  return {
+      {"costas", 18, 20'000},        {"all-interval", 100, 40'000},
+      {"all-interval", 200, 15'000}, {"perfect-square", 8, 1'500},
+      {"magic-square", 20, 20'000},  {"queens", 100, 20'000},
+      {"langford", 32, 40'000},      {"partition", 80, 40'000},
+      {"alpha", 26, 40'000},
+  };
 }
 
-void BM_RngNext(benchmark::State& state) {
-  util::Xoshiro256 rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next());
-  }
-}
-BENCHMARK(BM_RngNext);
-
-void BM_RngBelow(benchmark::State& state) {
-  util::Xoshiro256 rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.below(1000));
-  }
-}
-BENCHMARK(BM_RngBelow);
-
-void BM_CostIfSwap(benchmark::State& state, const std::string& name) {
-  auto problem = bench_problem(name);
-  util::Xoshiro256 rng(2);
-  problem->randomize(rng);
-  const std::size_t n = problem->num_variables();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const std::size_t a = i % n;
-    const std::size_t b = (i * 7 + 1) % n;
-    ++i;
-    if (a == b) continue;
-    benchmark::DoNotOptimize(problem->cost_if_swap(a, b));
-  }
-}
-
-void BM_FullCost(benchmark::State& state, const std::string& name) {
-  auto problem = bench_problem(name);
-  util::Xoshiro256 rng(3);
-  problem->randomize(rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(problem->full_cost());
-  }
-}
-
-void BM_CommittedSwap(benchmark::State& state, const std::string& name) {
-  auto problem = bench_problem(name);
-  util::Xoshiro256 rng(4);
-  problem->randomize(rng);
-  const std::size_t n = problem->num_variables();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const std::size_t a = i % n;
-    const std::size_t b = (i * 5 + 1) % n;
-    ++i;
-    if (a == b) continue;
-    benchmark::DoNotOptimize(problem->swap(a, b));
-  }
-}
-
-void BM_CostOnVariable(benchmark::State& state, const std::string& name) {
-  auto problem = bench_problem(name);
-  util::Xoshiro256 rng(5);
-  problem->randomize(rng);
-  const std::size_t n = problem->num_variables();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(problem->cost_on_variable(i++ % n));
-  }
-}
-
-void BM_EngineIteration(benchmark::State& state, const std::string& name) {
-  // Amortized cost of one engine iteration: run short bounded walks.
-  auto prototype = bench_problem(name);
-  auto params = core::Params::from_hints(prototype->tuning(),
-                                         prototype->num_variables());
-  params.restart_limit = 200;
-  params.max_restarts = 0;
-  params.target_cost = -1;  // unreachable: always runs the full 200
-  const core::AdaptiveSearch engine(params);
-  util::Xoshiro256 rng(6);
+struct PathResult {
+  double seconds = 0.0;
   std::uint64_t iterations = 0;
-  for (auto _ : state) {
-    auto problem = prototype->clone();
-    const auto result = engine.solve(*problem, rng);
-    iterations += result.stats.iterations;
-    benchmark::DoNotOptimize(result.cost);
+  std::uint64_t cost_evaluations = 0;
+  csp::Cost final_cost = 0;
+  std::vector<int> solution;
+
+  [[nodiscard]] double iters_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(iterations) / seconds : 0.0;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(iterations));
+  [[nodiscard]] double evals_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(cost_evaluations) / seconds
+                         : 0.0;
+  }
+};
+
+/// One bounded, never-terminating walk (target_cost = -1): every path runs
+/// the exact same number of engine iterations, so the wall-clock ratio is a
+/// pure per-iteration cost ratio.
+PathResult run_path(csp::Problem& problem, std::uint64_t budget,
+                    std::uint64_t seed) {
+  auto params = core::Params::from_hints(problem.tuning(),
+                                         problem.num_variables());
+  params.restart_limit = budget;
+  params.max_restarts = 0;
+  params.target_cost = -1;  // unreachable: always run the full budget
+  const core::AdaptiveSearch engine(params);
+  util::Xoshiro256 rng(seed);
+  const auto result = engine.solve(problem, rng);
+  PathResult out;
+  out.seconds = result.stats.seconds;
+  out.iterations = result.stats.iterations;
+  out.cost_evaluations = result.stats.cost_evaluations;
+  out.final_cost = result.cost;
+  out.solution = result.solution;
+  return out;
 }
 
-void register_problem_benchmarks() {
-  for (const auto& name : problems::problem_names()) {
-    benchmark::RegisterBenchmark(("BM_CostIfSwap/" + name).c_str(),
-                                 [name](benchmark::State& s) {
-                                   BM_CostIfSwap(s, name);
-                                 });
-    benchmark::RegisterBenchmark(("BM_FullCost/" + name).c_str(),
-                                 [name](benchmark::State& s) {
-                                   BM_FullCost(s, name);
-                                 });
-    benchmark::RegisterBenchmark(("BM_CommittedSwap/" + name).c_str(),
-                                 [name](benchmark::State& s) {
-                                   BM_CommittedSwap(s, name);
-                                 });
-    benchmark::RegisterBenchmark(("BM_CostOnVariable/" + name).c_str(),
-                                 [name](benchmark::State& s) {
-                                   BM_CostOnVariable(s, name);
-                                 });
-  }
-  for (const std::string name : {"costas", "magic-square"}) {
-    benchmark::RegisterBenchmark(("BM_EngineIteration/" + name).c_str(),
-                                 [name](benchmark::State& s) {
-                                   BM_EngineIteration(s, name);
-                                 });
-  }
+void append_json_path(std::string& json, const char* key,
+                      const PathResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"seconds\": %.6f, \"iters_per_sec\": %.1f, "
+                "\"evals_per_sec\": %.1f}",
+                key, r.seconds, r.iters_per_sec(), r.evals_per_sec());
+  json += buf;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  register_problem_benchmarks();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  util::ArgParser args("bench_micro_solver",
+                       "Hot-path throughput: batched vs scalar engine path "
+                       "per kernel, emitting BENCH_micro.json");
+  args.add_flag("quick", "CI smoke mode: 1/10 iteration budgets");
+  args.add_string("out", "BENCH_micro.json", "JSON output path");
+  args.add_int("seed", 0xB5EED, "master RNG seed");
+  if (!args.parse(argc, argv)) {
+    return args.help_requested() ? 0 : 2;
+  }
+  const bool quick = args.flag("quick");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::printf("# bench_micro_solver — batched vs scalar hot path%s\n",
+              quick ? " (--quick)" : "");
+
+  util::Table table({"instance", "vars", "iters", "scalar it/s",
+                     "batched it/s", "speedup", "batched evals/s"});
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"cspls-bench-micro/1\",\n";
+  json += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  json += "  \"results\": [\n";
+
+  bool paths_agree = true;
+  bool first = true;
+  for (const auto& w : workloads()) {
+    const std::uint64_t budget =
+        quick ? std::max<std::uint64_t>(200, w.iteration_budget / 10)
+              : w.iteration_budget;
+
+    // Batched path: the kernel's own bulk overrides.
+    auto batched_problem = problems::make_problem(w.problem, w.size, 7);
+    const std::string instance = batched_problem->instance_description();
+    const std::size_t vars = batched_problem->num_variables();
+    // Scalar path: same kernel behind the de-optimizing adapter.
+    csp::ScalarPathProblem scalar_problem(
+        problems::make_problem(w.problem, w.size, 7));
+
+    // Warm-up on throwaway clones (touch caches, fault pages) — the measured
+    // problems must keep their pristine canonical state so both paths start
+    // from the identical configuration.
+    {
+      const auto warm_budget = std::max<std::uint64_t>(budget / 10, 50);
+      auto warm = batched_problem->clone();
+      (void)run_path(*warm, warm_budget, seed ^ 0xFFFF);
+      auto warm_scalar = scalar_problem.clone();
+      (void)run_path(*warm_scalar, warm_budget, seed ^ 0xFFFF);
+    }
+    const PathResult batched = run_path(*batched_problem, budget, seed);
+    const PathResult scalar = run_path(scalar_problem, budget, seed);
+
+    // The two paths must walk the identical trajectory: same iteration
+    // count, same evaluation count, same final configuration.
+    const bool agree = batched.iterations == scalar.iterations &&
+                       batched.cost_evaluations == scalar.cost_evaluations &&
+                       batched.final_cost == scalar.final_cost &&
+                       batched.solution == scalar.solution;
+    if (!agree) {
+      std::fprintf(stderr,
+                   "ERROR: scalar and batched paths diverged on %s\n",
+                   instance.c_str());
+      paths_agree = false;
+    }
+
+    const double speedup = scalar.seconds > 0.0 && batched.seconds > 0.0
+                               ? scalar.seconds / batched.seconds
+                               : 0.0;
+
+    char cell[64];
+    std::vector<std::string> row;
+    row.push_back(instance);
+    row.push_back(std::to_string(vars));
+    row.push_back(std::to_string(batched.iterations));
+    std::snprintf(cell, sizeof(cell), "%.0f", scalar.iters_per_sec());
+    row.push_back(cell);
+    std::snprintf(cell, sizeof(cell), "%.0f", batched.iters_per_sec());
+    row.push_back(cell);
+    std::snprintf(cell, sizeof(cell), "%.2fx", speedup);
+    row.push_back(cell);
+    std::snprintf(cell, sizeof(cell), "%.0f", batched.evals_per_sec());
+    row.push_back(cell);
+    table.add_row(row);
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\n";
+    json += "      \"problem\": \"" + w.problem + "\",\n";
+    json += "      \"instance\": \"" + instance + "\",\n";
+    json += "      \"variables\": " + std::to_string(vars) + ",\n";
+    json += "      \"iterations\": " + std::to_string(batched.iterations) +
+            ",\n";
+    json += "      \"cost_evaluations\": " +
+            std::to_string(batched.cost_evaluations) + ",\n";
+    append_json_path(json, "scalar", scalar);
+    json += ",\n";
+    append_json_path(json, "batched", batched);
+    json += ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "      \"speedup\": %.3f,\n", speedup);
+    json += buf;
+    json += std::string("      \"paths_agree\": ") +
+            (agree ? "true" : "false") + "\n";
+    json += "    }";
+  }
+  json += "\n  ]\n}\n";
+
+  std::fputs(table.render("hot-path throughput").c_str(), stdout);
+
+  const std::string& out_path = args.get_string("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "ERROR: cannot write %s\n", out_path.c_str());
+    return 3;
+  }
+  out << json;
+  out.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!paths_agree) {
+    std::fprintf(stderr,
+                 "FAIL: at least one kernel's batched path diverged from the "
+                 "scalar reference\n");
+    return 1;
+  }
   return 0;
 }

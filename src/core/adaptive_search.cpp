@@ -11,9 +11,11 @@ namespace {
 
 using csp::Cost;
 
-/// Mutable per-walk working state, reset on every restart.
+/// Mutable per-walk working state, reset on every restart.  All scratch is
+/// preallocated here once: the steady-state iteration below performs zero
+/// heap allocations.
 struct WalkState {
-  explicit WalkState(std::size_t n) : tabu_until(n, 0) {}
+  explicit WalkState(std::size_t n) : tabu_until(n, 0), errors(n, 0) {}
 
   void clear_tabu() {
     std::fill(tabu_until.begin(), tabu_until.end(), std::uint64_t{0});
@@ -21,6 +23,7 @@ struct WalkState {
   }
 
   std::vector<std::uint64_t> tabu_until;  ///< variable frozen while > iter
+  std::vector<Cost> errors;               ///< cost_on_all_variables scratch
   /// Local-minimum markings since the last (partial or full) reset; the
   /// original library's nb_var_marked counter: it accumulates until the
   /// reset_limit triggers a partial reset, it is *not* a count of currently
@@ -58,6 +61,12 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
     }
   };
 
+  // The error vector only depends on the configuration: iterations that end
+  // in a tabu marking leave it untouched, so the bulk recomputation is
+  // skipped until the next swap/reset/restart invalidates it.  (Purely an
+  // engine-side cache — the values the scan sees are identical either way.)
+  bool errors_valid = false;
+
   const auto partial_reset = [&] {
     ++result.stats.resets;
     if (hooks.on_reset && hooks.on_reset(problem, rng)) {
@@ -68,6 +77,7 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       // positions); see csp::Problem::reset_perturbation.
       cost = problem.reset_perturbation(params_.reset_fraction, rng);
     }
+    errors_valid = false;
     state.clear_tabu();
     note_best(cost);
   };
@@ -100,17 +110,26 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       }
 
       // --- Step 2: pick the worst non-tabu variable (random tie-break). ---
+      // One bulk virtual call fills the preallocated error vector (reused
+      // while the configuration is unchanged); the tabu filter is fused into
+      // the scan.  The bulk hook never consumes RNG, so the reservoir draws
+      // below happen in the exact order of the historical per-variable loop.
+      if (!errors_valid) {
+        problem.cost_on_all_variables(std::span<Cost>(state.errors));
+        errors_valid = true;
+      }
       Cost worst_err = -1;
       std::size_t x = n;  // n = none found
       std::size_t ties = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (state.tabu_until[i] > iter) continue;
-        const Cost err = problem.cost_on_variable(i);
+        const Cost err = state.errors[i];
+        if (err < worst_err) continue;  // common case: one compare
         if (err > worst_err) {
           worst_err = err;
           x = i;
           ties = 1;
-        } else if (err == worst_err) {
+        } else {
           ++ties;
           if (rng.below(ties) == 0) x = i;
         }
@@ -122,26 +141,18 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       }
 
       // --- Step 3: best swap for x (random tie-break). ---
+      // Second bulk virtual call; candidate evaluations are counted inside
+      // the kernel so the stats stay comparable across paths.
       Cost best_move = csp::kInfiniteCost;
       std::size_t best_j = n;
       std::size_t move_ties = 0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == x) continue;
-        const Cost c = problem.cost_if_swap(x, j);
-        ++result.stats.cost_evaluations;
-        if (c < best_move) {
-          best_move = c;
-          best_j = j;
-          move_ties = 1;
-        } else if (c == best_move) {
-          ++move_ties;
-          if (rng.below(move_ties) == 0) best_j = j;
-        }
-      }
+      result.stats.cost_evaluations +=
+          problem.best_swap_for(x, rng, best_j, best_move, move_ties);
 
       if (best_j != n && best_move < cost) {
         // --- Step 4: improving move. ---
         cost = problem.swap(x, best_j);
+        errors_valid = false;
         ++result.stats.swaps;
         note_best(cost);
         if (params_.freeze_swap > 0) {
@@ -155,6 +166,7 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       if (best_j != n && best_move == cost &&
           rng.chance(params_.prob_accept_plateau)) {
         cost = problem.swap(x, best_j);
+        errors_valid = false;
         ++result.stats.plateau_moves;
         if (params_.freeze_swap > 0) {
           state.tabu_until[x] = iter + params_.freeze_swap;
@@ -168,6 +180,7 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       if (best_j != n && params_.prob_accept_local_min > 0.0 &&
           rng.chance(params_.prob_accept_local_min)) {
         cost = problem.swap(x, best_j);
+        errors_valid = false;
         note_best(cost);
         continue;
       }
@@ -183,6 +196,7 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
     ++restarts_done;
     ++result.stats.restarts;
     cost = problem.randomize(rng);
+    errors_valid = false;
     state.clear_tabu();
   }
 

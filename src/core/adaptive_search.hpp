@@ -5,9 +5,11 @@
 //
 //   1. if total cost reached the target, stop (solution found);
 //   2. select the non-tabu variable with the highest projected error
-//      (cost_on_variable), breaking ties uniformly at random;
-//   3. evaluate every swap of that variable with another position
-//      (cost_if_swap) and keep the best, ties broken uniformly at random;
+//      (one bulk cost_on_all_variables call; tabu filter fused into the
+//      scan), breaking ties uniformly at random;
+//   3. evaluate every swap of that variable with another position and keep
+//      the best (one bulk best_swap_for call), ties broken uniformly at
+//      random;
 //   4. if the best swap strictly improves the total cost, commit it
 //      (optionally freezing both variables for freeze_swap iterations);
 //   5. otherwise the variable sits at a local minimum: with probability

@@ -19,7 +19,8 @@ struct RunStats {
   std::uint64_t local_minima = 0;    ///< times the selected variable had none
   std::uint64_t resets = 0;          ///< partial resets performed
   std::uint64_t restarts = 0;        ///< full restarts performed
-  std::uint64_t cost_evaluations = 0;///< cost_if_swap probes
+  std::uint64_t cost_evaluations = 0;///< swap candidates evaluated (counted
+                                     ///< inside Problem::best_swap_for)
   double seconds = 0.0;              ///< wall-clock of the walk
 
   [[nodiscard]] std::string to_string() const;

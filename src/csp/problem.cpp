@@ -6,6 +6,43 @@
 
 namespace cspls::csp {
 
+namespace detail {
+
+void scalar_cost_on_all_variables(const Problem& problem,
+                                  std::span<Cost> out) {
+  assert(out.size() == problem.num_variables());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = problem.cost_on_variable(i);
+  }
+}
+
+std::uint64_t scalar_best_swap_for(const Problem& problem, std::size_t x,
+                                   util::Xoshiro256& rng, std::size_t& best_j,
+                                   Cost& best_cost, std::size_t& ties) {
+  const std::size_t n = problem.num_variables();
+  SwapScan scan(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == x) continue;
+    scan.consider(j, problem.cost_if_swap(x, j), rng);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return n - 1;
+}
+
+}  // namespace detail
+
+void Problem::cost_on_all_variables(std::span<Cost> out) const {
+  detail::scalar_cost_on_all_variables(*this, out);
+}
+
+std::uint64_t Problem::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                     std::size_t& best_j, Cost& best_cost,
+                                     std::size_t& ties) const {
+  return detail::scalar_best_swap_for(*this, x, rng, best_j, best_cost, ties);
+}
+
 PermutationProblem::PermutationProblem(std::vector<int> canonical)
     : values_(std::move(canonical)) {
   if (values_.empty()) {

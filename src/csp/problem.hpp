@@ -76,6 +76,35 @@ class Problem {
   /// Must not mutate observable state.
   [[nodiscard]] virtual Cost cost_if_swap(std::size_t i, std::size_t j) const = 0;
 
+  // --- Batched hot-path hooks -------------------------------------------
+  //
+  // One Adaptive Search iteration needs (a) the projected error of *every*
+  // variable and (b) the argmin over *every* swap partner of the selected
+  // variable.  Driving those through the scalar virtuals above costs 2n-1
+  // virtual calls per iteration; the engine instead calls the two bulk hooks
+  // below (two virtual calls total) and kernels override them with versions
+  // that share work across the whole scan.  The defaults loop the scalar
+  // virtuals, so a model is complete without overriding anything.
+
+  /// Fill `out[i] = cost_on_variable(i)` for every variable
+  /// (`out.size() == num_variables()`).  Must not consume RNG and must not
+  /// mutate observable state; overrides must produce bit-identical values to
+  /// the scalar virtual so search trajectories are path-independent.
+  virtual void cost_on_all_variables(std::span<Cost> out) const;
+
+  /// Scan the candidate swaps (x, j) for j = 0..n-1, j != x, in ascending j
+  /// order, and select the minimum of cost_if_swap(x, j) with reservoir
+  /// tie-breaking (`rng.below(ties) == 0` adopts the newcomer) — exactly the
+  /// engine's historical inline loop, so a fixed seed walks the identical
+  /// trajectory through the default and through any override.  Outputs the
+  /// chosen partner in `best_j` (num_variables() when no candidate exists),
+  /// its total cost in `best_cost` (kInfiniteCost when none) and the number
+  /// of cost-optimal ties in `ties`; returns the number of candidate cost
+  /// evaluations performed (the engine accounts them as cost_evaluations).
+  virtual std::uint64_t best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                      std::size_t& best_j, Cost& best_cost,
+                                      std::size_t& ties) const;
+
   /// Commit the swap of positions i and j, update cached structures, and
   /// return the new total cost (must equal what cost_if_swap(i, j) returned).
   virtual Cost swap(std::size_t i, std::size_t j) = 0;
@@ -151,6 +180,46 @@ class PermutationProblem : public Problem {
   std::vector<int> values_;
   Cost cost_ = 0;
 };
+
+/// Reservoir argmin used by best_swap_for implementations.  Replicates the
+/// engine's historical tie-breaking byte-for-byte: strict improvement resets
+/// the tie count, an exact tie draws `rng.below(ties)` and adopts on zero.
+/// Overrides MUST funnel every candidate through consider() in ascending j
+/// order or fixed-seed trajectories diverge between kernels.
+struct SwapScan {
+  Cost best_cost = kInfiniteCost;
+  std::size_t best_j;
+  std::size_t ties = 0;
+
+  /// `none` is the "no candidate" sentinel (the engine passes n).
+  explicit SwapScan(std::size_t none) noexcept : best_j(none) {}
+
+  void consider(std::size_t j, Cost cost, util::Xoshiro256& rng) noexcept {
+    // Single compare on the common no-improvement path; the branch split is
+    // draw-for-draw identical to the historical < / == cascade.
+    if (cost > best_cost) [[likely]] return;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_j = j;
+      ties = 1;
+    } else {
+      ++ties;
+      if (rng.below(ties) == 0) best_j = j;
+    }
+  }
+};
+
+namespace detail {
+
+/// The scalar reference loops behind the Problem bulk-hook defaults, shared
+/// with ScalarPathProblem so the A/B baseline costs exactly one virtual call
+/// per variable/candidate (like the pre-batched engine), never two.
+void scalar_cost_on_all_variables(const Problem& problem, std::span<Cost> out);
+std::uint64_t scalar_best_swap_for(const Problem& problem, std::size_t x,
+                                   util::Xoshiro256& rng, std::size_t& best_j,
+                                   Cost& best_cost, std::size_t& ties);
+
+}  // namespace detail
 
 /// True iff `values` is a permutation of `canonical` (order-insensitive).
 [[nodiscard]] bool is_permutation_of(std::span<const int> values,

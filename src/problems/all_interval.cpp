@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
 
 namespace cspls::problems {
 
@@ -19,7 +20,8 @@ std::vector<int> canonical_values(std::size_t n) {
 }  // namespace
 
 AllInterval::AllInterval(std::size_t n)
-    : PermutationProblem(canonical_values(n)), n_(n), occ_(n, 0) {
+    : PermutationProblem(canonical_values(n)), n_(n), occ_(n, 0),
+      pair_diff_(n, 0), cand_cost_(n, 0) {
   if (n < 2) {
     throw std::invalid_argument("AllInterval: n must be >= 2");
   }
@@ -73,6 +75,7 @@ Cost AllInterval::on_rebind() {
   Cost cost = 0;
   for (std::size_t p = 0; p + 1 < n_; ++p) {
     const int d = diff_at(p);
+    pair_diff_[p] = d;
     if (occ_[static_cast<std::size_t>(d)]++ >= 1) ++cost;
   }
   return cost;
@@ -142,9 +145,136 @@ Cost AllInterval::did_swap(std::size_t i, std::size_t j) {
   }
   for (std::size_t k = 0; k < count; ++k) {
     const int d = diff_at(pairs[k]);
+    pair_diff_[pairs[k]] = d;
     if (occ_[static_cast<std::size_t>(d)]++ >= 1) ++delta;
   }
   return total_cost() + delta;
+}
+
+void AllInterval::cost_on_all_variables(std::span<Cost> out) const {
+  // One pass over the n-1 adjacent differences (maintained incrementally by
+  // did_swap/on_rebind), charging each surplus to both endpoints — the
+  // scalar projection without n virtual calls.
+  std::fill(out.begin(), out.end(), Cost{0});
+  for (std::size_t p = 0; p + 1 < n_; ++p) {
+    const int c = occ_[static_cast<std::size_t>(pair_diff_[p])];
+    if (c >= 2) {
+      const Cost s = c - 1;
+      out[p] += s;
+      out[p + 1] += s;
+    }
+  }
+}
+
+namespace {
+inline int abs_diff(int a, int b) noexcept { return a > b ? a - b : b - a; }
+}  // namespace
+
+std::uint64_t AllInterval::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                         std::size_t& best_j, Cost& best_cost,
+                                         std::size_t& ties) const {
+  // Probe-and-undo on the occurrence table: the <= 4 old differences come
+  // from pair_diff_ (rebuilt once per call), only the <= 4 hypothetical ones
+  // are computed per candidate, and the surplus marginals telescope so the
+  // fused retract/assert pass yields the exact cost_if_swap value.  The
+  // x-side flags are loop-invariant and the j-side ones fail only at the two
+  // border candidates, so the inner loop runs effectively branch-free.
+  const auto vals = values();
+  const Cost total = total_cost();
+  const int vx = vals[x];
+  const bool x_has_left = x > 0;
+  const bool x_has_right = x + 1 < n_;
+  const int vxl = x_has_left ? vals[x - 1] : 0;
+  const int vxr = x_has_right ? vals[x + 1] : 0;
+  const int d1 = x_has_left ? pair_diff_[x - 1] : 0;
+  const int d2 = x_has_right ? pair_diff_[x] : 0;
+  int* const occ = occ_.data();
+
+  // Fold the candidate-independent retraction of x's pairs into the table
+  // for the compute pass (restored before the generic probes run and before
+  // returning).  The surplus marginals telescope, so every candidate's
+  // delta is delta0 plus its own j-side ops evaluated on the folded counts —
+  // and all corrections against the x-side removals vanish from the inner
+  // loop.
+  Cost delta0 = 0;
+  if (x_has_left) delta0 -= (--occ[d1] >= 1);
+  if (x_has_right) delta0 -= (--occ[d2] >= 1);
+  const auto restore_x = [&] {
+    if (x_has_left) ++occ[d1];
+    if (x_has_right) ++occ[d2];
+  };
+
+  // Phase 1: every candidate's total cost into cand_cost_ — pure compute,
+  // no tie-break branches interleaved, so loads pipeline across candidates.
+  // The kernel is specialized on the (call-constant) x-boundary flags so
+  // dead terms fold away.  Ops run in a fixed order (remove d3, d4; add
+  // a1..a4) and each marginal corrects its slot count by the equality-folded
+  // net of the earlier ops — read-only and branch-free per candidate.
+  const Cost base = total + delta0;
+  Cost* const cand = cand_cost_.data();
+  const std::size_t lo = x > 0 ? x - 1 : 0;            // specials: x and its
+  const std::size_t hi = x + 1 < n_ ? x + 1 : n_ - 1;  // neighbours + borders
+  const auto run = [&](auto xl_tag, auto xr_tag) {
+    constexpr bool kXL = decltype(xl_tag)::value;
+    constexpr bool kXR = decltype(xr_tag)::value;
+    for (std::size_t j = 1; j + 1 < n_; ++j) {
+      if (j >= lo && j <= hi) continue;  // filled by the generic probe below
+      const int vj = vals[j];
+      const int vjl = vals[j - 1];
+      const int vjr = vals[j + 1];
+      const int d3 = pair_diff_[j - 1];
+      const int d4 = pair_diff_[j];
+      const int a3 = abs_diff(vx, vjl);
+      const int a4 = abs_diff(vjr, vx);
+      Cost delta = 0;
+      delta -= (occ[d3] >= 2);
+      delta -= (occ[d4] - (d4 == d3) >= 2);
+      int a1 = 0, a2 = 0;
+      if constexpr (kXL) {
+        a1 = abs_diff(vj, vxl);
+        delta += (occ[a1] - (a1 == d3) - (a1 == d4) >= 1);
+      }
+      if constexpr (kXR) {
+        a2 = abs_diff(vxr, vj);
+        delta += (occ[a2] - (a2 == d3) - (a2 == d4) + (kXL && a2 == a1) >=
+                  1);
+      }
+      delta += (occ[a3] - (a3 == d3) - (a3 == d4) + (kXL && a3 == a1) +
+                    (kXR && a3 == a2) >=
+                1);
+      delta += (occ[a4] - (a4 == d3) - (a4 == d4) + (kXL && a4 == a1) +
+                    (kXR && a4 == a2) + (a4 == a3) >=
+                1);
+      cand[j] = base + delta;
+    }
+  };
+  if (x_has_left && x_has_right) {
+    run(std::true_type{}, std::true_type{});
+  } else if (x_has_left) {
+    run(std::true_type{}, std::false_type{});
+  } else {
+    run(std::false_type{}, std::true_type{});
+  }
+  // Specials — borders, x's neighbourhood (adjacency shares a pair): the
+  // deduplicating scalar probe on the restored table (at most 7 per call).
+  restore_x();
+  for (std::size_t j = lo; j <= hi; ++j) {
+    if (j != x) cand[j] = AllInterval::cost_if_swap(x, j);
+  }
+  cand[0] = x == 0 ? 0 : AllInterval::cost_if_swap(x, 0);
+  cand[n_ - 1] = x == n_ - 1 ? 0 : AllInterval::cost_if_swap(x, n_ - 1);
+
+  // Phase 2: reservoir scan over the array — identical draw order to the
+  // historical inline loop.
+  csp::SwapScan scan(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == x) continue;
+    scan.consider(j, cand[j], rng);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return n_ - 1;
 }
 
 bool AllInterval::verify(std::span<const int> vals) const {

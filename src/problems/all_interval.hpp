@@ -28,6 +28,10 @@ class AllInterval final : public csp::PermutationProblem {
   [[nodiscard]] csp::Cost cost_on_variable(std::size_t i) const override;
   [[nodiscard]] csp::Cost cost_if_swap(std::size_t i,
                                        std::size_t j) const override;
+  void cost_on_all_variables(std::span<csp::Cost> out) const override;
+  std::uint64_t best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                              std::size_t& best_j, csp::Cost& best_cost,
+                              std::size_t& ties) const override;
   [[nodiscard]] bool verify(std::span<const int> values) const override;
   [[nodiscard]] csp::TuningHints tuning() const noexcept override;
 
@@ -60,6 +64,13 @@ class AllInterval final : public csp::PermutationProblem {
   /// occ_[d] = number of adjacent pairs with |difference| == d (d in 1..n-1).
   /// Mutable: cost_if_swap tweaks and rolls back entries (<= 4) in place.
   mutable std::vector<int> occ_;
+  /// |V[p+1] - V[p]| per pair start, maintained incrementally by
+  /// did_swap/on_rebind so the bulk scans read the current differences
+  /// instead of recomputing them; cand_cost_ holds every candidate's total
+  /// cost so the reservoir scan runs over a plain array after the compute
+  /// pass of best_swap_for.
+  mutable std::vector<int> pair_diff_;
+  mutable std::vector<csp::Cost> cand_cost_;
 };
 
 }  // namespace cspls::problems

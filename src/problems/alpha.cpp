@@ -49,6 +49,7 @@ Alpha::Alpha() : PermutationProblem(canonical_values()), letter_eqs_(26) {
     }
   }
   sums_.assign(coeffs_.size(), 0);
+  eq_err_.assign(coeffs_.size(), 0);
 }
 
 const std::string& Alpha::name() const noexcept { return name_; }
@@ -132,6 +133,37 @@ Cost Alpha::did_swap(std::size_t i, std::size_t j) {
   Cost cost = 0;
   for (std::size_t e = 0; e < coeffs_.size(); ++e) cost += equation_error(e);
   return cost;
+}
+
+void Alpha::cost_on_all_variables(std::span<Cost> out) const {
+  // Equation errors once (~20 of them), then one pass over the (sparse)
+  // letter -> equation index — instead of 26 scalar calls re-deriving the
+  // same equation errors.
+  for (std::size_t e = 0; e < sums_.size(); ++e) {
+    eq_err_[e] = equation_error(e);
+  }
+  for (std::size_t letter = 0; letter < out.size(); ++letter) {
+    Cost err = 0;
+    for (const std::size_t e : letter_eqs_[letter]) err += eq_err_[e];
+    out[letter] = err;
+  }
+}
+
+std::uint64_t Alpha::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                   std::size_t& best_j, Cost& best_cost,
+                                   std::size_t& ties) const {
+  // cost_if_swap is already O(equations containing either letter); the bulk
+  // win here is devirtualizing the candidate loop.
+  const std::size_t nn = num_variables();
+  csp::SwapScan scan(nn);
+  for (std::size_t j = 0; j < nn; ++j) {
+    if (j == x) continue;
+    scan.consider(j, Alpha::cost_if_swap(x, j), rng);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return nn - 1;
 }
 
 bool Alpha::verify(std::span<const int> vals) const {

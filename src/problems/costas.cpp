@@ -20,9 +20,23 @@ Costas::Costas(std::size_t n)
     : PermutationProblem(canonical_values(n)),
       n_(n),
       stride_(2 * n + 1),
-      occ_((n - 1) * (2 * n + 1), 0) {
+      occ_((n - 1) * (2 * n + 1), 0),
+      rowoff_(n * n, 0),
+      sign_(n * n, 0),
+      xrem_slots_(n, 0),
+      undo_rem_(2 * n, 0),
+      undo_add_(2 * n, 0) {
   if (n < 2) {
     throw std::invalid_argument("Costas: n must be >= 2");
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      const std::size_t d = p > q ? p - q : q - p;
+      rowoff_[p * n + q] =
+          static_cast<std::uint32_t>((d - 1) * stride_ + n);
+      sign_[p * n + q] = q > p ? 1 : -1;
+    }
   }
 }
 
@@ -150,6 +164,104 @@ Cost Costas::did_swap(std::size_t i, std::size_t j) {
     delta += bump(a, d, +1, post_swap);
   });
   return total_cost() + delta;
+}
+
+void Costas::cost_on_all_variables(std::span<Cost> out) const {
+  // One pass over the difference triangle instead of n scalar calls of O(n)
+  // each: every pair's surplus is charged to both endpoints, which is
+  // exactly the cost_on_variable projection summed per variable.
+  std::fill(out.begin(), out.end(), Cost{0});
+  const auto vals = values();
+  for (std::size_t d = 1; d < n_; ++d) {
+    const int* occ_row = occ_.data() + (d - 1) * stride_ +
+                         static_cast<std::ptrdiff_t>(n_);
+    for (std::size_t a = 0; a + d < n_; ++a) {
+      const int c = occ_row[vals[a + d] - vals[a]];
+      if (c >= 2) {
+        const Cost s = c - 1;
+        out[a] += s;
+        out[a + d] += s;
+      }
+    }
+  }
+}
+
+std::uint64_t Costas::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                    std::size_t& best_j, Cost& best_cost,
+                                    std::size_t& ties) const {
+  // Probe-and-undo candidate deltas, one fused pass per candidate.  The cost
+  // is a sum of per-slot surpluses g(c) = max(0, c - 1) whose marginals
+  // telescope, so retracting the ~2n affected pairs and asserting their
+  // hypothetical replacements directly on occ_ (recording the slots for the
+  // undo) yields the exact cost_if_swap value with no virtual calls, no
+  // rollback recomputation and — thanks to the sign-folded slot tables — no
+  // branches in the inner loop.
+  const std::size_t n = n_;
+  const auto vals = values();
+  const Cost total = total_cost();
+  const int vx = vals[x];
+  const std::uint32_t* ro_x = rowoff_.data() + x * n;
+  const std::int8_t* sg_x = sign_.data() + x * n;
+
+  // The retraction slots of x's pairs are candidate-independent: cache them.
+  for (std::size_t q = 0; q < n; ++q) {
+    if (q == x) continue;
+    xrem_slots_[q] = static_cast<std::uint32_t>(
+        static_cast<int>(ro_x[q]) + sg_x[q] * (vals[q] - vx));
+  }
+
+  int* const occ = occ_.data();
+  std::uint32_t* const rem = undo_rem_.data();
+  std::uint32_t* const add = undo_add_.data();
+  csp::SwapScan scan(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == x) continue;
+    const int vj = vals[j];
+    const std::uint32_t* ro_j = rowoff_.data() + j * n;
+    const std::int8_t* sg_j = sign_.data() + j * n;
+    std::size_t count = 0;
+    Cost delta = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == x || q == j) continue;
+      const int vq = vals[q];
+      // Retract pair {x, q} (cached) and pair {j, q} (current values)...
+      const std::uint32_t s_rx = xrem_slots_[q];
+      delta -= (--occ[s_rx] >= 1);
+      const std::uint32_t s_rj = static_cast<std::uint32_t>(
+          static_cast<int>(ro_j[q]) + sg_j[q] * (vq - vj));
+      delta -= (--occ[s_rj] >= 1);
+      // ...and assert them under the exchange: x holds vj, j holds vx.
+      const std::uint32_t s_ax = static_cast<std::uint32_t>(
+          static_cast<int>(ro_x[q]) + sg_x[q] * (vq - vj));
+      delta += (occ[s_ax]++ >= 1);
+      const std::uint32_t s_aj = static_cast<std::uint32_t>(
+          static_cast<int>(ro_j[q]) + sg_j[q] * (vq - vx));
+      delta += (occ[s_aj]++ >= 1);
+      rem[count] = s_rx;
+      add[count] = s_ax;
+      rem[count + 1] = s_rj;
+      add[count + 1] = s_aj;
+      count += 2;
+    }
+    // The {x, j} pair itself: retract once, assert its exchanged diff.
+    const std::uint32_t s_rxj = xrem_slots_[j];
+    delta -= (--occ[s_rxj] >= 1);
+    const std::uint32_t s_axj = static_cast<std::uint32_t>(
+        static_cast<int>(ro_x[j]) + sg_x[j] * (vx - vj));
+    delta += (occ[s_axj]++ >= 1);
+    rem[count] = s_rxj;
+    add[count] = s_axj;
+    ++count;
+    scan.consider(j, total + delta, rng);
+    for (std::size_t k = 0; k < count; ++k) {
+      ++occ[rem[k]];
+      --occ[add[k]];
+    }
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return n - 1;
 }
 
 bool Costas::verify(std::span<const int> vals) const {

@@ -31,6 +31,10 @@ class Costas final : public csp::PermutationProblem {
   [[nodiscard]] csp::Cost cost_on_variable(std::size_t i) const override;
   [[nodiscard]] csp::Cost cost_if_swap(std::size_t i,
                                        std::size_t j) const override;
+  void cost_on_all_variables(std::span<csp::Cost> out) const override;
+  std::uint64_t best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                              std::size_t& best_j, csp::Cost& best_cost,
+                              std::size_t& ties) const override;
   [[nodiscard]] bool verify(std::span<const int> values) const override;
   [[nodiscard]] csp::TuningHints tuning() const noexcept override;
 
@@ -61,6 +65,17 @@ class Costas final : public csp::PermutationProblem {
   std::string name_ = "costas";
   /// Occurrence tables, mutable for probe/rollback in cost_if_swap.
   mutable std::vector<int> occ_;
+  /// best_swap_for acceleration tables (value-independent, built once):
+  /// for the pair {p, q}, slot = rowoff_[p*n+q] + sign_[p*n+q] * (V[q]-V[p])
+  /// — the (d-1)*stride + n row offset with the diff's orientation folded
+  /// into a sign, so the candidate loop computes slots branch-free.
+  std::vector<std::uint32_t> rowoff_;
+  std::vector<std::int8_t> sign_;
+  /// Per-call scratch (alloc-free steady state): cached slots of the pairs
+  /// through the selected variable, and the probe undo lists.
+  mutable std::vector<std::uint32_t> xrem_slots_;
+  mutable std::vector<std::uint32_t> undo_rem_;
+  mutable std::vector<std::uint32_t> undo_add_;
 };
 
 }  // namespace cspls::problems

@@ -104,6 +104,59 @@ Cost Langford::did_swap(std::size_t i, std::size_t j) {
   return total_cost() - before + after;
 }
 
+void Langford::cost_on_all_variables(std::span<Cost> out) const {
+  // Each number's error is shared by its two copies: compute it once per
+  // number and scatter through the position index.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const Cost err = number_error(k);
+    out[pos_[2 * k]] = err;
+    out[pos_[2 * k + 1]] = err;
+  }
+}
+
+std::uint64_t Langford::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                      std::size_t& best_j, Cost& best_cost,
+                                      std::size_t& ties) const {
+  const std::size_t nn = num_variables();
+  const auto vals = values();
+  const Cost total = total_cost();
+  const auto item_x = static_cast<std::size_t>(vals[x]);
+  const std::size_t kx = item_x / 2;
+  const Cost ex = number_error(kx);
+  const auto mate_x_pos = static_cast<std::ptrdiff_t>(pos_[item_x ^ 1U]);
+
+  const auto gap_error = [](std::ptrdiff_t a, std::ptrdiff_t b,
+                            std::size_t k) noexcept {
+    const auto gap = a > b ? a - b : b - a;
+    const auto miss = gap - (static_cast<std::ptrdiff_t>(k) + 2);
+    return static_cast<Cost>(miss < 0 ? -miss : miss);
+  };
+
+  csp::SwapScan scan(nn);
+  for (std::size_t j = 0; j < nn; ++j) {
+    if (j == x) continue;
+    const auto item_j = static_cast<std::size_t>(vals[j]);
+    const std::size_t kj = item_j / 2;
+    if (kj == kx) {
+      // Both copies of one number: the gap is symmetric, nothing changes.
+      scan.consider(j, total, rng);
+      continue;
+    }
+    // Hypothetically item_x sits at j and item_j at x; the mates stay put.
+    const Cost ex_after = gap_error(static_cast<std::ptrdiff_t>(j),
+                                    mate_x_pos, kx);
+    const Cost ej = number_error(kj);
+    const Cost ej_after =
+        gap_error(static_cast<std::ptrdiff_t>(x),
+                  static_cast<std::ptrdiff_t>(pos_[item_j ^ 1U]), kj);
+    scan.consider(j, total - ex - ej + ex_after + ej_after, rng);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return nn - 1;
+}
+
 bool Langford::verify(std::span<const int> vals) const {
   if (vals.size() != 2 * n_) return false;
   if (!csp::is_permutation_of(vals, canonical_values(n_))) return false;

@@ -28,6 +28,10 @@ class Langford final : public csp::PermutationProblem {
   [[nodiscard]] csp::Cost cost_on_variable(std::size_t i) const override;
   [[nodiscard]] csp::Cost cost_if_swap(std::size_t i,
                                        std::size_t j) const override;
+  void cost_on_all_variables(std::span<csp::Cost> out) const override;
+  std::uint64_t best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                              std::size_t& best_j, csp::Cost& best_cost,
+                              std::size_t& ties) const override;
   [[nodiscard]] bool verify(std::span<const int> values) const override;
   [[nodiscard]] csp::TuningHints tuning() const noexcept override;
 

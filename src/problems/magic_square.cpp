@@ -20,7 +20,8 @@ MagicSquare::MagicSquare(std::size_t n)
     : PermutationProblem(canonical_values(n)),
       n_(n),
       magic_(static_cast<Cost>(n) * (static_cast<Cost>(n) * static_cast<Cost>(n) + 1) / 2),
-      sums_(2 * n + 2, 0) {
+      sums_(2 * n + 2, 0),
+      line_err_(2 * n + 2, 0) {
   if (n < 3) {
     throw std::invalid_argument("MagicSquare: n must be >= 3");
   }
@@ -50,11 +51,13 @@ Cost MagicSquare::on_rebind() {
       if (i + j == n_ - 1) sums_[2 * n_ + 1] += v;
     }
   }
-  Cost cost = 0;
+  err_sum_ = 0;
   for (std::size_t line = 0; line < sums_.size(); ++line) {
-    cost += line_error(line);
+    const Cost d = sums_[line] - magic_;
+    line_err_[line] = d < 0 ? -d : d;
+    err_sum_ += line_err_[line];
   }
-  return cost;
+  return err_sum_;
 }
 
 Cost MagicSquare::full_cost() const {
@@ -98,9 +101,7 @@ Cost MagicSquare::swap_delta(std::size_t a, std::size_t b) const {
 
   Cost delta = 0;
   const auto add = [&](std::size_t line, Cost change) {
-    const Cost before = line_error(line);
-    const Cost s = sums_[line] + change - magic_;
-    delta += (s < 0 ? -s : s) - before;
+    delta += line_error_after(line, change);
   };
   if (ia != ib) {
     add(ia, d);
@@ -124,28 +125,79 @@ Cost MagicSquare::cost_if_swap(std::size_t i, std::size_t j) const {
 Cost MagicSquare::did_swap(std::size_t i, std::size_t j) {
   // values() already reflect the swap; sums_ do not yet.  The delta formula
   // needs pre-swap values, and value(i)/value(j) are now exchanged, so the
-  // "incoming" value at i is value(i) = old value(j): recompute directly.
+  // "incoming" value at i is value(i) = old value(j).  Only the <= 6 lines
+  // through the two cells move; shift_line keeps the per-line error cache
+  // and the running total exact, so the commit is O(1), not O(n).
   const Cost d = static_cast<Cost>(value(i)) - static_cast<Cost>(value(j));
   const std::size_t ia = i / n_, ja = i % n_;
   const std::size_t ib = j / n_, jb = j % n_;
   if (ia != ib) {
-    sums_[ia] += d;
-    sums_[ib] -= d;
+    shift_line(ia, d);
+    shift_line(ib, -d);
   }
   if (ja != jb) {
-    sums_[n_ + ja] += d;
-    sums_[n_ + jb] -= d;
+    shift_line(n_ + ja, d);
+    shift_line(n_ + jb, -d);
   }
   const bool a_d1 = (ia == ja), b_d1 = (ib == jb);
-  if (a_d1 != b_d1) sums_[2 * n_] += a_d1 ? d : -d;
+  if (a_d1 != b_d1) shift_line(2 * n_, a_d1 ? d : -d);
   const bool a_d2 = (ia + ja == n_ - 1), b_d2 = (ib + jb == n_ - 1);
-  if (a_d2 != b_d2) sums_[2 * n_ + 1] += a_d2 ? d : -d;
+  if (a_d2 != b_d2) shift_line(2 * n_ + 1, a_d2 ? d : -d);
+  return err_sum_;
+}
 
-  Cost cost = 0;
-  for (std::size_t line = 0; line < sums_.size(); ++line) {
-    cost += line_error(line);
+void MagicSquare::cost_on_all_variables(std::span<Cost> out) const {
+  // One pass over the board reading the cached line errors: the bulk scan
+  // shares the 2n+2 error lookups across all n^2 cells.
+  std::size_t k = 0;
+  const Cost d1 = line_err_[2 * n_], d2 = line_err_[2 * n_ + 1];
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Cost row = line_err_[i];
+    for (std::size_t j = 0; j < n_; ++j, ++k) {
+      Cost err = row + line_err_[n_ + j];
+      if (i == j) err += d1;
+      if (i + j == n_ - 1) err += d2;
+      out[k] = err;
+    }
   }
-  return cost;
+}
+
+std::uint64_t MagicSquare::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                         std::size_t& best_j, Cost& best_cost,
+                                         std::size_t& ties) const {
+  // Specialized swap_delta with everything about cell x hoisted out of the
+  // candidate loop; the board walk tracks (row, col) so no divisions happen
+  // per candidate.
+  const std::size_t nn = num_variables();
+  const std::size_t ia = x / n_, ja = x % n_;
+  const Cost va = value(x);
+  const bool a_d1 = (ia == ja), a_d2 = (ia + ja == n_ - 1);
+  const Cost total = total_cost();
+  const auto vals = values();
+  csp::SwapScan scan(nn);
+  std::size_t b = 0;
+  for (std::size_t ib = 0; ib < n_; ++ib) {
+    for (std::size_t jb = 0; jb < n_; ++jb, ++b) {
+      if (b == x) continue;
+      const Cost d = static_cast<Cost>(vals[b]) - va;
+      Cost delta = 0;
+      if (ia != ib) {
+        delta += line_error_after(ia, d) + line_error_after(ib, -d);
+      }
+      if (ja != jb) {
+        delta += line_error_after(n_ + ja, d) + line_error_after(n_ + jb, -d);
+      }
+      const bool b_d1 = (ib == jb);
+      if (a_d1 != b_d1) delta += line_error_after(2 * n_, a_d1 ? d : -d);
+      const bool b_d2 = (ib + jb == n_ - 1);
+      if (a_d2 != b_d2) delta += line_error_after(2 * n_ + 1, a_d2 ? d : -d);
+      scan.consider(b, total + delta, rng);
+    }
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return nn - 1;
 }
 
 bool MagicSquare::verify(std::span<const int> vals) const {

@@ -28,6 +28,10 @@ class MagicSquare final : public csp::PermutationProblem {
   [[nodiscard]] csp::Cost cost_on_variable(std::size_t i) const override;
   [[nodiscard]] csp::Cost cost_if_swap(std::size_t i,
                                        std::size_t j) const override;
+  void cost_on_all_variables(std::span<csp::Cost> out) const override;
+  std::uint64_t best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                              std::size_t& best_j, csp::Cost& best_cost,
+                              std::size_t& ties) const override;
   [[nodiscard]] bool verify(std::span<const int> values) const override;
   [[nodiscard]] csp::TuningHints tuning() const noexcept override;
 
@@ -46,18 +50,35 @@ class MagicSquare final : public csp::PermutationProblem {
   static constexpr std::size_t kNoLine = static_cast<std::size_t>(-1);
 
   [[nodiscard]] csp::Cost line_error(std::size_t line) const noexcept {
-    const csp::Cost d = sums_[line] - magic_;
-    return d < 0 ? -d : d;
+    return line_err_[line];
+  }
+
+  /// |error| change of `line` if its sum moved by `change`.
+  [[nodiscard]] csp::Cost line_error_after(std::size_t line,
+                                           csp::Cost change) const noexcept {
+    const csp::Cost d = sums_[line] + change - magic_;
+    return (d < 0 ? -d : d) - line_err_[line];
   }
 
   /// Sum of |error| changes over lines affected by writing `delta` into the
   /// lines of cell a and `-delta` into the lines of cell b.
   [[nodiscard]] csp::Cost swap_delta(std::size_t a, std::size_t b) const;
 
+  /// Move `line`'s sum by `change`, keeping line_err_ and err_sum_ in sync.
+  void shift_line(std::size_t line, csp::Cost change) noexcept {
+    sums_[line] += change;
+    const csp::Cost d = sums_[line] - magic_;
+    const csp::Cost err = d < 0 ? -d : d;
+    err_sum_ += err - line_err_[line];
+    line_err_[line] = err;
+  }
+
   std::size_t n_;
   csp::Cost magic_;
   std::string name_ = "magic-square";
-  std::vector<csp::Cost> sums_;  ///< 2n+2 line sums
+  std::vector<csp::Cost> sums_;      ///< 2n+2 line sums
+  std::vector<csp::Cost> line_err_;  ///< |sums_ - M| per line, cached
+  csp::Cost err_sum_ = 0;            ///< running total of line_err_
 };
 
 }  // namespace cspls::problems

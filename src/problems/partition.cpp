@@ -104,6 +104,38 @@ Cost Partition::did_swap(std::size_t i, std::size_t j) {
   return cost_from(sum_a_, sq_a_);
 }
 
+void Partition::cost_on_all_variables(std::span<Cost> out) const {
+  // The model projects the global cost uniformly onto every variable.
+  std::fill(out.begin(), out.end(), total_cost());
+}
+
+std::uint64_t Partition::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                       std::size_t& best_j, Cost& best_cost,
+                                       std::size_t& ties) const {
+  const auto vals = values();
+  const Cost total = total_cost();
+  const bool x_in_a = x < half_;
+  const Cost vx = vals[x];
+  csp::SwapScan scan(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == x) continue;
+    if ((j < half_) == x_in_a) {
+      // Same side: the partition is unchanged.
+      scan.consider(j, total, rng);
+      continue;
+    }
+    const Cost va = x_in_a ? vx : vals[j];  // leaves side A
+    const Cost vb = x_in_a ? vals[j] : vx;  // joins side A
+    scan.consider(j,
+                  cost_from(sum_a_ - va + vb, sq_a_ - va * va + vb * vb),
+                  rng);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return n_ - 1;
+}
+
 bool Partition::verify(std::span<const int> vals) const {
   if (vals.size() != n_) return false;
   if (!csp::is_permutation_of(vals, canonical_values(n_))) return false;

@@ -175,6 +175,35 @@ Cost PerfectSquare::did_swap(std::size_t /*i*/, std::size_t /*j*/) {
   return decode(values(), &overflow_by_pos_, &placements_);
 }
 
+void PerfectSquare::cost_on_all_variables(std::span<Cost> out) const {
+  // The decoder already attributes waste per order position on every commit.
+  std::copy(overflow_by_pos_.begin(), overflow_by_pos_.end(), out.begin());
+}
+
+std::uint64_t PerfectSquare::best_swap_for(std::size_t x,
+                                           util::Xoshiro256& rng,
+                                           std::size_t& best_j,
+                                           Cost& best_cost,
+                                           std::size_t& ties) const {
+  // Each candidate still re-runs the decoder (the placement of square k
+  // depends on every earlier placement), but the order buffer is built once
+  // and patched by two-element swaps instead of copied per candidate.
+  const std::size_t nn = num_variables();
+  const auto vals = values();
+  std::copy(vals.begin(), vals.end(), scratch_order_.begin());
+  csp::SwapScan scan(nn);
+  for (std::size_t j = 0; j < nn; ++j) {
+    if (j == x) continue;
+    std::swap(scratch_order_[x], scratch_order_[j]);
+    scan.consider(j, decode(scratch_order_, nullptr, nullptr), rng);
+    std::swap(scratch_order_[x], scratch_order_[j]);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return nn - 1;
+}
+
 bool PerfectSquare::verify(std::span<const int> vals) const {
   const auto n = instance_.sizes.size();
   if (vals.size() != n) return false;

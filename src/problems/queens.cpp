@@ -106,6 +106,70 @@ Cost Queens::did_swap(std::size_t i, std::size_t j) {
   return total_cost() + delta;
 }
 
+void Queens::cost_on_all_variables(std::span<Cost> out) const {
+  const auto vals = values();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const int row = vals[i];
+    const int u = up_[up_slot(i, row)];
+    const int d = down_[down_slot(i, row)];
+    out[i] = (u >= 2 ? u - 1 : 0) + (d >= 2 ? d - 1 : 0);
+  }
+}
+
+namespace {
+
+/// Surplus change of removing one occupant from diagonals a and b (possibly
+/// the same) — closed form of the bump/rollback dance, no writes.
+inline Cost remove_two(const std::vector<int>& occ, std::size_t a,
+                       std::size_t b) noexcept {
+  if (a == b) {
+    const int c = occ[a];
+    return c >= 3 ? -2 : (c == 2 ? -1 : 0);
+  }
+  return (occ[a] >= 2 ? Cost{-1} : Cost{0}) +
+         (occ[b] >= 2 ? Cost{-1} : Cost{0});
+}
+
+/// Surplus change of adding one occupant to diagonals a and b (possibly the
+/// same).  Addition slots are always disjoint from the removal slots of the
+/// same candidate (coincidence would force equal rows or columns), so the
+/// two closed forms compose without interference.
+inline Cost add_two(const std::vector<int>& occ, std::size_t a,
+                    std::size_t b) noexcept {
+  if (a == b) {
+    return occ[a] >= 1 ? Cost{2} : Cost{1};
+  }
+  return (occ[a] >= 1 ? Cost{1} : Cost{0}) +
+         (occ[b] >= 1 ? Cost{1} : Cost{0});
+}
+
+}  // namespace
+
+std::uint64_t Queens::best_swap_for(std::size_t x, util::Xoshiro256& rng,
+                                    std::size_t& best_j, Cost& best_cost,
+                                    std::size_t& ties) const {
+  const auto vals = values();
+  const Cost total = total_cost();
+  const int rx = vals[x];
+  const std::size_t ux = up_slot(x, rx);
+  const std::size_t dx = down_slot(x, rx);
+  csp::SwapScan scan(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == x) continue;
+    const int rj = vals[j];
+    const Cost delta =
+        remove_two(up_, ux, up_slot(j, rj)) +
+        add_two(up_, up_slot(x, rj), up_slot(j, rx)) +
+        remove_two(down_, dx, down_slot(j, rj)) +
+        add_two(down_, down_slot(x, rj), down_slot(j, rx));
+    scan.consider(j, total + delta, rng);
+  }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return n_ - 1;
+}
+
 bool Queens::verify(std::span<const int> vals) const {
   if (vals.size() != n_) return false;
   if (!csp::is_permutation_of(vals, canonical_values(n_))) return false;

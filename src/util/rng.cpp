@@ -53,23 +53,6 @@ void Xoshiro256::long_jump() noexcept {
   state_ = acc;
 }
 
-std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  if (bound <= 1) return 0;
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (low < threshold) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t Xoshiro256::between(std::int64_t lo, std::int64_t hi) noexcept {
   const auto width =
       static_cast<std::uint64_t>(hi - lo) + 1;  // hi >= lo expected

@@ -71,8 +71,23 @@ class Xoshiro256 {
   void long_jump() noexcept;
 
   /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
-  /// method (unbiased, one division in the rare rejection path).
-  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+  /// method (unbiased, one division in the rare rejection path).  Defined
+  /// inline: this is the tie-break draw on the solver's hot path.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) [[unlikely]] {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;

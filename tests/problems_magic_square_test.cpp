@@ -133,6 +133,32 @@ TEST(MagicSquare, CostIsInvariantUnderSelfConsistencyWalk) {
   EXPECT_EQ(p.total_cost(), p.full_cost());
 }
 
+TEST(MagicSquare, DidSwapMaintainsTotalIncrementallyOverLongSequences) {
+  // did_swap must keep the cached line errors and the running total exact
+  // without ever re-summing all 2n+2 lines: every committed swap's return
+  // value has to equal an independent full recomputation, over long random
+  // sequences interleaved with partial resets and rebinds.
+  for (const std::size_t n : {3u, 5u, 8u, 12u}) {
+    MagicSquare p(n);
+    util::Xoshiro256 rng(1000 + n);
+    p.randomize(rng);
+    const std::size_t cells = n * n;
+    for (int step = 0; step < 5000; ++step) {
+      const auto i = static_cast<std::size_t>(rng.below(cells));
+      auto j = static_cast<std::size_t>(rng.below(cells));
+      if (i == j) j = (j + 1) % cells;
+      const Cost committed = p.swap(i, j);
+      ASSERT_EQ(committed, p.full_cost()) << "n=" << n << " step " << step;
+      ASSERT_EQ(committed, p.total_cost());
+      if (step % 997 == 0) {
+        // Interleave the other rebind paths; the caches must stay exact.
+        const Cost reset = p.reset_perturbation(0.2, rng);
+        ASSERT_EQ(reset, p.full_cost());
+      }
+    }
+  }
+}
+
 TEST(MagicSquare, InstanceDescriptionMentionsSizeAndConstant) {
   MagicSquare p(5);
   const std::string desc = p.instance_description();
