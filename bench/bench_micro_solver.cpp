@@ -101,12 +101,12 @@ int main(int argc, char** argv) {
                        "per kernel, emitting BENCH_micro.json");
   args.add_flag("quick", "CI smoke mode: 1/10 iteration budgets");
   args.add_string("out", "BENCH_micro.json", "JSON output path");
-  args.add_int("seed", 0xB5EED, "master RNG seed");
+  args.add_uint64("seed", 0xB5EED, "master RNG seed");
   if (!args.parse(argc, argv)) {
     return args.help_requested() ? 0 : 2;
   }
   const bool quick = args.flag("quick");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto seed = args.get_uint64("seed");
 
   std::printf("# bench_micro_solver — batched vs scalar hot path%s\n",
               quick ? " (--quick)" : "");

@@ -3,18 +3,25 @@
 #include <cstdio>
 
 #include "problems/registry.hpp"
+#include "problems/spec.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace cspls::bench {
 
 std::unique_ptr<csp::Problem> BenchmarkSpec::instantiate() const {
-  return problems::make_problem(name, size, instance_seed);
+  return problems::instantiate(
+      problems::ProblemSpec{name, size, instance_seed});
 }
 
 std::string BenchmarkSpec::label() const {
   if (name == "perfect-square" && size == 0) return name + "(order-21)";
   return name + "(" + std::to_string(size) + ")";
+}
+
+std::string BenchmarkSpec::spec_string() const {
+  return problems::format_spec(
+      problems::ProblemSpec{name, size, instance_seed});
 }
 
 std::vector<BenchmarkSpec> paper_suite(bool paper_scale) {
@@ -27,6 +34,24 @@ std::vector<BenchmarkSpec> paper_suite(bool paper_scale) {
 
 BenchmarkSpec spec_for(const std::string& name, bool paper_scale) {
   BenchmarkSpec spec;
+  if (name.find(':') != std::string::npos ||
+      name.find('@') != std::string::npos) {
+    const problems::ProblemSpec parsed = problems::parse_spec(name);
+    spec.name = parsed.name;
+    // An explicit ":size" wins; a seed-only spec ("costas@7") still sizes
+    // by the requested scale like a bare name would.
+    spec.size = name.find(':') != std::string::npos
+                    ? parsed.size
+                    : (paper_scale ? problems::paper_size(parsed.name)
+                                   : problems::bench_size(parsed.name));
+    if (parsed.instance_seed != 0) spec.instance_seed = parsed.instance_seed;
+    return spec;
+  }
+  if (!problems::is_known_problem(name)) {
+    // Reject with the name-listing diagnostic instead of the bench_size
+    // lookup's terser failure.
+    (void)problems::parse_spec(name);
+  }
   spec.name = name;
   spec.size =
       paper_scale ? problems::paper_size(name) : problems::bench_size(name);
@@ -142,7 +167,7 @@ std::optional<HarnessOptions> parse_harness_options(
   util::ArgParser parser(program, description);
   parser.add_int("samples", static_cast<std::int64_t>(default_samples),
                  "independent single-walk samples per benchmark");
-  parser.add_int("seed", 0xC5B15, "master seed for sampling streams");
+  parser.add_uint64("seed", 0xC5B15, "master seed for sampling streams");
   parser.add_flag("paper-scale",
                   "use the paper's instance sizes (hours of sampling!)");
   parser.add_flag("raw-times",
@@ -153,7 +178,7 @@ std::optional<HarnessOptions> parse_harness_options(
   if (parser.flag("verbose")) util::set_log_level(util::LogLevel::kDebug);
   HarnessOptions options;
   options.samples = static_cast<std::size_t>(parser.get_int("samples"));
-  options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  options.seed = parser.get_uint64("seed");
   options.paper_scale = parser.flag("paper-scale");
   options.raw_times = parser.flag("raw-times");
   options.csv_prefix = parser.get_string("csv").empty()

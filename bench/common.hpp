@@ -30,13 +30,19 @@ struct BenchmarkSpec {
 
   [[nodiscard]] std::unique_ptr<csp::Problem> instantiate() const;
   [[nodiscard]] std::string label() const;
+  /// Canonical spec string ("costas:13@7") — what the JSON solve API and
+  /// problems::parse_spec understand.
+  [[nodiscard]] std::string spec_string() const;
 };
 
 /// The paper's four benchmarks at harness scale (DESIGN.md §4) or at the
 /// paper's own scale (--paper-scale: expect hours of sequential sampling).
 [[nodiscard]] std::vector<BenchmarkSpec> paper_suite(bool paper_scale);
 
-/// Single benchmark spec by name at harness scale.
+/// Single benchmark spec at harness scale.  Accepts either a bare name
+/// ("costas", size chosen by scale) or a full problems::parse_spec string
+/// ("costas:18", explicit size wins).  Throws std::invalid_argument with
+/// the registry's diagnostic on unknown names.
 [[nodiscard]] BenchmarkSpec spec_for(const std::string& name,
                                      bool paper_scale = false);
 

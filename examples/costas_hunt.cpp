@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   args.add_int("min-order", 6, "first order to solve");
   args.add_int("max-order", 14, "last order to solve");
   args.add_int("walkers", 4, "parallel walkers");
-  args.add_int("seed", 2024, "master seed");
+  args.add_uint64("seed", 2024, "master seed");
   args.add_flag("print-grids", "draw each array as a grid of marks");
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     problems::Costas prototype(n);
     parallel::WalkerPoolOptions options;
     options.num_walkers = static_cast<std::size_t>(args.get_int("walkers"));
-    options.master_seed = static_cast<std::uint64_t>(args.get_int("seed")) + n;
+    options.master_seed = args.get_uint64("seed") + n;
     const parallel::WalkerPool solver(options);
 
     util::Stopwatch watch;

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("magic_square_demo",
                        "Watch Adaptive Search build a magic square");
   args.add_int("side", 12, "board side n (values 1..n^2)");
-  args.add_int("seed", 7, "random seed");
+  args.add_uint64("seed", 7, "random seed");
   args.add_int("trace-every", 2000, "observer period in iterations");
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(best_seen));
   };
 
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  util::Xoshiro256 rng(args.get_uint64("seed"));
   const core::Result result = engine.solve(problem, rng, nullptr, hooks);
 
   std::printf("\n%s after %llu iterations (%llu resets, %llu restarts, "

@@ -1,20 +1,21 @@
-// Quickstart: solve a CSP with Adaptive Search, then solve it faster with
-// parallel independent multi-walk.
+// Quickstart: the declarative solve API in 30 seconds.
 //
 //   $ ./quickstart [--problem costas] [--size 12] [--walkers 4] [--seed 1]
+//                  [--deadline-ms 0]
 //
-// This is the 30-second tour of the public API:
-//   1. instantiate a benchmark model from the registry,
-//   2. run one sequential Adaptive Search walk,
+//   1. describe the whole solve as a value: api::SolveRequest names the
+//      instance ("costas:12"), the walker population and the WalkerPool
+//      policies by name — the same JSON document a service client would
+//      send across a process boundary;
+//   2. run one sequential walk through api::Solver (walkers=1);
 //   3. race `walkers` independent engines (the paper's parallel scheme),
-//   4. verify both solutions with the model's independent checker.
+//      optionally under a wall-clock deadline;
+//   4. verify the winning solution with the model's independent checker.
 #include <cstdio>
 
-#include "core/adaptive_search.hpp"
-#include "parallel/walker_pool.hpp"
-#include "problems/registry.hpp"
+#include "api/solver.hpp"
+#include "problems/spec.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace cspls;
@@ -23,55 +24,63 @@ int main(int argc, char** argv) {
   args.add_string("problem", "costas", "benchmark name (see problems/registry.hpp)");
   args.add_int("size", 12, "instance size");
   args.add_int("walkers", 4, "parallel walkers for the multi-walk run");
-  args.add_int("seed", 1, "master seed");
+  args.add_uint64("seed", 1, "master seed");
+  args.add_uint64("deadline-ms", 0, "wall-clock budget for the race (0 = none)");
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
 
-  const auto name = args.get_string("problem");
-  const auto size = static_cast<std::size_t>(args.get_int("size"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  // 1. The solve as a value.  parse_spec/format_spec give the canonical
+  //    instance spelling; Solver::solve rejects unknown names with a
+  //    message listing every valid one.
+  api::SolveRequest request;
+  request.problem = problems::format_spec(problems::ProblemSpec{
+      args.get_string("problem"),
+      static_cast<std::size_t>(args.get_int("size")), 0});
+  request.walkers = static_cast<std::size_t>(args.get_int("walkers"));
+  request.seed = args.get_uint64("seed");
+  request.scheduling = parallel::Scheduling::kThreads;
+  request.topology = parallel::Topology::kIndependent;
+  request.termination = parallel::Termination::kFirstFinisher;
+  request.deadline_ms = args.get_uint64("deadline-ms");
+  std::printf("SolveRequest:\n%s\n", request.to_json_string(2).c_str());
 
-  // 1. A problem instance.  Each model ships its cost function, incremental
-  //    swap accounting, verifier and tuned solver parameters.
-  auto problem = problems::make_problem(name, size);
-  std::printf("Instance: %s (%zu variables)\n",
-              problem->instance_description().c_str(),
-              problem->num_variables());
-
-  // 2. One sequential walk.
-  auto engine = core::AdaptiveSearch::with_defaults(*problem);
-  util::Xoshiro256 rng(seed);
-  const core::Result seq = engine.solve(*problem, rng);
-  std::printf("\nSequential walk:  solved=%s  cost=%lld  %s  (%.3fs)\n",
+  // 2. One sequential walk: the same request, one walker, run to budget.
+  api::SolveRequest sequential = request;
+  sequential.walkers = 1;
+  sequential.scheduling = parallel::Scheduling::kSequential;
+  sequential.termination = parallel::Termination::kBestAfterBudget;
+  sequential.deadline_ms = 0;
+  const api::SolveReport seq = api::Solver::solve(sequential);
+  std::printf("\nSequential walk:  solved=%s  cost=%lld  iters=%llu  (%.3fs)\n",
               seq.solved ? "yes" : "no", static_cast<long long>(seq.cost),
-              seq.stats.to_string().c_str(), seq.stats.seconds);
+              static_cast<unsigned long long>(seq.total_iterations),
+              seq.wall_seconds);
   if (seq.solved) {
+    const auto problem =
+        problems::instantiate(problems::parse_spec(seq.problem));
     std::printf("  verified: %s\n",
                 problem->verify(seq.solution) ? "yes" : "NO (bug!)");
   }
 
-  // 3. The paper's parallel scheme as one point of the WalkerPool policy
-  //    matrix: real threads x independent walkers x first finisher wins —
-  //    no communication except completion.
-  parallel::WalkerPoolOptions options;
-  options.num_walkers = static_cast<std::size_t>(args.get_int("walkers"));
-  options.master_seed = seed;
-  options.scheduling = parallel::Scheduling::kThreads;
-  options.communication.topology = parallel::Topology::kIndependent;
-  options.termination = parallel::Termination::kFirstFinisher;
-  const parallel::WalkerPool solver(options);
-  const parallel::MultiWalkReport report = solver.run(*problem);
-  std::printf("\nMulti-walk (%zu walkers):  solved=%s  winner=#%zu  "
-              "time-to-solution=%.3fs  total-work=%llu iters\n",
-              options.num_walkers, report.solved ? "yes" : "no",
-              report.winner, report.time_to_solution_seconds,
-              static_cast<unsigned long long>(report.total_iterations()));
+  // 3. The paper's parallel scheme: real threads x independent walkers x
+  //    first finisher wins — no communication except completion.
+  const api::SolveReport report = api::Solver::solve(request);
+  const std::string winner =
+      report.has_winner() ? "#" + std::to_string(report.winner) : "none";
+  std::printf("\nMulti-walk (%zu walkers):  solved=%s  winner=%s  "
+              "time-to-solution=%.3fs  total-work=%llu iters%s\n",
+              request.walkers, report.solved ? "yes" : "no", winner.c_str(),
+              report.time_to_solution_seconds,
+              static_cast<unsigned long long>(report.total_iterations),
+              report.deadline_expired ? "  [deadline expired]" : "");
 
-  // 4. Independent verification.
+  // 4. Independent verification, through the same spec the API used.
   if (report.solved) {
+    const auto problem =
+        problems::instantiate(problems::parse_spec(report.problem));
     std::printf("  verified: %s\n",
-                problem->verify(report.best.solution) ? "yes" : "NO (bug!)");
+                problem->verify(report.solution) ? "yes" : "NO (bug!)");
     std::printf("  solution:");
-    for (const int v : report.best.solution) std::printf(" %d", v);
+    for (const int v : report.solution) std::printf(" %d", v);
     std::printf("\n");
   }
   return report.solved ? 0 : 1;

@@ -9,8 +9,9 @@
 //   4. cross-check the prediction with real threaded races at small k.
 #include <cstdio>
 
-#include "parallel/walker_pool.hpp"
+#include "api/solver.hpp"
 #include "problems/registry.hpp"
+#include "problems/spec.hpp"
 #include "sim/platform.hpp"
 #include "sim/sampling.hpp"
 #include "sim/speedup.hpp"
@@ -27,17 +28,18 @@ int main(int argc, char** argv) {
   args.add_string("problem", "costas", "benchmark name");
   args.add_int("size", 12, "instance size");
   args.add_int("samples", 80, "single-walk samples");
-  args.add_int("seed", 11, "master seed");
+  args.add_uint64("seed", 11, "master seed");
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
 
   const auto name = args.get_string("problem");
   const auto size = static_cast<std::size_t>(args.get_int("size"));
-  auto prototype = problems::make_problem(name, size);
+  const problems::ProblemSpec spec{name, size, 0};
+  auto prototype = problems::instantiate(spec);
 
   // 1. The law.
   sim::SamplingOptions sampling;
   sampling.num_samples = static_cast<std::size_t>(args.get_int("samples"));
-  sampling.master_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  sampling.master_seed = args.get_uint64("seed");
   const auto set = sim::collect_walk_samples(*prototype, sampling);
   const auto law = set.seconds_distribution();
   std::printf("Sampled %zu walks of %s  (solve rate %.2f)\n",
@@ -84,16 +86,19 @@ int main(int argc, char** argv) {
       " count — the bench_fig* harnesses add shifted-exponential fits for\n"
       " the stable continuation)\n");
 
-  // 4. Cross-check with real threads at small k.
+  // 4. Cross-check with real threads at small k, through the declarative
+  //    API: one SolveRequest per race instead of hand-assembled pool
+  //    options.
   std::printf("\nReal races on this host (median of 9):\n");
+  api::SolveRequest request;
+  request.problem = problems::format_spec(spec);
   for (const std::size_t k : {1u, 2u, 4u}) {
     std::vector<double> times;
+    request.walkers = k;
     for (int rep = 0; rep < 9; ++rep) {
-      parallel::WalkerPoolOptions options;
-      options.num_walkers = k;
-      options.master_seed =
+      request.seed =
           sampling.master_seed + 17u + static_cast<std::uint64_t>(rep);
-      const auto report = parallel::WalkerPool(options).run(*prototype);
+      const api::SolveReport report = api::Solver::solve(request);
       if (report.solved) times.push_back(report.time_to_solution_seconds);
     }
     std::printf("  k=%zu  median time-to-solution %.4fs\n", k,

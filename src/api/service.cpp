@@ -1,0 +1,326 @@
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "problems/spec.hpp"
+
+namespace cspls::api {
+
+std::string_view name_of(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kDone:
+      return "done";
+    case JobStatus::kCancelled:
+      return "cancelled";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+struct ServiceCore;
+
+struct JobState {
+  std::uint64_t id = 0;
+  SolveRequest request;
+  /// Back-reference so JobHandle::cancel can wake the dispatcher even
+  /// after the service object is gone (the core outlives both).
+  std::shared_ptr<ServiceCore> core;
+  std::atomic<bool> cancel{false};
+
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;  // guarded by m
+  SolveReport report;                     // immutable once terminal
+  std::string error;
+};
+
+/// A worker thread exists only for a *running* job (admitted by the
+/// dispatcher with >= 1 leased slot), so live workers never exceed the
+/// thread budget.
+struct Worker {
+  std::jthread thread;
+  std::shared_ptr<JobState> job;
+};
+
+struct ServiceCore {
+  std::mutex m;
+  std::condition_variable cv;  ///< submissions, cancels, budget returns
+  std::deque<std::shared_ptr<JobState>> fifo;
+  std::size_t free_threads = 0;
+  std::uint64_t next_id = 1;
+  bool shutdown = false;
+  std::vector<Worker> workers;  ///< running/unreaped jobs only
+};
+
+namespace {
+
+/// Lock order everywhere: core.m before job.m, never the reverse.
+void finish(const std::shared_ptr<JobState>& job, JobStatus status,
+            SolveReport report, std::string error) {
+  {
+    std::lock_guard<std::mutex> guard(job->m);
+    job->report = std::move(report);
+    job->error = std::move(error);
+    job->status = status;
+  }
+  job->cv.notify_all();
+}
+
+void finish_cancelled(const std::shared_ptr<JobState>& job) {
+  SolveReport report;
+  report.cancelled = true;
+  finish(job, JobStatus::kCancelled, std::move(report), {});
+}
+
+bool terminal(const std::shared_ptr<JobState>& job) {
+  std::lock_guard<std::mutex> guard(job->m);
+  return is_terminal(job->status);
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+detail::JobState& JobHandle::state() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("JobHandle: default-constructed (invalid) handle");
+  }
+  return *state_;
+}
+
+std::uint64_t JobHandle::id() const { return state().id; }
+
+JobStatus JobHandle::status() const {
+  detail::JobState& job = state();
+  std::lock_guard<std::mutex> guard(job.m);
+  return job.status;
+}
+
+const SolveReport& JobHandle::wait() const {
+  detail::JobState& job = state();
+  std::unique_lock<std::mutex> lock(job.m);
+  job.cv.wait(lock, [&] { return is_terminal(job.status); });
+  if (job.status == JobStatus::kFailed) {
+    throw std::runtime_error("SolverService job " + std::to_string(job.id) +
+                             " failed: " + job.error);
+  }
+  return job.report;
+}
+
+bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  detail::JobState& job = state();
+  std::unique_lock<std::mutex> lock(job.m);
+  return job.cv.wait_for(lock, timeout,
+                         [&] { return is_terminal(job.status); });
+}
+
+bool JobHandle::cancel() const {
+  detail::JobState& job = state();
+  {
+    std::lock_guard<std::mutex> guard(job.m);
+    if (is_terminal(job.status)) return false;
+  }
+  job.cancel.store(true, std::memory_order_relaxed);
+  if (job.core != nullptr) job.core->cv.notify_all();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SolverService
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parallelism a request asks for: its walker count under kThreads (capped
+/// by its own max_threads), one slot otherwise.
+std::size_t desired_threads(const SolveRequest& request,
+                            std::size_t per_job_cap) {
+  std::size_t desired = 1;
+  if (request.scheduling == parallel::Scheduling::kThreads) {
+    desired = std::max<std::size_t>(1, request.walkers);
+    if (request.max_threads != 0) {
+      desired = std::min(desired, request.max_threads);
+    }
+  }
+  if (per_job_cap != 0) desired = std::min(desired, per_job_cap);
+  return desired;
+}
+
+void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
+                      const std::shared_ptr<detail::JobState>& job,
+                      std::size_t leased) {
+  {
+    std::lock_guard<std::mutex> guard(job->m);
+    job->status = JobStatus::kRunning;
+  }
+  job->cv.notify_all();
+
+  SolveReport report;
+  std::string error;
+  bool failed = false;
+  try {
+    SolveRequest capped = job->request;
+    if (capped.scheduling == parallel::Scheduling::kThreads) {
+      // The lease caps this job's concurrency; walkers beyond it run in
+      // waves (WalkerPoolOptions::max_threads semantics).
+      capped.max_threads = leased;
+    }
+    report = Solver::solve(capped, &job->cancel);
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(core->m);
+    core->free_threads += leased;
+  }
+  core->cv.notify_all();
+
+  // Status mirrors what the run actually observed (report.cancelled), not
+  // a re-read of the flag — a cancel landing after normal completion must
+  // not produce a kCancelled status around a solved, uncancelled report.
+  const JobStatus status = failed            ? JobStatus::kFailed
+                           : report.cancelled ? JobStatus::kCancelled
+                                              : JobStatus::kDone;
+  detail::finish(job, status, std::move(report), std::move(error));
+}
+
+}  // namespace
+
+SolverService::SolverService(Options options)
+    : per_job_cap_(options.max_threads_per_job),
+      core_(std::make_shared<detail::ServiceCore>()) {
+  budget_ = options.thread_budget != 0
+                ? options.thread_budget
+                : std::max(1u, std::thread::hardware_concurrency());
+  core_->free_threads = budget_;
+  // One long-lived scheduler thread; workers exist per running job only.
+  core_->workers.push_back(
+      detail::Worker{std::jthread([this] { dispatch_loop(); }), nullptr});
+}
+
+SolverService::~SolverService() {
+  std::vector<detail::Worker> workers;
+  std::vector<std::shared_ptr<detail::JobState>> queued;
+  {
+    std::lock_guard<std::mutex> guard(core_->m);
+    core_->shutdown = true;
+    workers.swap(core_->workers);
+    queued.assign(core_->fifo.begin(), core_->fifo.end());
+    core_->fifo.clear();
+  }
+  for (const detail::Worker& worker : workers) {
+    if (worker.job != nullptr) {
+      worker.job->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  core_->cv.notify_all();
+  // Jobs never admitted finish as cancelled here (the dispatcher may
+  // already be gone from the FIFO's point of view).
+  for (const auto& job : queued) detail::finish_cancelled(job);
+  // jthread destructors join the dispatcher and every worker as `workers`
+  // goes out of scope.
+}
+
+JobHandle SolverService::submit(SolveRequest request) {
+  // Validate the instance now so the caller gets the diagnostic (with the
+  // valid problem names) at the submission site, not from a failed job.
+  (void)problems::parse_spec(request.problem);
+
+  auto job = std::make_shared<detail::JobState>();
+  job->request = std::move(request);
+  job->core = core_;
+  {
+    std::lock_guard<std::mutex> guard(core_->m);
+    if (core_->shutdown) {
+      throw std::runtime_error("SolverService: submit after shutdown");
+    }
+    job->id = core_->next_id++;
+    core_->fifo.push_back(job);
+  }
+  core_->cv.notify_all();
+  return JobHandle(job);
+}
+
+std::size_t SolverService::pending_jobs() const {
+  std::lock_guard<std::mutex> guard(core_->m);
+  std::size_t pending = core_->fifo.size();
+  for (const detail::Worker& worker : core_->workers) {
+    if (worker.job != nullptr && !detail::terminal(worker.job)) ++pending;
+  }
+  return pending;
+}
+
+void SolverService::dispatch_loop() {
+  detail::ServiceCore& core = *core_;
+  std::unique_lock<std::mutex> lock(core.m);
+  while (true) {
+    core.cv.wait(lock, [&] {
+      if (core.shutdown) return true;
+      if (core.fifo.empty()) return false;
+      if (core.free_threads > 0) return true;
+      // No budget: still wake to drain cancelled queued jobs promptly.
+      return std::any_of(core.fifo.begin(), core.fifo.end(),
+                         [](const auto& job) {
+                           return job->cancel.load(std::memory_order_relaxed);
+                         });
+    });
+    if (core.shutdown) return;
+
+    // Drain cancellations anywhere in the queue first: a cancelled queued
+    // job must become terminal without waiting for budget.
+    for (auto it = core.fifo.begin(); it != core.fifo.end();) {
+      if ((*it)->cancel.load(std::memory_order_relaxed)) {
+        const auto job = *it;
+        it = core.fifo.erase(it);
+        detail::finish_cancelled(job);
+      } else {
+        ++it;
+      }
+    }
+
+    // Reap workers whose jobs are terminal (status is published before the
+    // worker returns, so these joins only wait out the return path).
+    std::erase_if(core.workers, [](detail::Worker& worker) {
+      if (worker.job == nullptr || !detail::terminal(worker.job)) {
+        return false;
+      }
+      if (worker.thread.joinable()) worker.thread.join();
+      return true;
+    });
+
+    // FIFO admission: lease threads for the head job and hand it to a
+    // dedicated worker.
+    if (!core.fifo.empty() && core.free_threads > 0) {
+      const auto job = core.fifo.front();
+      core.fifo.pop_front();
+      const std::size_t leased = std::min(
+          desired_threads(job->request, per_job_cap_), core.free_threads);
+      core.free_threads -= leased;
+      core.workers.push_back(detail::Worker{
+          std::jthread([core = core_, job, leased] {
+            run_admitted_job(core, job, leased);
+          }),
+          job});
+    }
+  }
+}
+
+}  // namespace cspls::api

@@ -1,0 +1,126 @@
+// Asynchronous solve service: submit(SolveRequest) -> JobHandle, with
+// wait() / status() / cancel(), FIFO admission and a bounded global thread
+// budget shared by every concurrent job — the serving story on top of the
+// api::Solver façade.
+//
+// Thread accounting: the budget counts *walker* threads.  A queued job is
+// admitted when it reaches the head of the queue and at least one budget
+// slot is free; it then leases min(its desired parallelism, free slots)
+// and its WalkerPool is capped to that lease (walkers beyond the lease run
+// in waves, exactly WalkerPoolOptions::max_threads semantics).  Sequential
+// and emulated-race jobs lease one slot.  Leases return to the pool when
+// the job finishes, waking the next queued job.
+//
+// OS threads are bounded by the budget, not the queue depth: submission
+// only enqueues; one dispatcher thread admits jobs and spawns a worker per
+// *running* job (each holds >= 1 lease, so running jobs <= budget).  A
+// client may queue thousands of requests without growing the thread count.
+//
+// Cancellation: cancel() flips the job's flag.  A queued job finishes
+// immediately (kCancelled, empty report); a running job stops within one
+// engine polling period and its report carries the best configuration
+// reached so far (the anytime contract) with `cancelled` set.  Destroying
+// the service cancels every outstanding job and joins all workers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "api/solve.hpp"
+#include "api/solver.hpp"
+
+namespace cspls::api {
+
+enum class JobStatus {
+  kQueued,     ///< admitted to the FIFO, waiting for budget
+  kRunning,    ///< leased threads, walkers executing
+  kDone,       ///< finished on its own (solved or budget exhausted)
+  kCancelled,  ///< stopped by cancel() or service shutdown
+  kFailed,     ///< internal error; JobHandle::wait() rethrows it
+};
+
+[[nodiscard]] constexpr bool is_terminal(JobStatus status) noexcept {
+  return status == JobStatus::kDone || status == JobStatus::kCancelled ||
+         status == JobStatus::kFailed;
+}
+
+[[nodiscard]] std::string_view name_of(JobStatus status);
+
+namespace detail {
+struct JobState;
+struct ServiceCore;
+}  // namespace detail
+
+/// Shared handle to a submitted job.  Copyable; outlives the service (a
+/// handle held past the service's destruction sees the job cancelled).
+/// All accessors on a default-constructed (invalid) handle throw
+/// std::logic_error rather than dereferencing nothing.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] std::uint64_t id() const;
+  [[nodiscard]] JobStatus status() const;
+
+  /// Block until the job reaches a terminal status and return its report.
+  /// Cancelled jobs return normally (report.cancelled set, best-effort
+  /// contents); kFailed rethrows the job's error as std::runtime_error.
+  const SolveReport& wait() const;
+
+  /// Bounded wait; true when the job is terminal before the timeout.
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// Request cancellation.  Returns true when the job was still queued or
+  /// running (the request will take effect), false when already terminal.
+  bool cancel() const;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class SolverService;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] detail::JobState& state() const;  ///< throws when !valid()
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+class SolverService {
+ public:
+  struct Options {
+    /// Global walker-thread budget; 0 = std::thread::hardware_concurrency()
+    /// (at least 1).
+    std::size_t thread_budget = 0;
+    /// Per-job lease cap; 0 = no extra cap (a job may lease the whole free
+    /// budget).  Lower it to keep head-of-line jobs from starving the queue.
+    std::size_t max_threads_per_job = 0;
+  };
+
+  SolverService() : SolverService(Options{}) {}
+  explicit SolverService(Options options);
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Validate and enqueue `request`.  Throws std::invalid_argument on a
+  /// malformed request (unknown problem / unusable size — the message lists
+  /// the valid names); admission itself never blocks.
+  [[nodiscard]] JobHandle submit(SolveRequest request);
+
+  [[nodiscard]] std::size_t thread_budget() const noexcept { return budget_; }
+
+  /// Jobs not yet terminal (queued + running).
+  [[nodiscard]] std::size_t pending_jobs() const;
+
+ private:
+  void dispatch_loop();
+
+  std::size_t budget_ = 1;
+  std::size_t per_job_cap_ = 0;
+  std::shared_ptr<detail::ServiceCore> core_;
+};
+
+}  // namespace cspls::api

@@ -1,0 +1,168 @@
+// The declarative solve API: a solve expressed as a *value*.
+//
+// SolveRequest names everything a run needs — the instance (a spec string
+// like "costas:18"), the walker population, the WalkerPool policies by
+// name, optional engine-parameter overrides, a master seed and an optional
+// wall-clock deadline.  SolveReport is the full outcome: accepted result,
+// timings, termination cause and per-walker statistics.  Both round-trip
+// through util::Json, so requests and reports can cross a process boundary
+// (files, pipes, HTTP bodies) and re-encode byte-identically.
+//
+// Determinism contract: a request with no deadline and no cancellation,
+// executed by api::Solver, reproduces the equivalent direct
+// WalkerPool::run byte-for-byte for a fixed master seed (winner,
+// per-walker iterations, costs, solutions) — the API layer adds naming and
+// transport, never behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/params.hpp"
+#include "csp/cost.hpp"
+#include "parallel/walker_pool.hpp"
+#include "util/json.hpp"
+
+namespace cspls::api {
+
+// --- Policy names -----------------------------------------------------
+//
+// The wire names of the WalkerPool policy enums (README's policy table).
+// `name_of` is total; the `*_from_name` parsers return std::nullopt for
+// unknown names — callers attach the valid alternatives via
+// `policy_names_hint`.
+
+[[nodiscard]] std::string_view name_of(parallel::Scheduling scheduling);
+[[nodiscard]] std::string_view name_of(parallel::Topology topology);
+[[nodiscard]] std::string_view name_of(parallel::Termination termination);
+[[nodiscard]] std::string_view name_of(core::RestartSchedule schedule);
+
+[[nodiscard]] std::optional<parallel::Scheduling> scheduling_from_name(
+    std::string_view name);
+[[nodiscard]] std::optional<parallel::Topology> topology_from_name(
+    std::string_view name);
+[[nodiscard]] std::optional<parallel::Termination> termination_from_name(
+    std::string_view name);
+[[nodiscard]] std::optional<core::RestartSchedule> restart_schedule_from_name(
+    std::string_view name);
+
+// --- SolveRequest -----------------------------------------------------
+
+struct SolveRequest {
+  /// Instance spec, e.g. "costas:18" (problems::parse_spec grammar).
+  std::string problem;
+
+  /// Walker population (the paper's "number of cores").
+  std::size_t walkers = 4;
+
+  /// Master seed; walker i uses RNG stream i.
+  std::uint64_t seed = 0x5eedULL;
+
+  parallel::Scheduling scheduling = parallel::Scheduling::kThreads;
+  parallel::Topology topology = parallel::Topology::kIndependent;
+  parallel::Termination termination = parallel::Termination::kFirstFinisher;
+
+  /// Elite-exchange knobs (ignored under Topology::kIndependent).
+  std::uint64_t comm_period = 1000;
+  double comm_adopt_probability = 0.5;
+
+  /// Cap on concurrently running OS threads (0 = one per walker).
+  std::size_t max_threads = 0;
+
+  /// Wall-clock budget in milliseconds; 0 = none.  When it expires the run
+  /// stops within one engine polling period and the report carries the best
+  /// configuration reached (deadline_expired is set).
+  std::uint64_t deadline_ms = 0;
+
+  /// Engine-parameter overrides; absent = the model's tuning defaults.
+  std::optional<core::Params> params;
+
+  /// Per-walker WalkerTrace instrumentation.
+  bool trace = false;
+  std::uint64_t trace_sample_period = 0;
+
+  /// The equivalent WalkerPool configuration.
+  [[nodiscard]] parallel::WalkerPoolOptions to_pool_options() const;
+
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] std::string to_json_string(int indent = 0) const;
+  /// Throws std::invalid_argument naming the offending member on a
+  /// malformed document (unknown policy name, wrong type, bad number).
+  [[nodiscard]] static SolveRequest from_json(const util::Json& json);
+  [[nodiscard]] static SolveRequest from_json_string(std::string_view text);
+
+  [[nodiscard]] bool operator==(const SolveRequest&) const = default;
+};
+
+// --- SolveReport ------------------------------------------------------
+
+/// Per-walker statistics (core::RunStats plus identity/termination bits).
+struct WalkerReport {
+  std::size_t id = 0;
+  bool solved = false;
+  bool interrupted = false;
+  csp::Cost cost = csp::kInfiniteCost;
+  std::uint64_t iterations = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t plateau_moves = 0;
+  std::uint64_t local_minima = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t cost_evaluations = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] bool operator==(const WalkerReport&) const = default;
+};
+
+struct SolveReport {
+  /// Echo of the request's instance spec (canonical form).
+  std::string problem;
+
+  bool solved = false;
+  /// The run was stopped by the caller's cancellation flag.
+  bool cancelled = false;
+  /// The run was cut short by the request's deadline.  Exactly one of the
+  /// paper's termination causes applies per run: solved (a walker hit the
+  /// target), budget exhausted (all walkers ran dry), cancelled, or
+  /// deadline_expired; the latter two still carry the best configuration
+  /// reached (the anytime contract).
+  bool deadline_expired = false;
+
+  /// Winning walker id, or parallel::kNoWinner.
+  std::size_t winner = parallel::kNoWinner;
+  /// Best cost reached (0 = solved).
+  csp::Cost cost = csp::kInfiniteCost;
+  /// Wall-clock from launch to the last walker stopping; on cancelled or
+  /// deadline-expired runs, the time the pool actually had.
+  double wall_seconds = 0.0;
+  /// Wall-clock from launch to the accepted solution (= wall_seconds when
+  /// nobody solved).
+  double time_to_solution_seconds = 0.0;
+
+  std::uint64_t total_iterations = 0;
+  std::uint64_t elite_accepted = 0;
+
+  /// The accepted configuration (winner's solution, or best reached).
+  std::vector<int> solution;
+  std::vector<WalkerReport> walkers;
+
+  [[nodiscard]] bool has_winner() const noexcept {
+    return winner != parallel::kNoWinner;
+  }
+
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] std::string to_json_string(int indent = 0) const;
+  [[nodiscard]] static SolveReport from_json(const util::Json& json);
+  [[nodiscard]] static SolveReport from_json_string(std::string_view text);
+
+  [[nodiscard]] bool operator==(const SolveReport&) const = default;
+};
+
+/// "scheduling: threads | sequential | emulated-race" — one line per policy,
+/// for error messages and --help text.
+[[nodiscard]] std::string policy_names_hint();
+
+}  // namespace cspls::api

@@ -1,0 +1,34 @@
+// Synchronous façade over the full stack: spec string -> problem instance,
+// SolveRequest -> WalkerPool policies, StopToken -> cancellation/deadline,
+// MultiWalkReport -> SolveReport.  One call replaces the hand-assembled
+// registry + WalkerPoolOptions + report-interpretation plumbing every
+// harness and example used to reimplement.
+#pragma once
+
+#include <atomic>
+
+#include "api/solve.hpp"
+
+namespace cspls::api {
+
+class Solver {
+ public:
+  /// Run `request` to completion.  Throws std::invalid_argument on a
+  /// malformed request (unknown problem name, unusable size) — the message
+  /// lists the valid problem names.
+  ///
+  /// Determinism: with no deadline the run is exactly the equivalent
+  /// direct WalkerPool::run for the request's master seed.
+  [[nodiscard]] static SolveReport solve(const SolveRequest& request) {
+    return solve(request, nullptr);
+  }
+
+  /// Same, with a caller-owned cancellation flag: flip `*cancel` to true
+  /// and the run stops within one engine polling period, reporting the
+  /// best configuration reached (SolveReport::cancelled set).  This is the
+  /// primitive SolverService builds on.
+  [[nodiscard]] static SolveReport solve(const SolveRequest& request,
+                                         const std::atomic<bool>* cancel);
+};
+
+}  // namespace cspls::api

@@ -34,8 +34,7 @@ struct WalkState {
 }  // namespace
 
 Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
-                             const std::atomic<bool>* stop,
-                             const Hooks& hooks) const {
+                             StopToken stop, const Hooks& hooks) const {
   const std::size_t n = problem.num_variables();
   util::Stopwatch watch;
 
@@ -91,8 +90,9 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
         params_.restart_schedule, params_.restart_limit, restarts_done);
 
     while (cost > params_.target_cost) {
-      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      if (const StopCause cause = stop.poll(); cause != StopCause::kNone) {
         result.interrupted = true;
+        result.stop_cause = cause;
         done = true;
         break;
       }

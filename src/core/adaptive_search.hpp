@@ -32,6 +32,7 @@
 
 #include "core/params.hpp"
 #include "core/result.hpp"
+#include "core/stop_token.hpp"
 #include "core/trace.hpp"
 #include "csp/problem.hpp"
 #include "util/rng.hpp"
@@ -69,13 +70,25 @@ class AdaptiveSearch {
 
   /// Run one (restarted) walk on `problem` using `rng`.
   ///
-  /// `stop`, when non-null, is polled once per iteration; when it becomes
-  /// true the walk returns early with Result::interrupted set (first-finisher
-  /// termination of the parallel engine).  The problem is left bound to the
-  /// best configuration found.
+  /// `stop` is polled once per iteration; when it fires — an external
+  /// cancel flag flipped (first-finisher termination of the parallel
+  /// engine, or a service-level cancel) or a steady-clock deadline passed
+  /// (time-budgeted runs) — the walk returns early with Result::interrupted
+  /// set.  The problem is left bound to the best configuration found, so an
+  /// interrupted run is still a valid anytime result.  A default
+  /// (never-firing) token reproduces the historical unstoppable run
+  /// byte-for-byte.
+  Result solve(csp::Problem& problem, util::Xoshiro256& rng, StopToken stop,
+               const Hooks& hooks = {}) const;
+
+  /// Legacy entry point (pre-StopToken): a raw first-finisher completion
+  /// flag.  Kept as a wrapper because external callers and tests still pass
+  /// `&stop` / nullptr directly.
   Result solve(csp::Problem& problem, util::Xoshiro256& rng,
                const std::atomic<bool>* stop = nullptr,
-               const Hooks& hooks = {}) const;
+               const Hooks& hooks = {}) const {
+    return solve(problem, rng, StopToken(stop), hooks);
+  }
 
   /// Convenience: build an engine with the model's own tuning defaults.
   static AdaptiveSearch with_defaults(const csp::Problem& problem) {

@@ -62,6 +62,8 @@ struct Params {
 
   /// One-line rendering for harness logs.
   [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const Params&) const = default;
 };
 
 }  // namespace cspls::core

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/stop_token.hpp"
 #include "csp/cost.hpp"
 
 namespace cspls::core {
@@ -33,9 +34,14 @@ struct Result {
   std::vector<int> solution;            ///< best configuration reached
   RunStats stats;
 
-  /// True when the run was cut short by an external stop signal (another
-  /// walker finished first) rather than by its own budget.
+  /// True when the run was cut short by a stop signal (another walker
+  /// finished first, a cancellation, or a deadline) rather than by its own
+  /// budget.
   bool interrupted = false;
+
+  /// Which stop source cut the run short (kNone when not interrupted).
+  /// Recorded by the poll that observed the stop, so attribution is exact.
+  StopCause stop_cause = StopCause::kNone;
 };
 
 inline std::string RunStats::to_string() const {

@@ -1,0 +1,139 @@
+// Cooperative stop signal for the Adaptive Search engine.
+//
+// Replaces the engine's historical `const std::atomic<bool>*` stop
+// parameter with one value carrying every way a walk can be cut short:
+//
+//   * up to two external cancel flags (the parallel runtime combines a
+//     caller-supplied cancellation flag with its own first-finisher
+//     completion flag), and
+//   * an optional steady-clock deadline, which is what makes time-budgeted
+//     runs expressible — the runtime-distribution line of work needs
+//     "best configuration after t seconds", not "after n iterations".
+//
+// Polling is engine-rate (once per iteration) so it must stay cheap: flag
+// loads are relaxed, and the deadline only reads the clock every
+// kDeadlinePollStride polls.  Each walker keeps its *own copy* of the
+// token (copies are cheap), so the throttling counter is never shared
+// between threads.  A default-constructed token never fires — an engine
+// run with an empty token is byte-for-byte the historical unstoppable run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cspls::core {
+
+/// What ended a walk early.  Recorded by the poll that observed the stop,
+/// so interruption is attributed to its actual source — re-consulting the
+/// clock or the flags after the fact would misattribute (e.g. a race that
+/// finished normally just before a deadline, examined just after it).
+enum class StopCause : std::uint8_t {
+  kNone,       ///< not stopped
+  kCancel,     ///< the token's own (primary) cancel flag
+  kChained,    ///< a flag chained via also_cancelled_by (the pool's
+               ///< internal first-finisher completion flag)
+  kDeadline,   ///< the steady-clock deadline passed
+};
+
+class StopToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never fires.
+  StopToken() noexcept = default;
+
+  /// Fires when `*cancel` becomes true (nullptr = no flag).
+  explicit StopToken(const std::atomic<bool>* cancel) noexcept {
+    flags_[0] = cancel;
+  }
+
+  StopToken(const std::atomic<bool>* cancel, Clock::time_point deadline) noexcept
+      : deadline_(deadline), has_deadline_(true) {
+    flags_[0] = cancel;
+  }
+
+  [[nodiscard]] static StopToken with_deadline(
+      Clock::time_point deadline) noexcept {
+    return StopToken(nullptr, deadline);
+  }
+
+  /// Deadline `budget` from now.
+  [[nodiscard]] static StopToken after(std::chrono::milliseconds budget) {
+    return with_deadline(Clock::now() + budget);
+  }
+
+  /// This token plus one chained cancel flag (the parallel runtime chains
+  /// its internal completion flag onto the caller's external token).  The
+  /// chained flag always occupies the secondary slot — polls attribute it
+  /// as StopCause::kChained, distinct from the primary kCancel — and a
+  /// second chain overwrites the first.
+  [[nodiscard]] StopToken also_cancelled_by(
+      const std::atomic<bool>* flag) const noexcept {
+    StopToken combined = *this;
+    combined.flags_[1] = flag;
+    return combined;
+  }
+
+  /// True when any stop source exists (fast-path gate for pollers).
+  [[nodiscard]] bool can_stop() const noexcept {
+    return flags_[0] != nullptr || flags_[1] != nullptr || has_deadline_;
+  }
+
+  /// True when any cancel flag has been raised (never consults the clock).
+  [[nodiscard]] bool cancelled() const noexcept {
+    return (flags_[0] != nullptr &&
+            flags_[0]->load(std::memory_order_relaxed)) ||
+           (flags_[1] != nullptr &&
+            flags_[1]->load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
+
+  [[nodiscard]] Clock::time_point deadline() const noexcept {
+    return deadline_;
+  }
+
+  /// True when a deadline is set and has passed (reads the clock).
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Engine-rate poll: cancel flags every call, deadline every
+  /// kDeadlinePollStride calls (the first call always checks).  The stride
+  /// bounds how far past its deadline a walk can run: stride iterations.
+  /// Returns the source that fired (kNone = keep walking); the primary
+  /// cancel flag wins over the chained one, which wins over the deadline.
+  [[nodiscard]] StopCause poll() const noexcept {
+    if (flags_[0] != nullptr && flags_[0]->load(std::memory_order_relaxed)) {
+      return StopCause::kCancel;
+    }
+    if (flags_[1] != nullptr && flags_[1]->load(std::memory_order_relaxed)) {
+      return StopCause::kChained;
+    }
+    if (!has_deadline_) return StopCause::kNone;
+    if (polls_until_clock_ != 0) {
+      --polls_until_clock_;
+      return StopCause::kNone;
+    }
+    polls_until_clock_ = kDeadlinePollStride - 1;
+    return Clock::now() >= deadline_ ? StopCause::kDeadline
+                                     : StopCause::kNone;
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return poll() != StopCause::kNone;
+  }
+
+  static constexpr std::uint32_t kDeadlinePollStride = 64;
+
+ private:
+  const std::atomic<bool>* flags_[2] = {nullptr, nullptr};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  /// Per-copy clock-read throttle; mutable so polling stays const.  Tokens
+  /// are copied per walker, so this never races.
+  mutable std::uint32_t polls_until_clock_ = 0;
+};
+
+}  // namespace cspls::core

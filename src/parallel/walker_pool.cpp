@@ -153,6 +153,11 @@ MultiWalkReport resolve_emulated_race(std::vector<WalkerOutcome> walkers) {
 }
 
 MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
+  return run(prototype, core::StopToken{});
+}
+
+MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
+                                const core::StopToken& external) const {
   const std::size_t k = std::max<std::size_t>(1, options_.num_walkers);
   const core::Params params = params_for(prototype, options_.params);
   const core::AdaptiveSearch engine(params);
@@ -168,6 +173,12 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> winner{kNoWinner};
   std::atomic<std::uint64_t> solution_time_us{0};
+  // Walkers stopped by the *external* token latch their cause here (the
+  // engine records which source its poll observed, so a race loser cut by
+  // the pool's internal completion flag — StopCause::kChained — is never
+  // misattributed to a deadline that happened to pass during the joins).
+  std::atomic<bool> external_cancel_hit{false};
+  std::atomic<bool> external_deadline_hit{false};
 
   MultiWalkReport report;
   report.walkers.resize(k);
@@ -184,8 +195,16 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
       hooks.trace = &out.trace;
       hooks.trace_sample_period = options_.trace.sample_period;
     }
-    core::Result result =
-        engine.solve(*problem, rng, race ? &stop : nullptr, hooks);
+    // Each walker polls its own token copy: the caller's cancel/deadline,
+    // chained with the pool's completion flag when racing.
+    const core::StopToken token =
+        race ? external.also_cancelled_by(&stop) : external;
+    core::Result result = engine.solve(*problem, rng, token, hooks);
+    if (result.stop_cause == core::StopCause::kCancel) {
+      external_cancel_hit.store(true, std::memory_order_relaxed);
+    } else if (result.stop_cause == core::StopCause::kDeadline) {
+      external_deadline_hit.store(true, std::memory_order_relaxed);
+    }
     if (race && result.solved && !result.interrupted) {
       // First walker to flip the flag is the winner; latecomers keep their
       // result but lose the race (exactly the paper's completion protocol).
@@ -228,12 +247,44 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
       pool.clear();  // join
     }
   } else {
-    for (std::size_t id = 0; id < k; ++id) run_walker(id);
+    for (std::size_t id = 0; id < k; ++id) {
+      // Unthrottled check on purpose: the engine-rate throttle inside the
+      // token's poll would let each walker start and run a stride of
+      // iterations before noticing an already-expired deadline.
+      const bool ext_cancelled = external.cancelled();
+      if (ext_cancelled || external.deadline_expired()) {
+        // Cancel/deadline between walkers: walkers not yet started report
+        // interrupted with zero iterations (they were cut short before
+        // drawing a single configuration).
+        const core::StopCause cause = ext_cancelled
+                                          ? core::StopCause::kCancel
+                                          : core::StopCause::kDeadline;
+        (ext_cancelled ? external_cancel_hit : external_deadline_hit)
+            .store(true, std::memory_order_relaxed);
+        for (std::size_t rest = id; rest < k; ++rest) {
+          report.walkers[rest].walker_id = rest;
+          report.walkers[rest].result.interrupted = true;
+          report.walkers[rest].result.stop_cause = cause;
+        }
+        break;
+      }
+      run_walker(id);
+    }
   }
+
+  // Cancellation wins the attribution tie when walkers observed both.
+  const core::StopCause interrupt_cause =
+      external_cancel_hit.load(std::memory_order_relaxed)
+          ? core::StopCause::kCancel
+      : external_deadline_hit.load(std::memory_order_relaxed)
+          ? core::StopCause::kDeadline
+          : core::StopCause::kNone;
 
   if (!threaded && options_.termination == Termination::kFirstFinisher) {
     MultiWalkReport resolved = resolve_emulated_race(std::move(report.walkers));
     resolved.elite_accepted = comm.accepted();
+    resolved.interrupt_cause = interrupt_cause;
+    resolved.interrupted = interrupt_cause != core::StopCause::kNone;
     return resolved;
   }
 
@@ -267,10 +318,16 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
       report.time_to_solution_seconds = report.wall_seconds;
     }
   } else {
+    // kBestAfterBudget (and the non-racing threaded case): the pool's wall
+    // clock doubles as the time-to-result — also on cancelled or
+    // deadline-expired runs, where `best` is the anytime answer and the
+    // times say how long the pool actually had.
     select_best_after_budget(report);
     report.time_to_solution_seconds = report.wall_seconds;
   }
   report.elite_accepted = comm.accepted();
+  report.interrupt_cause = interrupt_cause;
+  report.interrupted = interrupt_cause != core::StopCause::kNone;
   return report;
 }
 

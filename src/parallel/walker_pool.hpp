@@ -47,6 +47,7 @@
 
 #include "core/params.hpp"
 #include "core/result.hpp"
+#include "core/stop_token.hpp"
 #include "core/trace.hpp"
 #include "csp/problem.hpp"
 
@@ -141,6 +142,18 @@ struct MultiWalkReport {
   /// Elite configurations accepted across all communication slots (0 under
   /// Topology::kIndependent).
   std::uint64_t elite_accepted = 0;
+  /// True when an external cancel flag or deadline cut the pool short: at
+  /// least one walker was stopped (or never started) because the caller's
+  /// StopToken fired.  Race losers interrupted by the pool's own
+  /// first-finisher completion flag do NOT set this (each walk records the
+  /// actual source that stopped it, so attribution is exact).  On such
+  /// runs wall_seconds and time_to_solution_seconds are still populated
+  /// (the anytime contract): `best` is the best configuration reached
+  /// before the cut-off.
+  bool interrupted = false;
+  /// The external source when `interrupted`: kCancel or kDeadline (kCancel
+  /// wins when walkers observed both).  kNone otherwise.
+  core::StopCause interrupt_cause = core::StopCause::kNone;
 
   [[nodiscard]] bool has_winner() const noexcept { return winner != kNoWinner; }
 
@@ -161,6 +174,16 @@ class WalkerPool {
 
   /// Run the pool on clones of `prototype` and report the accepted outcome.
   [[nodiscard]] MultiWalkReport run(const csp::Problem& prototype) const;
+
+  /// Same, honouring an external StopToken under every Scheduling mode:
+  /// cancellation or deadline expiry stops racing threads within one engine
+  /// polling period and cuts sequential/emulated populations short (walkers
+  /// not yet started report interrupted with zero iterations).  A
+  /// never-firing token makes this byte-for-byte identical to run(prototype)
+  /// for a fixed master seed — the token is polled, never consulted for
+  /// randomness.
+  [[nodiscard]] MultiWalkReport run(const csp::Problem& prototype,
+                                    const core::StopToken& external) const;
 
  private:
   WalkerPoolOptions options_;

@@ -1,5 +1,6 @@
 #include "problems/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "problems/all_interval.hpp"
@@ -26,9 +27,58 @@ const std::vector<std::string>& paper_benchmarks() {
   return names;
 }
 
+namespace {
+
+std::string valid_names_list() {
+  std::string list;
+  for (const auto& name : problem_names()) {
+    if (!list.empty()) list += ", ";
+    list += name;
+  }
+  return list;
+}
+
+std::string unknown_problem_message(const std::string& name) {
+  return "unknown problem \"" + name + "\" (valid names: " +
+         valid_names_list() + ")";
+}
+
+[[noreturn]] void throw_unknown(const std::string& name) {
+  throw std::invalid_argument(unknown_problem_message(name));
+}
+
+}  // namespace
+
+bool is_known_problem(const std::string& name) {
+  const auto& names = problem_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string validate_instance(const std::string& name, std::size_t size) {
+  if (!is_known_problem(name)) return unknown_problem_message(name);
+  // alpha ignores the size; perfect-square treats 0 as the Duijvestijn
+  // order-21 instance and any other value as the quadtree split count.
+  if (name == "alpha" || name == "perfect-square") return {};
+  if (size == 0) {
+    return "problem \"" + name + "\" needs a size >= 1 (got 0)";
+  }
+  if (name == "partition" && size % 4 != 0) {
+    return "partition needs a size that is a multiple of 4 (got " +
+           std::to_string(size) + ")";
+  }
+  if (name == "langford" && size < 2) {
+    return "langford needs a size >= 2 (got " + std::to_string(size) + ")";
+  }
+  return {};
+}
+
 std::unique_ptr<csp::Problem> make_problem(const std::string& name,
                                            std::size_t size,
                                            std::uint64_t seed) {
+  if (const std::string error = validate_instance(name, size);
+      !error.empty()) {
+    throw std::invalid_argument(error);
+  }
   if (name == "costas") return std::make_unique<Costas>(size);
   if (name == "all-interval") return std::make_unique<AllInterval>(size);
   if (name == "magic-square") return std::make_unique<MagicSquare>(size);
@@ -44,7 +94,7 @@ std::unique_ptr<csp::Problem> make_problem(const std::string& name,
     return std::make_unique<PerfectSquare>(
         PerfectSquareInstance::quadtree(5, static_cast<int>(size), seed));
   }
-  throw std::invalid_argument("unknown problem: " + name);
+  throw_unknown(name);
 }
 
 std::size_t default_size(const std::string& name) {
@@ -56,7 +106,7 @@ std::size_t default_size(const std::string& name) {
   if (name == "langford") return 16;
   if (name == "partition") return 40;
   if (name == "alpha") return 26;
-  throw std::invalid_argument("unknown problem: " + name);
+  throw_unknown(name);
 }
 
 std::size_t bench_size(const std::string& name) {
@@ -72,7 +122,7 @@ std::size_t bench_size(const std::string& name) {
   if (name == "langford") return 24;
   if (name == "partition") return 80;
   if (name == "alpha") return 26;
-  throw std::invalid_argument("unknown problem: " + name);
+  throw_unknown(name);
 }
 
 std::size_t paper_size(const std::string& name) {
@@ -84,7 +134,7 @@ std::size_t paper_size(const std::string& name) {
   if (name == "langford") return 100;
   if (name == "partition") return 400;
   if (name == "alpha") return 26;
-  throw std::invalid_argument("unknown problem: " + name);
+  throw_unknown(name);
 }
 
 }  // namespace cspls::problems

@@ -20,6 +20,17 @@ namespace cspls::problems {
 /// The four benchmarks evaluated by the paper (Figures 1-3).
 [[nodiscard]] const std::vector<std::string>& paper_benchmarks();
 
+/// True iff `name` is one of problem_names().
+[[nodiscard]] bool is_known_problem(const std::string& name);
+
+/// "" when (name, size) is instantiable; otherwise the diagnostic
+/// make_problem would throw — unknown names list every valid name,
+/// unusable sizes say what the problem expects.  Shared with
+/// problems::parse_spec so the CLI, JSON API and benches reject bad
+/// instances with identical messages.
+[[nodiscard]] std::string validate_instance(const std::string& name,
+                                            std::size_t size);
+
 /// Instantiate a problem by name.
 ///
 /// `size` semantics per problem:
@@ -29,6 +40,9 @@ namespace cspls::problems {
 ///   perfect-square: quadtree split count (side 32), or 0 for the
 ///   Duijvestijn order-21 instance (side 112).
 /// `seed` only affects generated instances (perfect-square quadtree).
+///
+/// Throws std::invalid_argument with the validate_instance diagnostic on
+/// an unknown name or an unusable size.
 [[nodiscard]] std::unique_ptr<csp::Problem> make_problem(
     const std::string& name, std::size_t size, std::uint64_t seed = 0);
 

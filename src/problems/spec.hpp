@@ -1,0 +1,57 @@
+// The canonical instance-spec string shared by the CLI flags, the JSON
+// solve API and the bench harnesses — one parser instead of the per-binary
+// name/size plumbing each call site used to reimplement.
+//
+// Grammar:
+//
+//   spec := name [":" size] ["@" seed]
+//
+//   "costas:18"          Costas array of order 18
+//   "queens"             n-queens at the registry's default size
+//   "perfect-square:8@7" generated quadtree instance, 8 splits, seed 7
+//   "perfect-square:0"   the Duijvestijn order-21 instance
+//
+// An omitted size resolves to problems::default_size(name); the seed only
+// affects generated instances (perfect-square quadtrees) and defaults to 0.
+// Rejections carry actionable messages: unknown names list every valid
+// name, malformed or unusable sizes say what the problem expects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "csp/problem.hpp"
+
+namespace cspls::problems {
+
+struct ProblemSpec {
+  std::string name;
+  std::size_t size = 0;
+  std::uint64_t instance_seed = 0;  ///< generated instances only
+
+  [[nodiscard]] bool operator==(const ProblemSpec&) const = default;
+};
+
+/// Parse a spec string; std::nullopt on rejection with the diagnostic in
+/// `*error` (when non-null).  Sizes are validated against the problem's
+/// structural requirements (see registry's validate_instance).
+[[nodiscard]] std::optional<ProblemSpec> try_parse_spec(
+    std::string_view spec, std::string* error = nullptr);
+
+/// Parse a spec string; throws std::invalid_argument with the same
+/// diagnostic try_parse_spec reports.
+[[nodiscard]] ProblemSpec parse_spec(std::string_view spec);
+
+/// Canonical rendering: "name:size", plus "@seed" when instance_seed != 0.
+/// format_spec(parse_spec(s)) is a fixpoint: re-parsing it yields the same
+/// ProblemSpec.
+[[nodiscard]] std::string format_spec(const ProblemSpec& spec);
+
+/// Instantiate the spec via the registry (make_problem).
+[[nodiscard]] std::unique_ptr<csp::Problem> instantiate(
+    const ProblemSpec& spec);
+
+}  // namespace cspls::problems

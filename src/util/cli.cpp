@@ -29,6 +29,17 @@ ArgParser& ArgParser::add_int(std::string name, std::int64_t default_value,
   return *this;
 }
 
+ArgParser& ArgParser::add_uint64(std::string name, std::uint64_t default_value,
+                                 std::string help) {
+  Option opt;
+  opt.kind = Kind::kUint64;
+  opt.help = std::move(help);
+  opt.uint64_value = default_value;
+  order_.push_back(name);
+  options_.emplace(std::move(name), std::move(opt));
+  return *this;
+}
+
 ArgParser& ArgParser::add_double(std::string name, double default_value,
                                  std::string help) {
   Option opt;
@@ -62,6 +73,9 @@ std::string ArgParser::usage() const {
         break;
       case Kind::kInt:
         os << " <int=" << opt.int_value << ">";
+        break;
+      case Kind::kUint64:
+        os << " <uint=" << opt.uint64_value << ">";
         break;
       case Kind::kDouble:
         os << " <float=" << opt.double_value << ">";
@@ -122,6 +136,13 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         case Kind::kInt:
           opt.int_value = std::stoll(std::string(value));
           break;
+        case Kind::kUint64:
+          // stoull silently wraps "-1" to 2^64-1; reject signs explicitly.
+          if (!value.empty() && (value[0] == '-' || value[0] == '+')) {
+            throw std::invalid_argument("unsigned value expected");
+          }
+          opt.uint64_value = std::stoull(std::string(value));
+          break;
         case Kind::kDouble:
           opt.double_value = std::stod(std::string(value));
           break;
@@ -156,6 +177,10 @@ bool ArgParser::flag(std::string_view name) const {
 
 std::int64_t ArgParser::get_int(std::string_view name) const {
   return lookup(name, Kind::kInt).int_value;
+}
+
+std::uint64_t ArgParser::get_uint64(std::string_view name) const {
+  return lookup(name, Kind::kUint64).uint64_value;
 }
 
 double ArgParser::get_double(std::string_view name) const {

@@ -1,0 +1,113 @@
+// Minimal dependency-free JSON document model, writer and reader.
+//
+// Exists so that api::SolveRequest / api::SolveReport can cross a process
+// boundary (files, pipes, HTTP bodies) without pulling a third-party JSON
+// library into the build.  Scope is deliberately small: the six JSON types,
+// UTF-8 strings with full escape handling, and *lossless* 64-bit integers —
+// numbers are stored as their canonical text, so a master seed of 2^64-1
+// survives encode -> decode -> encode byte-for-byte (a double-based store
+// would silently round it).
+//
+// Objects preserve insertion order, which makes the writer deterministic:
+// encoding the same document twice yields the same bytes (the round-trip
+// property the api tests lock in).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cspls::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() noexcept = default;                     // null
+  Json(std::nullptr_t) noexcept : Json() {}      // NOLINT(runtime/explicit)
+  Json(bool value);                              // NOLINT(runtime/explicit)
+  Json(int value);                               // NOLINT(runtime/explicit)
+  Json(std::int64_t value);                      // NOLINT(runtime/explicit)
+  Json(std::uint64_t value);                     // NOLINT(runtime/explicit)
+  Json(double value);                            // NOLINT(runtime/explicit)
+  Json(const char* value);                       // NOLINT(runtime/explicit)
+  Json(std::string value);                       // NOLINT(runtime/explicit)
+  Json(std::string_view value);                  // NOLINT(runtime/explicit)
+
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+  /// A number holding exactly `text` (must already be valid JSON number
+  /// syntax); the parser uses this to preserve the source text so 64-bit
+  /// integers and doubles round-trip losslessly.
+  [[nodiscard]] static Json number_from_text(std::string text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  // Typed accessors; all throw std::runtime_error on a type (or numeric
+  // range) mismatch, naming the offending conversion.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // --- Arrays -----------------------------------------------------------
+  /// Number of elements (arrays) or members (objects); 0 otherwise.
+  [[nodiscard]] std::size_t size() const noexcept;
+  Json& push_back(Json value);  ///< appends; *this must be an array
+  [[nodiscard]] const Json& operator[](std::size_t index) const;
+  [[nodiscard]] const std::vector<Json>& elements() const;
+
+  // --- Objects ----------------------------------------------------------
+  /// Insert-or-replace `key`; returns *this so sets chain fluently.
+  Json& set(std::string key, Json value);
+  /// Member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Member lookup; throws std::runtime_error naming the missing key.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  // --- Serialization ----------------------------------------------------
+  /// Compact when indent == 0, pretty-printed with `indent` spaces per
+  /// nesting level otherwise.  Deterministic: member order is preserved.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parser (whole input must be one JSON value).  Returns
+  /// std::nullopt on malformed input and, when `error` is non-null, stores
+  /// a message with the byte offset of the failure.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+  [[nodiscard]] bool operator==(const Json& other) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  /// Number text (canonical, as written/parsed) or string payload.
+  std::string scalar_;
+  std::vector<Json> array_;
+  std::vector<Member> object_;
+};
+
+}  // namespace cspls::util

@@ -1,0 +1,206 @@
+// api::SolverService: concurrent jobs under a bounded thread budget, FIFO
+// admission, cancellation of queued and running jobs, failure surfacing
+// and shutdown semantics.
+#include "api/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace cspls::api {
+namespace {
+
+using std::chrono::milliseconds;
+
+SolveRequest quick_request(std::uint64_t seed) {
+  SolveRequest request;
+  request.problem = "costas:9";
+  request.walkers = 2;
+  request.seed = seed;
+  request.scheduling = parallel::Scheduling::kThreads;
+  request.termination = parallel::Termination::kFirstFinisher;
+  return request;
+}
+
+SolveRequest endless_request(std::uint64_t seed) {
+  // Unsolvable instance with an hours-long budget: only cancel/deadline
+  // (or service shutdown) ends it in test time.
+  SolveRequest request;
+  request.problem = "langford:5";
+  request.walkers = 2;
+  request.seed = seed;
+  request.scheduling = parallel::Scheduling::kThreads;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  core::Params params;
+  params.restart_limit = 100'000'000;
+  params.max_restarts = 0;
+  request.params = params;
+  return request;
+}
+
+TEST(SolverService, RunsConcurrentJobsUnderAThreadBudget) {
+  SolverService service(SolverService::Options{2, 0});
+  EXPECT_EQ(service.thread_budget(), 2u);
+
+  std::vector<JobHandle> jobs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    jobs.push_back(service.submit(quick_request(seed)));
+  }
+  for (const JobHandle& job : jobs) {
+    const SolveReport& report = job.wait();
+    EXPECT_TRUE(report.solved);
+    EXPECT_FALSE(report.cancelled);
+    EXPECT_EQ(job.status(), JobStatus::kDone);
+  }
+  EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
+TEST(SolverService, BudgetOfOneStillCompletesEveryJob) {
+  SolverService service(SolverService::Options{1, 0});
+  std::vector<JobHandle> jobs;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    jobs.push_back(service.submit(quick_request(seed)));
+  }
+  for (const JobHandle& job : jobs) {
+    EXPECT_TRUE(job.wait().solved);
+  }
+}
+
+TEST(SolverService, ResultsAreDeterministicUnderQueueing) {
+  // The thread budget shapes *when* a job runs, never its trajectory: the
+  // same request solved directly and through a contended queue agree.
+  SolveRequest request = quick_request(77);
+  request.termination = parallel::Termination::kBestAfterBudget;
+  const SolveReport direct = Solver::solve(request);
+
+  SolverService service(SolverService::Options{1, 0});
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(service.submit(request));
+  for (const JobHandle& job : jobs) {
+    const SolveReport& queued = job.wait();
+    EXPECT_EQ(queued.solved, direct.solved);
+    EXPECT_EQ(queued.winner, direct.winner);
+    EXPECT_EQ(queued.cost, direct.cost);
+    EXPECT_EQ(queued.solution, direct.solution);
+    EXPECT_EQ(queued.total_iterations, direct.total_iterations);
+  }
+}
+
+TEST(SolverService, CancelStopsARunningThreadsJob) {
+  SolverService service(SolverService::Options{2, 0});
+  const JobHandle job = service.submit(endless_request(5));
+
+  // Wait for admission, then let the walkers actually run a bit.
+  util::Stopwatch watch;
+  while (job.status() == JobStatus::kQueued && watch.elapsed_seconds() < 10.0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(job.status(), JobStatus::kRunning);
+  std::this_thread::sleep_for(milliseconds(50));
+
+  EXPECT_TRUE(job.cancel());
+  ASSERT_TRUE(job.wait_for(milliseconds(30'000)));
+  EXPECT_EQ(job.status(), JobStatus::kCancelled);
+  const SolveReport& report = job.wait();  // cancelled jobs return normally
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_FALSE(report.solved);
+  // Anytime contract: the partial run still reports its best state.
+  EXPECT_FALSE(report.walkers.empty());
+  EXPECT_FALSE(job.cancel());  // already terminal
+}
+
+TEST(SolverService, CancelAQueuedJobBeforeItRuns) {
+  SolverService service(SolverService::Options{1, 0});
+  const JobHandle running = service.submit(endless_request(6));
+  const JobHandle queued = service.submit(quick_request(1));
+
+  // The budget of one is held by `running`, so `queued` sits in the FIFO.
+  EXPECT_TRUE(queued.cancel());
+  ASSERT_TRUE(queued.wait_for(milliseconds(30'000)));
+  EXPECT_EQ(queued.status(), JobStatus::kCancelled);
+  EXPECT_TRUE(queued.wait().cancelled);
+
+  EXPECT_TRUE(running.cancel());
+  ASSERT_TRUE(running.wait_for(milliseconds(30'000)));
+}
+
+TEST(SolverService, DeadlinesWorkThroughTheService) {
+  SolverService service(SolverService::Options{2, 0});
+  SolveRequest request = endless_request(7);
+  request.deadline_ms = 100;
+  const JobHandle job = service.submit(request);
+  ASSERT_TRUE(job.wait_for(milliseconds(60'000)));
+  const SolveReport& report = job.wait();
+  EXPECT_EQ(job.status(), JobStatus::kDone);  // ended on its own (deadline)
+  EXPECT_TRUE(report.deadline_expired);
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(SolverService, SubmitRejectsBadSpecsSynchronously) {
+  SolverService service(SolverService::Options{1, 0});
+  SolveRequest request = quick_request(1);
+  request.problem = "knapsack:10";
+  try {
+    (void)service.submit(request);
+    FAIL() << "bad spec accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("valid names"), std::string::npos);
+  }
+  EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
+TEST(SolverService, DestructionCancelsOutstandingJobs) {
+  JobHandle survivor;
+  {
+    SolverService service(SolverService::Options{1, 0});
+    survivor = service.submit(endless_request(8));
+    (void)service.submit(endless_request(9));  // stays queued behind it
+    // Service destructor: cancels both, joins workers.
+  }
+  ASSERT_TRUE(survivor.valid());
+  ASSERT_TRUE(survivor.wait_for(milliseconds(1)));  // already terminal
+  EXPECT_EQ(survivor.status(), JobStatus::kCancelled);
+}
+
+TEST(SolverService, InvalidHandleThrowsInsteadOfCrashing) {
+  JobHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_THROW((void)handle.id(), std::logic_error);
+  EXPECT_THROW((void)handle.status(), std::logic_error);
+  EXPECT_THROW((void)handle.wait(), std::logic_error);
+  EXPECT_THROW((void)handle.wait_for(milliseconds(1)), std::logic_error);
+  EXPECT_THROW((void)handle.cancel(), std::logic_error);
+}
+
+TEST(SolverService, DeepQueueDrainsWithoutThreadGrowth) {
+  // Submission only enqueues (no thread per queued job): a queue much
+  // deeper than the budget must drain completely.
+  SolverService service(SolverService::Options{2, 0});
+  std::vector<JobHandle> jobs;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SolveRequest request = quick_request(seed);
+    request.walkers = 1;
+    jobs.push_back(service.submit(request));
+  }
+  for (const JobHandle& job : jobs) {
+    EXPECT_TRUE(job.wait().solved);
+  }
+  EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
+TEST(SolverService, SequentialJobsLeaseOneSlotAndFinish) {
+  SolverService service(SolverService::Options{2, 0});
+  SolveRequest request = quick_request(3);
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  const JobHandle job = service.submit(request);
+  EXPECT_TRUE(job.wait().solved);
+}
+
+}  // namespace
+}  // namespace cspls::api

@@ -1,0 +1,315 @@
+// api::SolveRequest/SolveReport JSON round trips, the Solver façade's
+// byte-identity with direct WalkerPool runs, and deadline/cancel semantics
+// under every Scheduling policy.
+#include "api/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "parallel/walker_pool.hpp"
+#include "problems/registry.hpp"
+#include "util/timer.hpp"
+
+namespace cspls::api {
+namespace {
+
+SolveRequest unsolvable_request(parallel::Scheduling scheduling) {
+  // Langford n=5 has no solution; a huge budget means only an external
+  // stop (deadline/cancel) can end the run in test time.
+  SolveRequest request;
+  request.problem = "langford:5";
+  request.walkers = 3;
+  request.seed = 11;
+  request.scheduling = scheduling;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  core::Params params;
+  params.restart_limit = 100'000'000;
+  params.max_restarts = 0;
+  request.params = params;
+  return request;
+}
+
+TEST(SolveRequestJson, EncodeDecodeEncodeIsByteStable) {
+  SolveRequest request;
+  request.problem = "perfect-square:8@7";
+  request.walkers = 16;
+  request.seed = 0xFFFFFFFFFFFFFFFFULL;  // full 64-bit seeds must survive
+  request.scheduling = parallel::Scheduling::kEmulatedRace;
+  request.topology = parallel::Topology::kRingElite;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  request.comm_period = 250;
+  request.comm_adopt_probability = 0.75;
+  request.max_threads = 8;
+  request.deadline_ms = 1500;
+  core::Params params;
+  params.target_cost = 2;
+  params.restart_limit = 12345;
+  params.restart_schedule = core::RestartSchedule::kLuby;
+  params.max_restarts = 3;
+  params.freeze_loc_min = 4;
+  params.freeze_swap = 2;
+  params.reset_limit = 9;
+  params.reset_fraction = 0.25;
+  params.prob_accept_plateau = 0.5;
+  params.prob_accept_local_min = 0.125;
+  request.params = params;
+  request.trace = true;
+  request.trace_sample_period = 100;
+
+  const std::string encoded = request.to_json_string();
+  const SolveRequest decoded = SolveRequest::from_json_string(encoded);
+  EXPECT_EQ(decoded, request);
+  EXPECT_EQ(decoded.to_json_string(), encoded);
+  // Pretty-printed form decodes to the same value.
+  EXPECT_EQ(SolveRequest::from_json_string(request.to_json_string(2)),
+            request);
+}
+
+TEST(SolveRequestJson, DefaultsApplyAndBadDocumentsAreNamed) {
+  const SolveRequest minimal =
+      SolveRequest::from_json_string(R"({"problem":"costas:10"})");
+  EXPECT_EQ(minimal.problem, "costas:10");
+  EXPECT_EQ(minimal.walkers, SolveRequest{}.walkers);
+  EXPECT_EQ(minimal.scheduling, parallel::Scheduling::kThreads);
+  EXPECT_FALSE(minimal.params.has_value());
+
+  EXPECT_THROW((void)SolveRequest::from_json_string("[]"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SolveRequest::from_json_string("{"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SolveRequest::from_json_string(R"({"problem":""})"),
+               std::invalid_argument);
+  try {
+    (void)SolveRequest::from_json_string(
+        R"({"problem":"costas:10","scheduling":"warp-drive"})");
+    FAIL() << "unknown policy name accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("scheduling"), std::string::npos) << message;
+    EXPECT_NE(message.find("emulated-race"), std::string::npos) << message;
+  }
+  try {
+    (void)SolveRequest::from_json_string(
+        R"({"problem":"costas:10","seed":"not-a-number"})");
+    FAIL() << "bad seed accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos);
+  }
+}
+
+TEST(SolveRequestJson, UnknownMembersAreRejectedNotIgnored) {
+  // A misspelled key silently degrading to a default (e.g. "deadline-ms"
+  // leaving the job unbounded) is the classic wire-format trap.
+  try {
+    (void)SolveRequest::from_json_string(
+        R"({"problem":"costas:10","deadline-ms":5000})");
+    FAIL() << "misspelled member accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline-ms"), std::string::npos);
+  }
+  EXPECT_THROW((void)SolveRequest::from_json_string(
+                   R"({"problem":"costas:10","params":{"restartlimit":5}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SolveReport::from_json_string(
+                   R"({"winner":-1,"cost":0,"bogus":1})"),
+               std::invalid_argument);
+}
+
+TEST(SolveReportJson, EncodeDecodeEncodeIsByteStable) {
+  SolveRequest request;
+  request.problem = "costas:9";
+  request.walkers = 3;
+  request.seed = 5;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  const SolveReport report = Solver::solve(request);
+  ASSERT_EQ(report.walkers.size(), 3u);
+
+  const std::string encoded = report.to_json_string();
+  const SolveReport decoded = SolveReport::from_json_string(encoded);
+  EXPECT_EQ(decoded, report);
+  EXPECT_EQ(decoded.to_json_string(), encoded);
+}
+
+TEST(SolveReportJson, NoWinnerCrossesTheWireAsMinusOne) {
+  SolveReport report;
+  report.problem = "langford:5";
+  EXPECT_FALSE(report.has_winner());
+  const SolveReport decoded =
+      SolveReport::from_json_string(report.to_json_string());
+  EXPECT_EQ(decoded.winner, parallel::kNoWinner);
+  EXPECT_FALSE(decoded.has_winner());
+}
+
+TEST(PolicyNames, RoundTripThroughTheTables) {
+  using parallel::Scheduling;
+  using parallel::Termination;
+  using parallel::Topology;
+  for (const auto s : {Scheduling::kThreads, Scheduling::kSequential,
+                       Scheduling::kEmulatedRace}) {
+    EXPECT_EQ(scheduling_from_name(name_of(s)), s);
+  }
+  for (const auto t : {Topology::kIndependent, Topology::kSharedElite,
+                       Topology::kRingElite}) {
+    EXPECT_EQ(topology_from_name(name_of(t)), t);
+  }
+  for (const auto t :
+       {Termination::kFirstFinisher, Termination::kBestAfterBudget}) {
+    EXPECT_EQ(termination_from_name(name_of(t)), t);
+  }
+  EXPECT_FALSE(scheduling_from_name("bogus").has_value());
+  EXPECT_FALSE(topology_from_name("bogus").has_value());
+  EXPECT_FALSE(termination_from_name("bogus").has_value());
+}
+
+TEST(Solver, RejectsUnknownProblemsWithTheNameList) {
+  SolveRequest request;
+  request.problem = "knapsack:10";
+  try {
+    (void)Solver::solve(request);
+    FAIL() << "unknown problem accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    for (const auto& name : problems::problem_names()) {
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+    }
+  }
+}
+
+// --- Byte-identity with the direct WalkerPool path ---------------------
+
+void expect_matches_direct_pool(const SolveRequest& request) {
+  const auto prototype = problems::make_problem("costas", 10);
+  const parallel::MultiWalkReport direct =
+      parallel::WalkerPool(request.to_pool_options()).run(*prototype);
+  const SolveReport facade = Solver::solve(request);
+
+  EXPECT_EQ(facade.solved, direct.solved);
+  EXPECT_EQ(facade.winner, direct.winner);
+  EXPECT_EQ(facade.cost, direct.best.cost);
+  EXPECT_EQ(facade.solution, direct.best.solution);
+  EXPECT_EQ(facade.total_iterations, direct.total_iterations());
+  EXPECT_FALSE(facade.cancelled);
+  EXPECT_FALSE(facade.deadline_expired);
+  ASSERT_EQ(facade.walkers.size(), direct.walkers.size());
+  for (std::size_t i = 0; i < direct.walkers.size(); ++i) {
+    const auto& d = direct.walkers[i].result;
+    const auto& f = facade.walkers[i];
+    EXPECT_EQ(f.id, direct.walkers[i].walker_id);
+    EXPECT_EQ(f.solved, d.solved) << "walker " << i;
+    EXPECT_EQ(f.cost, d.cost) << "walker " << i;
+    EXPECT_EQ(f.iterations, d.stats.iterations) << "walker " << i;
+    EXPECT_EQ(f.swaps, d.stats.swaps) << "walker " << i;
+    EXPECT_EQ(f.resets, d.stats.resets) << "walker " << i;
+    EXPECT_EQ(f.cost_evaluations, d.stats.cost_evaluations) << "walker " << i;
+  }
+}
+
+TEST(SolverIdentity, SequentialBestAfterBudgetMatchesWalkerPool) {
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.walkers = 5;
+  request.seed = 42;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  expect_matches_direct_pool(request);
+}
+
+TEST(SolverIdentity, EmulatedRaceMatchesWalkerPool) {
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.walkers = 5;
+  request.seed = 42;
+  request.scheduling = parallel::Scheduling::kEmulatedRace;
+  request.termination = parallel::Termination::kFirstFinisher;
+  expect_matches_direct_pool(request);
+}
+
+TEST(SolverIdentity, ThreadedBestAfterBudgetMatchesWalkerPool) {
+  // Every walker runs its full budget, so per-walker trajectories are
+  // deterministic even on real threads; only wall times vary.
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.walkers = 4;
+  request.seed = 42;
+  request.scheduling = parallel::Scheduling::kThreads;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  expect_matches_direct_pool(request);
+}
+
+// --- Deadlines under every scheduling policy ---------------------------
+
+TEST(SolverDeadline, HonoredUnderAllSchedulingPolicies) {
+  for (const auto scheduling :
+       {parallel::Scheduling::kThreads, parallel::Scheduling::kSequential,
+        parallel::Scheduling::kEmulatedRace}) {
+    SolveRequest request = unsolvable_request(scheduling);
+    request.deadline_ms = 100;
+    util::Stopwatch watch;
+    const SolveReport report = Solver::solve(request);
+    const double elapsed = watch.elapsed_seconds();
+    EXPECT_FALSE(report.solved) << name_of(scheduling);
+    EXPECT_TRUE(report.deadline_expired) << name_of(scheduling);
+    EXPECT_FALSE(report.cancelled) << name_of(scheduling);
+    // The satellite fix: cancelled/deadline-expired runs still report
+    // their timings and the best configuration reached.
+    EXPECT_GT(report.wall_seconds, 0.0) << name_of(scheduling);
+    EXPECT_GT(report.time_to_solution_seconds, 0.0) << name_of(scheduling);
+    EXPECT_FALSE(report.solution.empty()) << name_of(scheduling);
+    EXPECT_LT(report.cost, csp::kInfiniteCost) << name_of(scheduling);
+    // Generous bound — the budget alone would run for hours.
+    EXPECT_LT(elapsed, 60.0) << name_of(scheduling);
+  }
+}
+
+TEST(SolverDeadline, NoDeadlineNeverSetsTheFlag) {
+  SolveRequest request;
+  request.problem = "costas:9";
+  request.walkers = 2;
+  request.seed = 3;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  const SolveReport report = Solver::solve(request);
+  EXPECT_FALSE(report.deadline_expired);
+  EXPECT_FALSE(report.cancelled);
+}
+
+TEST(SolverCancel, HonoredUnderAllSchedulingPolicies) {
+  for (const auto scheduling :
+       {parallel::Scheduling::kThreads, parallel::Scheduling::kSequential,
+        parallel::Scheduling::kEmulatedRace}) {
+    const SolveRequest request = unsolvable_request(scheduling);
+    std::atomic<bool> cancel{false};
+    std::thread canceller([&cancel] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      cancel.store(true);
+    });
+    util::Stopwatch watch;
+    const SolveReport report = Solver::solve(request, &cancel);
+    canceller.join();
+    EXPECT_TRUE(report.cancelled) << name_of(scheduling);
+    EXPECT_FALSE(report.deadline_expired) << name_of(scheduling);
+    EXPECT_FALSE(report.solved) << name_of(scheduling);
+    EXPECT_GT(report.wall_seconds, 0.0) << name_of(scheduling);
+    EXPECT_GT(report.time_to_solution_seconds, 0.0) << name_of(scheduling);
+    EXPECT_LT(watch.elapsed_seconds(), 60.0) << name_of(scheduling);
+  }
+}
+
+TEST(SolverCancel, PreRaisedFlagStopsImmediately) {
+  std::atomic<bool> cancel{true};
+  SolveRequest request =
+      unsolvable_request(parallel::Scheduling::kSequential);
+  util::Stopwatch watch;
+  const SolveReport report = Solver::solve(request, &cancel);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_FALSE(report.deadline_expired);
+  EXPECT_FALSE(report.solved);
+  EXPECT_LT(watch.elapsed_seconds(), 30.0);
+}
+
+}  // namespace
+}  // namespace cspls::api

@@ -1,0 +1,111 @@
+// problems::parse_spec / format_spec and the registry's shared instance
+// validation (make_problem rejections list the valid names).
+#include "problems/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "problems/registry.hpp"
+
+namespace cspls::problems {
+namespace {
+
+TEST(ProblemSpec, ParsesNameAndSize) {
+  const ProblemSpec spec = parse_spec("costas:18");
+  EXPECT_EQ(spec.name, "costas");
+  EXPECT_EQ(spec.size, 18u);
+  EXPECT_EQ(spec.instance_seed, 0u);
+}
+
+TEST(ProblemSpec, BareNameUsesDefaultSize) {
+  const ProblemSpec spec = parse_spec("queens");
+  EXPECT_EQ(spec.name, "queens");
+  EXPECT_EQ(spec.size, default_size("queens"));
+}
+
+TEST(ProblemSpec, ParsesInstanceSeed) {
+  const ProblemSpec spec = parse_spec("perfect-square:8@7");
+  EXPECT_EQ(spec.name, "perfect-square");
+  EXPECT_EQ(spec.size, 8u);
+  EXPECT_EQ(spec.instance_seed, 7u);
+}
+
+TEST(ProblemSpec, PerfectSquareSizeZeroIsTheOrder21Instance) {
+  const ProblemSpec spec = parse_spec("perfect-square:0");
+  EXPECT_EQ(spec.size, 0u);
+  const auto problem = instantiate(spec);
+  EXPECT_EQ(problem->name(), "perfect-square");
+}
+
+TEST(ProblemSpec, FormatIsCanonicalAndReparses) {
+  for (const char* text :
+       {"costas:18", "queens", "perfect-square:8@7", "alpha", "langford:24"}) {
+    const ProblemSpec spec = parse_spec(text);
+    const ProblemSpec reparsed = parse_spec(format_spec(spec));
+    EXPECT_EQ(reparsed, spec) << text;
+    // format(parse(format(...))) is a fixpoint.
+    EXPECT_EQ(format_spec(reparsed), format_spec(spec)) << text;
+  }
+  EXPECT_EQ(format_spec(ProblemSpec{"costas", 18, 0}), "costas:18");
+  EXPECT_EQ(format_spec(ProblemSpec{"perfect-square", 8, 7}),
+            "perfect-square:8@7");
+}
+
+TEST(ProblemSpec, UnknownNameListsValidNames) {
+  std::string error;
+  EXPECT_FALSE(try_parse_spec("knapsack:10", &error).has_value());
+  for (const auto& name : problem_names()) {
+    EXPECT_NE(error.find(name), std::string::npos) << error;
+  }
+  EXPECT_THROW((void)parse_spec("knapsack:10"), std::invalid_argument);
+}
+
+TEST(ProblemSpec, MalformedSizesAndSeedsAreRejected) {
+  std::string error;
+  EXPECT_FALSE(try_parse_spec("costas:abc", &error).has_value());
+  EXPECT_NE(error.find("bad size"), std::string::npos) << error;
+  EXPECT_FALSE(try_parse_spec("costas:-3", &error).has_value());
+  EXPECT_FALSE(try_parse_spec("costas:", &error).has_value());
+  EXPECT_FALSE(try_parse_spec("costas:0", &error).has_value());
+  EXPECT_NE(error.find("size >= 1"), std::string::npos) << error;
+  EXPECT_FALSE(try_parse_spec("partition:10", &error).has_value());
+  EXPECT_NE(error.find("multiple of 4"), std::string::npos) << error;
+  EXPECT_FALSE(try_parse_spec("perfect-square:8@x", &error).has_value());
+  EXPECT_NE(error.find("instance seed"), std::string::npos) << error;
+}
+
+TEST(ProblemSpec, InstantiateMatchesMakeProblem) {
+  const auto via_spec = instantiate(parse_spec("costas:10"));
+  const auto via_registry = make_problem("costas", 10);
+  EXPECT_EQ(via_spec->name(), via_registry->name());
+  EXPECT_EQ(via_spec->num_variables(), via_registry->num_variables());
+}
+
+TEST(Registry, MakeProblemRejectsUnknownNamesWithTheList) {
+  try {
+    (void)make_problem("nope", 5);
+    FAIL() << "make_problem accepted an unknown name";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    for (const auto& name : problem_names()) {
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(Registry, MakeProblemRejectsUnusableSizes) {
+  EXPECT_THROW((void)make_problem("costas", 0), std::invalid_argument);
+  EXPECT_THROW((void)make_problem("partition", 10), std::invalid_argument);
+  EXPECT_NO_THROW((void)make_problem("alpha", 0));           // size ignored
+  EXPECT_NO_THROW((void)make_problem("perfect-square", 0));  // order-21
+}
+
+TEST(Registry, ValidateInstanceIsSharedDiagnostics) {
+  EXPECT_TRUE(validate_instance("costas", 10).empty());
+  EXPECT_FALSE(validate_instance("costas", 0).empty());
+  EXPECT_FALSE(validate_instance("nope", 10).empty());
+  EXPECT_TRUE(is_known_problem("costas"));
+  EXPECT_FALSE(is_known_problem("nope"));
+}
+
+}  // namespace
+}  // namespace cspls::problems
