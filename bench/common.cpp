@@ -172,6 +172,7 @@ std::optional<HarnessOptions> parse_harness_options(
                   "use the paper's instance sizes (hours of sampling!)");
   parser.add_flag("raw-times",
                   "keep raw host seconds instead of paper-scale units");
+  parser.add_flag("quick", "CI smoke mode: tiny instances, minimal reps");
   parser.add_string("csv", "", "CSV output prefix (default: <program>_)");
   parser.add_flag("verbose", "chatty logging");
   if (!parser.parse(argc, argv)) return std::nullopt;
@@ -181,6 +182,7 @@ std::optional<HarnessOptions> parse_harness_options(
   options.seed = parser.get_uint64("seed");
   options.paper_scale = parser.flag("paper-scale");
   options.raw_times = parser.flag("raw-times");
+  options.quick = parser.flag("quick");
   options.csv_prefix = parser.get_string("csv").empty()
                            ? "csv/" + program + "_"
                            : parser.get_string("csv");

@@ -94,6 +94,9 @@ struct HarnessOptions {
   std::uint64_t seed = 0xC5B15;
   bool paper_scale = false;
   bool raw_times = false;  ///< disable the paper-scale time rescaling
+  /// CI smoke mode: tiny instances, minimal repetitions, full output
+  /// schema — the perf-smoke step validates the CSVs, not the numbers.
+  bool quick = false;
   std::string csv_prefix;
 };
 [[nodiscard]] std::optional<HarnessOptions> parse_harness_options(

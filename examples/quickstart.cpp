@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
   request.walkers = static_cast<std::size_t>(args.get_int("walkers"));
   request.seed = args.get_uint64("seed");
   request.scheduling = parallel::Scheduling::kThreads;
-  request.topology = parallel::Topology::kIndependent;
+  request.neighborhood = parallel::Neighborhood::kIsolated;  // no communication
+  request.exchange = parallel::Exchange::kNone;
   request.termination = parallel::Termination::kFirstFinisher;
   request.deadline_ms = args.get_uint64("deadline-ms");
   std::printf("SolveRequest:\n%s\n", request.to_json_string(2).c_str());

@@ -240,9 +240,11 @@ SolverService::~SolverService() {
 }
 
 JobHandle SolverService::submit(SolveRequest request) {
-  // Validate the instance now so the caller gets the diagnostic (with the
-  // valid problem names) at the submission site, not from a failed job.
+  // Validate the instance and the pool configuration now so the caller
+  // gets the diagnostic (with the valid problem names / the offending
+  // knob) at the submission site, not from a failed job.
   (void)problems::parse_spec(request.problem);
+  parallel::validate_options(request.to_pool_options());
 
   auto job = std::make_shared<detail::JobState>();
   job->request = std::move(request);

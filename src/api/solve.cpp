@@ -5,92 +5,6 @@
 namespace cspls::api {
 
 // ---------------------------------------------------------------------------
-// Policy names
-// ---------------------------------------------------------------------------
-
-std::string_view name_of(parallel::Scheduling scheduling) {
-  switch (scheduling) {
-    case parallel::Scheduling::kThreads:
-      return "threads";
-    case parallel::Scheduling::kSequential:
-      return "sequential";
-    case parallel::Scheduling::kEmulatedRace:
-      return "emulated-race";
-  }
-  return "threads";
-}
-
-std::string_view name_of(parallel::Topology topology) {
-  switch (topology) {
-    case parallel::Topology::kIndependent:
-      return "independent";
-    case parallel::Topology::kSharedElite:
-      return "shared-elite";
-    case parallel::Topology::kRingElite:
-      return "ring-elite";
-  }
-  return "independent";
-}
-
-std::string_view name_of(parallel::Termination termination) {
-  switch (termination) {
-    case parallel::Termination::kFirstFinisher:
-      return "first-finisher";
-    case parallel::Termination::kBestAfterBudget:
-      return "best-after-budget";
-  }
-  return "first-finisher";
-}
-
-std::string_view name_of(core::RestartSchedule schedule) {
-  switch (schedule) {
-    case core::RestartSchedule::kFixed:
-      return "fixed";
-    case core::RestartSchedule::kLuby:
-      return "luby";
-  }
-  return "fixed";
-}
-
-std::optional<parallel::Scheduling> scheduling_from_name(
-    std::string_view name) {
-  if (name == "threads") return parallel::Scheduling::kThreads;
-  if (name == "sequential") return parallel::Scheduling::kSequential;
-  if (name == "emulated-race") return parallel::Scheduling::kEmulatedRace;
-  return std::nullopt;
-}
-
-std::optional<parallel::Topology> topology_from_name(std::string_view name) {
-  if (name == "independent") return parallel::Topology::kIndependent;
-  if (name == "shared-elite") return parallel::Topology::kSharedElite;
-  if (name == "ring-elite") return parallel::Topology::kRingElite;
-  return std::nullopt;
-}
-
-std::optional<parallel::Termination> termination_from_name(
-    std::string_view name) {
-  if (name == "first-finisher") return parallel::Termination::kFirstFinisher;
-  if (name == "best-after-budget") {
-    return parallel::Termination::kBestAfterBudget;
-  }
-  return std::nullopt;
-}
-
-std::optional<core::RestartSchedule> restart_schedule_from_name(
-    std::string_view name) {
-  if (name == "fixed") return core::RestartSchedule::kFixed;
-  if (name == "luby") return core::RestartSchedule::kLuby;
-  return std::nullopt;
-}
-
-std::string policy_names_hint() {
-  return "scheduling: threads | sequential | emulated-race\n"
-         "topology: independent | shared-elite | ring-elite\n"
-         "termination: first-finisher | best-after-budget\n"
-         "restart_schedule: fixed | luby";
-}
-
-// ---------------------------------------------------------------------------
 // Decode helpers — every accessor names the member it was decoding so a
 // malformed document fails with an actionable message.
 // ---------------------------------------------------------------------------
@@ -249,9 +163,11 @@ parallel::WalkerPoolOptions SolveRequest::to_pool_options() const {
   options.params = params;
   options.max_threads = max_threads;
   options.scheduling = scheduling;
-  options.communication.topology = topology;
+  options.communication.neighborhood = neighborhood;
+  options.communication.exchange = exchange;
   options.communication.period = comm_period;
   options.communication.adopt_probability = comm_adopt_probability;
+  options.communication.decay = comm_decay;
   options.termination = termination;
   options.trace.enabled = trace;
   options.trace.sample_period = trace_sample_period;
@@ -264,10 +180,12 @@ util::Json SolveRequest::to_json() const {
       .set("walkers", static_cast<std::uint64_t>(walkers))
       .set("seed", seed)
       .set("scheduling", std::string(name_of(scheduling)))
-      .set("topology", std::string(name_of(topology)))
+      .set("neighborhood", std::string(name_of(neighborhood)))
+      .set("exchange", std::string(name_of(exchange)))
       .set("termination", std::string(name_of(termination)))
       .set("comm_period", comm_period)
       .set("comm_adopt_probability", comm_adopt_probability)
+      .set("comm_decay", comm_decay)
       .set("max_threads", static_cast<std::uint64_t>(max_threads))
       .set("deadline_ms", deadline_ms);
   if (params.has_value()) json.set("params", params_to_json(*params));
@@ -285,9 +203,10 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
   }
   require_known_members(
       json,
-      {"problem", "walkers", "seed", "scheduling", "topology", "termination",
-       "comm_period", "comm_adopt_probability", "max_threads", "deadline_ms",
-       "params", "trace", "trace_sample_period"},
+      {"problem", "walkers", "seed", "scheduling", "neighborhood", "exchange",
+       "topology", "termination", "comm_period", "comm_adopt_probability",
+       "comm_decay", "max_threads", "deadline_ms", "params", "trace",
+       "trace_sample_period"},
       "SolveRequest");
   SolveRequest request;
   request.problem = get_string(json, "problem", "");
@@ -300,13 +219,32 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
   request.seed = get_u64(json, "seed", request.seed);
   request.scheduling = get_policy(json, "scheduling", scheduling_from_name,
                                   request.scheduling);
-  request.topology =
-      get_policy(json, "topology", topology_from_name, request.topology);
+  if (json.find("topology") != nullptr) {
+    // Deprecated alias for the three legacy communication pairs; a document
+    // mixing it with the members it aliases is ambiguous, not mergeable.
+    if (json.find("neighborhood") != nullptr ||
+        json.find("exchange") != nullptr) {
+      bad_member("topology",
+                 "deprecated alias for neighborhood x exchange; a request "
+                 "may name either spelling, not both");
+    }
+    const parallel::CommunicationPolicy aliased(get_policy(
+        json, "topology", topology_from_name, parallel::Topology::kIndependent));
+    request.neighborhood = aliased.neighborhood;
+    request.exchange = aliased.exchange;
+  } else {
+    request.neighborhood = get_policy(json, "neighborhood",
+                                      neighborhood_from_name,
+                                      request.neighborhood);
+    request.exchange =
+        get_policy(json, "exchange", exchange_from_name, request.exchange);
+  }
   request.termination = get_policy(json, "termination", termination_from_name,
                                    request.termination);
   request.comm_period = get_u64(json, "comm_period", request.comm_period);
   request.comm_adopt_probability = get_double(
       json, "comm_adopt_probability", request.comm_adopt_probability);
+  request.comm_decay = get_u64(json, "comm_decay", request.comm_decay);
   request.max_threads = static_cast<std::size_t>(
       get_u64(json, "max_threads", request.max_threads));
   request.deadline_ms = get_u64(json, "deadline_ms", request.deadline_ms);

@@ -23,6 +23,7 @@
 
 #include "core/params.hpp"
 #include "csp/cost.hpp"
+#include "parallel/policy_names.hpp"
 #include "parallel/walker_pool.hpp"
 #include "util/json.hpp"
 
@@ -30,24 +31,20 @@ namespace cspls::api {
 
 // --- Policy names -----------------------------------------------------
 //
-// The wire names of the WalkerPool policy enums (README's policy table).
-// `name_of` is total; the `*_from_name` parsers return std::nullopt for
-// unknown names — callers attach the valid alternatives via
-// `policy_names_hint`.
+// The wire names of the WalkerPool policy enums (README's policy table)
+// live in parallel/policy_names.hpp — the single source of truth shared
+// with the bench harnesses — and are re-exported here so API users need
+// not reach below the api/ layer.  `name_of` is total; the `*_from_name`
+// parsers return std::nullopt for unknown names — callers attach the valid
+// alternatives via `policy_names_hint`.
 
-[[nodiscard]] std::string_view name_of(parallel::Scheduling scheduling);
-[[nodiscard]] std::string_view name_of(parallel::Topology topology);
-[[nodiscard]] std::string_view name_of(parallel::Termination termination);
-[[nodiscard]] std::string_view name_of(core::RestartSchedule schedule);
-
-[[nodiscard]] std::optional<parallel::Scheduling> scheduling_from_name(
-    std::string_view name);
-[[nodiscard]] std::optional<parallel::Topology> topology_from_name(
-    std::string_view name);
-[[nodiscard]] std::optional<parallel::Termination> termination_from_name(
-    std::string_view name);
-[[nodiscard]] std::optional<core::RestartSchedule> restart_schedule_from_name(
-    std::string_view name);
+using parallel::name_of;
+using parallel::scheduling_from_name;
+using parallel::neighborhood_from_name;
+using parallel::exchange_from_name;
+using parallel::topology_from_name;
+using parallel::termination_from_name;
+using parallel::restart_schedule_from_name;
 
 // --- SolveRequest -----------------------------------------------------
 
@@ -62,12 +59,19 @@ struct SolveRequest {
   std::uint64_t seed = 0x5eedULL;
 
   parallel::Scheduling scheduling = parallel::Scheduling::kThreads;
-  parallel::Topology topology = parallel::Topology::kIndependent;
+  /// The communication pair: who talks to whom (`neighborhood`) and what
+  /// flows over the edges (`exchange`).  The wire also accepts the
+  /// deprecated "topology" member as an alias for the three legacy pairs.
+  parallel::Neighborhood neighborhood = parallel::Neighborhood::kIsolated;
+  parallel::Exchange exchange = parallel::Exchange::kNone;
   parallel::Termination termination = parallel::Termination::kFirstFinisher;
 
-  /// Elite-exchange knobs (ignored under Topology::kIndependent).
+  /// Exchange knobs (ignored under Exchange::kNone): publish period in
+  /// iterations, adopt-on-reset probability, staleness bound in publish
+  /// ticks (required for "decay-elite", optional for "migration").
   std::uint64_t comm_period = 1000;
   double comm_adopt_probability = 0.5;
+  std::uint64_t comm_decay = 0;
 
   /// Cap on concurrently running OS threads (0 = one per walker).
   std::size_t max_threads = 0;
@@ -163,6 +167,6 @@ struct SolveReport {
 
 /// "scheduling: threads | sequential | emulated-race" — one line per policy,
 /// for error messages and --help text.
-[[nodiscard]] std::string policy_names_hint();
+using parallel::policy_names_hint;
 
 }  // namespace cspls::api

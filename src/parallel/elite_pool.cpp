@@ -2,26 +2,42 @@
 
 namespace cspls::parallel {
 
-bool ElitePool::offer(csp::Cost cost, std::span<const int> values) {
+bool ElitePool::offer(std::uint64_t tick, csp::Cost cost,
+                      std::span<const int> values) {
   const std::scoped_lock lock(mutex_);
-  if (cost >= best_cost_) return false;
+  if (has_entry_ && !stale(tick) && cost >= best_cost_) return false;
+  has_entry_ = true;
   best_cost_ = cost;
   best_values_.assign(values.begin(), values.end());
+  entry_tick_ = tick;
   ++accepted_;
   return true;
 }
 
-csp::Cost ElitePool::take_if_better(csp::Cost below,
+void ElitePool::store(std::uint64_t tick, csp::Cost cost,
+                      std::span<const int> values) {
+  const std::scoped_lock lock(mutex_);
+  has_entry_ = true;
+  best_cost_ = cost;
+  best_values_.assign(values.begin(), values.end());
+  entry_tick_ = tick;
+  ++accepted_;
+}
+
+csp::Cost ElitePool::take_if_better(std::uint64_t now, csp::Cost below,
                                     std::vector<int>& out) const {
   const std::scoped_lock lock(mutex_);
-  if (best_cost_ >= below || best_values_.empty()) return csp::kInfiniteCost;
+  if (!has_entry_ || stale(now) || best_cost_ >= below ||
+      best_values_.empty()) {
+    return csp::kInfiniteCost;
+  }
   out = best_values_;
   return best_cost_;
 }
 
 csp::Cost ElitePool::best_cost() const {
   const std::scoped_lock lock(mutex_);
-  return best_cost_;
+  return has_entry_ ? best_cost_ : csp::kInfiniteCost;
 }
 
 std::uint64_t ElitePool::accepted_offers() const {

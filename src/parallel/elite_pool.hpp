@@ -1,11 +1,30 @@
-// Shared elite-configuration pool for the dependent multi-walk prototype.
+// One exchange slot of the communication layer.
 //
-// This is the only inter-walker channel in the whole system, implementing
-// the paper's future-work design goals: transfers are rare (periodic) and
-// small (one configuration), and good "crossroads" are recorded so a reset
-// can restart from them.
+// An ElitePool holds at most one configuration — the paper's future-work
+// "recorded crossroad": transfers stay rare (periodic) and small (one
+// configuration per edge).  The slot serves every ExchangeStrategy of
+// exchange.hpp through two publish verbs and one adopt verb:
+//
+//   offer()           keep-best publish (elite exchange): accepted only if
+//                     strictly better than the current entry;
+//   store()           unconditional overwrite (island-style migration);
+//   take_if_better()  adopt: copy only when strictly below the caller's
+//                     threshold — the adopter's own cost for elite
+//                     exchange, csp::kInfiniteCost for migration (any
+//                     fresh migrant qualifies).
+//
+// Staleness: every publish carries a tick from the pool-wide exchange clock
+// (one tick per publish event anywhere in the pool).  A slot built with
+// `decay` > 0 forgets its entry once more than `decay` ticks have passed
+// since it was recorded — a stale crossroad is invisible to adopters and is
+// replaced by the next offer even when that offer is worse (the cost-decay
+// pool of the ROADMAP: the paper warns "the global cost of a configuration
+// is not a reliable information", and an old low cost is the least reliable
+// of all).  `decay` == 0 means entries never expire, which reproduces the
+// PR-1 keep-best pool byte-for-byte.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -16,23 +35,44 @@ namespace cspls::parallel {
 
 class ElitePool {
  public:
-  /// Publish `values` as a candidate elite; kept only if strictly better
-  /// than the current elite.  Returns true when accepted.
-  bool offer(csp::Cost cost, std::span<const int> values);
+  /// `decay` is the staleness bound in exchange-clock ticks (0 = entries
+  /// never expire).
+  explicit ElitePool(std::uint64_t decay = 0) noexcept : decay_(decay) {}
 
-  /// Copy the elite configuration into `out` if one exists with cost
+  /// Keep-best publish at time `tick`: kept if strictly better than the
+  /// current entry, or if the current entry has gone stale.  Returns true
+  /// when accepted.
+  bool offer(std::uint64_t tick, csp::Cost cost, std::span<const int> values);
+
+  /// Unconditional overwrite at time `tick` (migration publish): the slot
+  /// always carries the owner's latest configuration.  Counts as accepted.
+  void store(std::uint64_t tick, csp::Cost cost, std::span<const int> values);
+
+  /// Copy the entry into `out` if it is fresh at time `now` and its cost is
   /// strictly below `below`; returns its cost or csp::kInfiniteCost.
-  csp::Cost take_if_better(csp::Cost below, std::vector<int>& out) const;
+  /// `below` = csp::kInfiniteCost adopts any fresh entry (migration).
+  csp::Cost take_if_better(std::uint64_t now, csp::Cost below,
+                           std::vector<int>& out) const;
 
+  /// Cost of the current entry (freshness not consulted), or
+  /// csp::kInfiniteCost when empty.
   [[nodiscard]] csp::Cost best_cost() const;
 
-  /// Number of accepted offers (for the ablation bench's reporting).
+  /// Number of accepted publishes (the ablation bench's exchange counter).
   [[nodiscard]] std::uint64_t accepted_offers() const;
 
  private:
+  /// Requires mutex_ held.
+  [[nodiscard]] bool stale(std::uint64_t now) const noexcept {
+    return decay_ != 0 && now > entry_tick_ && now - entry_tick_ > decay_;
+  }
+
   mutable std::mutex mutex_;
+  const std::uint64_t decay_;
+  bool has_entry_ = false;
   csp::Cost best_cost_ = csp::kInfiniteCost;
   std::vector<int> best_values_;
+  std::uint64_t entry_tick_ = 0;
   std::uint64_t accepted_ = 0;
 };
 

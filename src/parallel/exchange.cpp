@@ -1,0 +1,105 @@
+#include "parallel/exchange.hpp"
+
+#include <utility>
+
+namespace cspls::parallel {
+
+CommunicationPolicy::CommunicationPolicy(Topology topology) {
+  switch (topology) {
+    case Topology::kIndependent:
+      neighborhood = Neighborhood::kIsolated;
+      exchange = Exchange::kNone;
+      break;
+    case Topology::kSharedElite:
+      neighborhood = Neighborhood::kComplete;
+      exchange = Exchange::kElite;
+      break;
+    case Topology::kRingElite:
+      neighborhood = Neighborhood::kRing;
+      exchange = Exchange::kElite;
+      break;
+  }
+}
+
+CommChannels::CommChannels(const CommunicationPolicy& policy,
+                           std::size_t num_walkers) {
+  if (!policy.exchanging()) return;
+  // kElite never forgets (decay is validated to 0 there); the decaying
+  // strategies thread the staleness bound into every slot.
+  const std::uint64_t decay =
+      policy.exchange == Exchange::kElite ? 0 : policy.decay;
+  const std::size_t count = slot_count(policy.neighborhood, num_walkers);
+  slots_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    slots_.push_back(std::make_unique<ElitePool>(decay));
+  }
+}
+
+std::uint64_t CommChannels::accepted() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) total += slot->accepted_offers();
+  return total;
+}
+
+core::Hooks comm_hooks(const CommunicationPolicy& policy,
+                       CommChannels& channels, std::size_t walker,
+                       std::size_t num_walkers) {
+  core::Hooks hooks;
+  if (!policy.exchanging() || !channels.active()) return hooks;
+
+  const bool migrate = policy.exchange == Exchange::kMigration;
+  ElitePool* publish =
+      &channels.slot(publish_slot(policy.neighborhood, walker, num_walkers));
+
+  hooks.observer_period = policy.period;
+  hooks.observer = [publish, &channels, migrate](std::uint64_t,
+                                                 csp::Cost cost,
+                                                 std::span<const int> values) {
+    const std::uint64_t tick = channels.next_tick();
+    if (migrate) {
+      publish->store(tick, cost, values);
+    } else {
+      publish->offer(tick, cost, values);
+    }
+  };
+
+  std::vector<ElitePool*> sources;
+  for (const std::size_t s :
+       adopt_slots(policy.neighborhood, walker, num_walkers)) {
+    sources.push_back(&channels.slot(s));
+  }
+  if (sources.empty()) return hooks;  // e.g. single-walker torus/hypercube
+
+  hooks.on_reset = [sources = std::move(sources), &channels, migrate,
+                    p = policy.adopt_probability](csp::Problem& problem,
+                                                  util::Xoshiro256& rng) {
+    // Exactly one RNG draw whether or not anything is adopted, so the
+    // communication gate never desynchronizes a walker's stream from the
+    // equivalent PR-1 run.
+    if (!rng.chance(p)) return false;
+    const std::uint64_t now = channels.now();
+    std::vector<int> incoming;
+    std::vector<int> best;
+    bool found = false;
+    // Scan the in-neighbour slots in graph order for the lowest-cost fresh
+    // entry.  Elite only adopts a strict improvement on the walker's own
+    // cost; migration adopts the best migrant regardless of it
+    // (diversification, not elitism) — the infinite threshold makes any
+    // fresh entry beat "nothing" while still skipping (and not copying)
+    // migrants worse than one already in hand.
+    csp::Cost below = migrate ? csp::kInfiniteCost : problem.total_cost();
+    for (ElitePool* source : sources) {
+      const csp::Cost cost = source->take_if_better(now, below, incoming);
+      if (cost == csp::kInfiniteCost) continue;
+      best.swap(incoming);
+      below = cost;
+      found = true;
+    }
+    if (!found) return false;
+    problem.assign(best);
+    return true;
+  };
+  return hooks;
+}
+
+}  // namespace cspls::parallel

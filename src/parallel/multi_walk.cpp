@@ -9,7 +9,7 @@ WalkerPoolOptions MultiWalkOptions::to_pool_options() const {
   pool.params = params;
   pool.max_threads = max_threads;
   pool.scheduling = Scheduling::kThreads;
-  pool.communication.topology = Topology::kIndependent;
+  pool.communication = CommunicationPolicy(Topology::kIndependent);
   pool.termination = Termination::kFirstFinisher;
   return pool;
 }
@@ -38,7 +38,7 @@ MultiWalkReport emulate_first_finisher(std::vector<WalkerOutcome> walkers) {
 MultiWalkReport DependentMultiWalkSolver::solve(
     const csp::Problem& prototype) const {
   WalkerPoolOptions pool = options_.base.to_pool_options();
-  pool.communication.topology = Topology::kSharedElite;
+  pool.communication = CommunicationPolicy(Topology::kSharedElite);
   pool.communication.period = options_.period;
   pool.communication.adopt_probability = options_.adopt_probability;
   return WalkerPool(pool).run(prototype);

@@ -1,0 +1,96 @@
+#include "parallel/neighborhood.hpp"
+
+#include <algorithm>
+
+namespace cspls::parallel {
+
+namespace {
+
+/// Append `slot` unless it is already present or a self edge.
+void push_unique(std::vector<std::size_t>& slots, std::size_t slot,
+                 std::size_t self) {
+  if (slot == self) return;
+  if (std::find(slots.begin(), slots.end(), slot) != slots.end()) return;
+  slots.push_back(slot);
+}
+
+}  // namespace
+
+TorusShape torus_shape(std::size_t num_walkers) {
+  TorusShape shape;
+  if (num_walkers == 0) return shape;
+  std::size_t rows = 1;
+  for (std::size_t r = 1; r * r <= num_walkers; ++r) {
+    if (num_walkers % r == 0) rows = r;
+  }
+  shape.rows = rows;
+  shape.cols = num_walkers / rows;
+  return shape;
+}
+
+std::size_t slot_count(Neighborhood graph, std::size_t num_walkers) {
+  switch (graph) {
+    case Neighborhood::kIsolated:
+      return 0;
+    case Neighborhood::kComplete:
+      return 1;
+    case Neighborhood::kRing:
+    case Neighborhood::kTorus:
+    case Neighborhood::kHypercube:
+      return num_walkers;
+  }
+  return 0;
+}
+
+std::size_t publish_slot(Neighborhood graph, std::size_t walker,
+                         std::size_t /*num_walkers*/) {
+  return graph == Neighborhood::kComplete ? 0 : walker;
+}
+
+std::vector<std::size_t> adopt_slots(Neighborhood graph, std::size_t walker,
+                                     std::size_t num_walkers) {
+  std::vector<std::size_t> slots;
+  if (num_walkers == 0) return slots;
+  switch (graph) {
+    case Neighborhood::kIsolated:
+      break;
+
+    case Neighborhood::kComplete:
+      slots.push_back(0);
+      break;
+
+    case Neighborhood::kRing:
+      // The PR-1 kRingElite wiring, preserved exactly: walker i reads its
+      // predecessor's slot — including the single-walker self loop.
+      slots.push_back((walker + num_walkers - 1) % num_walkers);
+      break;
+
+    case Neighborhood::kTorus: {
+      const TorusShape shape = torus_shape(num_walkers);
+      const std::size_t r = walker / shape.cols;
+      const std::size_t c = walker % shape.cols;
+      const auto id = [&shape](std::size_t row, std::size_t col) {
+        return row * shape.cols + col;
+      };
+      push_unique(slots, id((r + shape.rows - 1) % shape.rows, c), walker);
+      push_unique(slots, id((r + 1) % shape.rows, c), walker);
+      push_unique(slots, id(r, (c + shape.cols - 1) % shape.cols), walker);
+      push_unique(slots, id(r, (c + 1) % shape.cols), walker);
+      break;
+    }
+
+    case Neighborhood::kHypercube:
+      // Flip each address bit; partners beyond the pool are clipped (the
+      // incomplete-hypercube fallback for non-power-of-two pools).  XOR is
+      // symmetric and clipping preserves both endpoints' membership, so the
+      // resulting graph stays undirected.
+      for (std::size_t bit = 1; bit < num_walkers; bit <<= 1) {
+        const std::size_t partner = walker ^ bit;
+        if (partner < num_walkers) push_unique(slots, partner, walker);
+      }
+      break;
+  }
+  return slots;
+}
+
+}  // namespace cspls::parallel

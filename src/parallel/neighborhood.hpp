@@ -1,0 +1,76 @@
+// Neighborhood — who talks to whom, as a pure function of walker ids.
+//
+// The communication layer of parallel::WalkerPool is split into two
+// orthogonal concepts (the design space of the paper's follow-ups: the X10
+// inter-place study and the bounded-degree Cell BE study):
+//
+//   * a Neighborhood (this header): the directed exchange graph, mapping
+//     each walker to the slot it publishes into and the slots it may adopt
+//     from — nothing here knows *what* flows over the edges;
+//   * an ExchangeStrategy (exchange.hpp): what flows over those edges and
+//     when.
+//
+// Slot model: a pool of n walkers owns `slot_count` exchange slots.  Under
+// kComplete there is a single shared slot (the paper's future-work global
+// pool); every other graph gives walker i its own slot i, and `adopt_slots`
+// returns the publish slots of walker i's in-neighbours.  All functions are
+// pure and total for num_walkers >= 1 — the same graph is recomputed
+// identically by every walker, so no graph state is ever shared.
+//
+// Built-in graphs:
+//   kIsolated   no edges — the paper's independent multi-walk;
+//   kComplete   one shared slot, all-to-all through a blackboard;
+//   kRing       directed ring: walker i adopts from its predecessor i-1
+//               (the PR-1 kRingElite wiring, byte-for-byte);
+//   kTorus      2-D wraparound grid (rows x cols, rows = the largest
+//               divisor of n at most sqrt(n)), 4-neighbourhood with
+//               duplicate/self edges removed — degenerates to a
+//               bidirectional ring when n is prime;
+//   kHypercube  binary hypercube: walker i adopts from i ^ (1 << b) for
+//               every bit b — degree log2(n) when n is a power of two;
+//               for other n the out-of-range partners are clipped
+//               (the standard incomplete-hypercube fallback).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cspls::parallel {
+
+enum class Neighborhood {
+  kIsolated,   ///< no edges (the paper's independent scheme)
+  kComplete,   ///< one shared slot: all-to-all blackboard
+  kRing,       ///< directed ring; adopt from the predecessor
+  kTorus,      ///< 2-D wraparound grid, 4-neighbourhood
+  kHypercube,  ///< binary hypercube, degree log2(n)
+};
+
+/// Shape of the torus for a given pool size: rows is the largest divisor of
+/// num_walkers that is at most sqrt(num_walkers) (1 x n for prime n).
+struct TorusShape {
+  std::size_t rows = 1;
+  std::size_t cols = 1;
+
+  [[nodiscard]] bool operator==(const TorusShape&) const = default;
+};
+
+[[nodiscard]] TorusShape torus_shape(std::size_t num_walkers);
+
+/// Number of exchange slots a pool of `num_walkers` owns under `graph`:
+/// 0 for kIsolated, 1 for kComplete, num_walkers otherwise.
+[[nodiscard]] std::size_t slot_count(Neighborhood graph,
+                                     std::size_t num_walkers);
+
+/// The slot walker `walker` publishes into (0 for kComplete, own id
+/// otherwise).  Meaningless under kIsolated (no slots exist).
+[[nodiscard]] std::size_t publish_slot(Neighborhood graph, std::size_t walker,
+                                       std::size_t num_walkers);
+
+/// The slots walker `walker` may adopt from: the publish slots of its
+/// in-neighbours, in deterministic order, duplicates and (except for the
+/// single-walker ring) self edges removed.  Empty under kIsolated.
+[[nodiscard]] std::vector<std::size_t> adopt_slots(Neighborhood graph,
+                                                   std::size_t walker,
+                                                   std::size_t num_walkers);
+
+}  // namespace cspls::parallel

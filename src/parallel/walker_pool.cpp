@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <memory>
+#include <stdexcept>
 #include <thread>
 
 #include "core/adaptive_search.hpp"
-#include "parallel/elite_pool.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -18,6 +17,40 @@ std::uint64_t MultiWalkReport::total_iterations() const noexcept {
   return total;
 }
 
+void validate_options(const WalkerPoolOptions& options) {
+  if (options.num_walkers == 0) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: num_walkers must be at least 1");
+  }
+  const CommunicationPolicy& comm = options.communication;
+  if (!comm.exchanging()) return;  // knobs are ignored without an exchange
+  if (comm.period == 0) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: communication.period must be non-zero with an "
+        "exchanging strategy (period 0 would silently never publish)");
+  }
+  if (!(comm.adopt_probability >= 0.0 && comm.adopt_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: communication.adopt_probability must be in "
+        "[0, 1]");
+  }
+  if (comm.neighborhood == Neighborhood::kIsolated) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: an isolated neighborhood cannot exchange; pick "
+        "a connected neighborhood or Exchange::kNone");
+  }
+  if (comm.exchange == Exchange::kDecayElite && comm.decay == 0) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: communication.decay must be >= 1 for the "
+        "decay-elite strategy (0 never forgets, which is plain elite)");
+  }
+  if (comm.exchange == Exchange::kElite && comm.decay != 0) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: communication.decay is meaningless for the "
+        "elite strategy (it never forgets); use Exchange::kDecayElite");
+  }
+}
+
 namespace {
 
 core::Params params_for(const csp::Problem& prototype,
@@ -26,68 +59,6 @@ core::Params params_for(const csp::Problem& prototype,
                             : core::Params::from_hints(
                                   prototype.tuning(),
                                   prototype.num_variables());
-}
-
-/// Elite slots backing the communicating topologies.  kSharedElite owns one
-/// global slot; kRingElite owns one slot per walker (ElitePool holds a
-/// mutex, hence the unique_ptr indirection).
-struct CommState {
-  std::vector<std::unique_ptr<ElitePool>> slots;
-
-  static CommState make(Topology topology, std::size_t num_walkers) {
-    CommState state;
-    const std::size_t count = topology == Topology::kIndependent ? 0
-                              : topology == Topology::kSharedElite
-                                  ? 1
-                                  : num_walkers;
-    state.slots.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      state.slots.push_back(std::make_unique<ElitePool>());
-    }
-    return state;
-  }
-
-  [[nodiscard]] std::uint64_t accepted() const {
-    std::uint64_t total = 0;
-    for (const auto& slot : slots) total += slot->accepted_offers();
-    return total;
-  }
-};
-
-/// Engine hooks for walker `id` under the given communication policy:
-/// publish to the walker's slot every `period` iterations, adopt from its
-/// source slot on partial reset with probability `adopt_probability`.
-core::Hooks comm_hooks(const CommunicationPolicy& policy, CommState& state,
-                       std::size_t id, std::size_t num_walkers) {
-  core::Hooks hooks;
-  if (policy.topology == Topology::kIndependent) return hooks;
-
-  ElitePool* publish = nullptr;
-  ElitePool* adopt = nullptr;
-  if (policy.topology == Topology::kSharedElite) {
-    publish = adopt = state.slots.front().get();
-  } else {
-    // Ring: walker i publishes to slot i and adopts from its predecessor's
-    // slot, so improvements propagate around the ring one hop per exchange.
-    publish = state.slots[id].get();
-    adopt = state.slots[(id + num_walkers - 1) % num_walkers].get();
-  }
-
-  hooks.observer_period = policy.period;
-  hooks.observer = [publish](std::uint64_t, csp::Cost cost,
-                             std::span<const int> values) {
-    publish->offer(cost, values);
-  };
-  hooks.on_reset = [adopt, p = policy.adopt_probability](
-                       csp::Problem& problem, util::Xoshiro256& rng) {
-    if (!rng.chance(p)) return false;
-    std::vector<int> elite;
-    const csp::Cost cost = adopt->take_if_better(problem.total_cost(), elite);
-    if (cost == csp::kInfiniteCost) return false;
-    problem.assign(elite);
-    return true;
-  };
-  return hooks;
 }
 
 /// Best-cost selection over completed walks (Termination::kBestAfterBudget
@@ -158,11 +129,12 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
 
 MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
                                 const core::StopToken& external) const {
-  const std::size_t k = std::max<std::size_t>(1, options_.num_walkers);
+  validate_options(options_);
+  const std::size_t k = options_.num_walkers;
   const core::Params params = params_for(prototype, options_.params);
   const core::AdaptiveSearch engine(params);
   const util::RngStreamFactory streams(options_.master_seed);
-  CommState comm = CommState::make(options_.communication.topology, k);
+  CommChannels comm(options_.communication, k);
 
   const bool threaded = options_.scheduling == Scheduling::kThreads;
   const bool race =

@@ -14,14 +14,16 @@
 //                      race on a deterministic iteration-synchronous
 //                      machine (winner = fewest iterations).
 //
-//   Communication (Topology) — what walkers share:
-//     * kIndependent   nothing but completion (the paper's scheme);
-//     * kSharedElite   one global elite pool, periodic publish / adoption
-//                      on reset (the paper's future-work prototype);
-//     * kRingElite     per-walker elite slots on a ring: walker i publishes
-//                      to slot i and adopts from its predecessor's slot —
-//                      bounded-degree communication in the spirit of the
-//                      X10/Cell topologies.
+//   Communication (CommunicationPolicy, exchange.hpp) — who talks to whom
+//     and what they exchange, as two orthogonal pluggable concepts:
+//     * a Neighborhood (neighborhood.hpp): the exchange graph — isolated,
+//       complete (one shared blackboard), ring, 2-D torus, hypercube;
+//     * an ExchangeStrategy: what flows over the edges — nothing, periodic
+//       elite publish/adopt-on-reset, whole-configuration migration
+//       (island model), or a cost-decay elite pool whose entries age out.
+//     The legacy Topology enum survives as a deprecated alias constructor
+//     (kIndependent = isolated x none, kSharedElite = complete x elite,
+//     kRingElite = ring x elite — byte-for-byte the PR-1 trajectories).
 //
 //   Termination — when the pool stops:
 //     * kFirstFinisher    the first walker to solve wins and stops the rest
@@ -50,6 +52,7 @@
 #include "core/stop_token.hpp"
 #include "core/trace.hpp"
 #include "csp/problem.hpp"
+#include "parallel/exchange.hpp"
 
 namespace cspls::parallel {
 
@@ -66,27 +69,9 @@ enum class Scheduling {
   kEmulatedRace,
 };
 
-enum class Topology {
-  kIndependent,  ///< no inter-walker communication (the paper's scheme)
-  kSharedElite,  ///< one global elite pool shared by every walker
-  kRingElite,    ///< per-walker elite slot, adopt from ring predecessor
-};
-
 enum class Termination {
   kFirstFinisher,    ///< first solver stops the pool (completion protocol)
   kBestAfterBudget,  ///< all walkers run their budget; best cost wins
-};
-
-/// Communication policy: topology plus the exchange knobs shared by the
-/// elite-based topologies (ignored under kIndependent).
-struct CommunicationPolicy {
-  Topology topology = Topology::kIndependent;
-  /// Walkers publish their configuration every `period` iterations
-  /// (the paper's goal 1: minimise data transfers).
-  std::uint64_t period = 1000;
-  /// Probability that a partial reset adopts an elite configuration
-  /// instead of randomizing (goal 2: restart from recorded crossroads).
-  double adopt_probability = 0.5;
 };
 
 /// Instrumentation policy: fills WalkerOutcome::trace when enabled.
@@ -139,8 +124,8 @@ struct MultiWalkReport {
   core::Result best;
   /// Every walker's outcome, indexed by walker id.
   std::vector<WalkerOutcome> walkers;
-  /// Elite configurations accepted across all communication slots (0 under
-  /// Topology::kIndependent).
+  /// Publishes accepted across all communication slots (0 under
+  /// Exchange::kNone).
   std::uint64_t elite_accepted = 0;
   /// True when an external cancel flag or deadline cut the pool short: at
   /// least one walker was stopped (or never started) because the caller's
@@ -160,6 +145,16 @@ struct MultiWalkReport {
   /// Aggregate iteration count across walkers (total work performed).
   [[nodiscard]] std::uint64_t total_iterations() const noexcept;
 };
+
+/// Validate `options` up front, throwing std::invalid_argument naming the
+/// offending knob: a zero walker population, an exchanging strategy with a
+/// zero publish period, an adopt probability outside [0, 1], an isolated
+/// neighbourhood asked to exchange, a decay-elite strategy without a decay
+/// bound, or a plain elite strategy with one (kElite never forgets — spell
+/// kDecayElite).  Called by WalkerPool::run, so a degenerate configuration
+/// fails loudly instead of silently running without communication;
+/// api::Solver surfaces the same error as a rejected request.
+void validate_options(const WalkerPoolOptions& options);
 
 /// The unified runtime: executes one walker population under the configured
 /// scheduling × communication × termination policies.

@@ -154,6 +154,21 @@ TEST(SolverService, SubmitRejectsBadSpecsSynchronously) {
   EXPECT_EQ(service.pending_jobs(), 0u);
 }
 
+TEST(SolverService, SubmitRejectsDegeneratePoolOptionsSynchronously) {
+  // Degenerate WalkerPool configurations fail at the submission site (the
+  // submit contract), not as an asynchronously kFailed job.
+  SolverService service(SolverService::Options{1, 0});
+  SolveRequest zero_walkers = quick_request(1);
+  zero_walkers.walkers = 0;
+  EXPECT_THROW((void)service.submit(zero_walkers), std::invalid_argument);
+  SolveRequest silent_exchange = quick_request(1);
+  silent_exchange.neighborhood = parallel::Neighborhood::kRing;
+  silent_exchange.exchange = parallel::Exchange::kElite;
+  silent_exchange.comm_period = 0;
+  EXPECT_THROW((void)service.submit(silent_exchange), std::invalid_argument);
+  EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
 TEST(SolverService, DestructionCancelsOutstandingJobs) {
   JobHandle survivor;
   {

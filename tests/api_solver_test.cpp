@@ -38,10 +38,12 @@ TEST(SolveRequestJson, EncodeDecodeEncodeIsByteStable) {
   request.walkers = 16;
   request.seed = 0xFFFFFFFFFFFFFFFFULL;  // full 64-bit seeds must survive
   request.scheduling = parallel::Scheduling::kEmulatedRace;
-  request.topology = parallel::Topology::kRingElite;
+  request.neighborhood = parallel::Neighborhood::kTorus;
+  request.exchange = parallel::Exchange::kDecayElite;
   request.termination = parallel::Termination::kBestAfterBudget;
   request.comm_period = 250;
   request.comm_adopt_probability = 0.75;
+  request.comm_decay = 16;
   request.max_threads = 8;
   request.deadline_ms = 1500;
   core::Params params;
@@ -145,12 +147,23 @@ TEST(SolveReportJson, NoWinnerCrossesTheWireAsMinusOne) {
 }
 
 TEST(PolicyNames, RoundTripThroughTheTables) {
+  using parallel::Exchange;
+  using parallel::Neighborhood;
   using parallel::Scheduling;
   using parallel::Termination;
   using parallel::Topology;
   for (const auto s : {Scheduling::kThreads, Scheduling::kSequential,
                        Scheduling::kEmulatedRace}) {
     EXPECT_EQ(scheduling_from_name(name_of(s)), s);
+  }
+  for (const auto n :
+       {Neighborhood::kIsolated, Neighborhood::kComplete, Neighborhood::kRing,
+        Neighborhood::kTorus, Neighborhood::kHypercube}) {
+    EXPECT_EQ(neighborhood_from_name(name_of(n)), n);
+  }
+  for (const auto e : {Exchange::kNone, Exchange::kElite, Exchange::kMigration,
+                       Exchange::kDecayElite}) {
+    EXPECT_EQ(exchange_from_name(name_of(e)), e);
   }
   for (const auto t : {Topology::kIndependent, Topology::kSharedElite,
                        Topology::kRingElite}) {
@@ -161,8 +174,35 @@ TEST(PolicyNames, RoundTripThroughTheTables) {
     EXPECT_EQ(termination_from_name(name_of(t)), t);
   }
   EXPECT_FALSE(scheduling_from_name("bogus").has_value());
+  EXPECT_FALSE(neighborhood_from_name("bogus").has_value());
+  EXPECT_FALSE(exchange_from_name("bogus").has_value());
   EXPECT_FALSE(topology_from_name("bogus").has_value());
   EXPECT_FALSE(termination_from_name("bogus").has_value());
+}
+
+TEST(SolveRequestJson, LegacyTopologyMemberIsAnAcceptedAlias) {
+  // Pre-refactor documents keep working: "topology" maps onto the
+  // neighborhood x exchange pair it used to hard-wire...
+  const SolveRequest ring = SolveRequest::from_json_string(
+      R"({"problem":"costas:10","topology":"ring-elite"})");
+  EXPECT_EQ(ring.neighborhood, parallel::Neighborhood::kRing);
+  EXPECT_EQ(ring.exchange, parallel::Exchange::kElite);
+  const SolveRequest shared = SolveRequest::from_json_string(
+      R"({"problem":"costas:10","topology":"shared-elite"})");
+  EXPECT_EQ(shared.neighborhood, parallel::Neighborhood::kComplete);
+  EXPECT_EQ(shared.exchange, parallel::Exchange::kElite);
+  // ...the re-encode speaks the new spelling only...
+  EXPECT_EQ(ring.to_json_string().find("topology"), std::string::npos);
+  EXPECT_NE(ring.to_json_string().find("\"neighborhood\""), std::string::npos);
+  EXPECT_NE(ring.to_json_string().find("\"ring\""), std::string::npos);
+  // ...and a document mixing both spellings is ambiguous, not merged.
+  EXPECT_THROW(
+      (void)SolveRequest::from_json_string(
+          R"({"problem":"costas:10","topology":"ring-elite","exchange":"none"})"),
+      std::invalid_argument);
+  EXPECT_THROW((void)SolveRequest::from_json_string(
+                   R"({"problem":"costas:10","topology":"warp-drive"})"),
+               std::invalid_argument);
 }
 
 TEST(Solver, RejectsUnknownProblemsWithTheNameList) {
@@ -296,6 +336,86 @@ TEST(SolverCancel, HonoredUnderAllSchedulingPolicies) {
     EXPECT_GT(report.wall_seconds, 0.0) << name_of(scheduling);
     EXPECT_GT(report.time_to_solution_seconds, 0.0) << name_of(scheduling);
     EXPECT_LT(watch.elapsed_seconds(), 60.0) << name_of(scheduling);
+  }
+}
+
+// --- The new communication pairs end to end -----------------------------
+
+TEST(Solver, TorusMigrationRoundTripsAndRunsUnderAllSchedulingModes) {
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.walkers = 4;
+  request.seed = 9;
+  request.neighborhood = parallel::Neighborhood::kTorus;
+  request.exchange = parallel::Exchange::kMigration;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  request.comm_period = 50;
+  request.comm_adopt_probability = 0.5;
+
+  // The wire spelling survives a round trip byte-stably...
+  const std::string encoded = request.to_json_string();
+  EXPECT_NE(encoded.find("\"torus\""), std::string::npos);
+  EXPECT_NE(encoded.find("\"migration\""), std::string::npos);
+  const SolveRequest decoded = SolveRequest::from_json_string(encoded);
+  EXPECT_EQ(decoded, request);
+  EXPECT_EQ(decoded.to_json_string(), encoded);
+
+  // ...and the decoded request runs under every scheduling policy.
+  for (const auto scheduling :
+       {parallel::Scheduling::kThreads, parallel::Scheduling::kSequential,
+        parallel::Scheduling::kEmulatedRace}) {
+    SolveRequest run = decoded;
+    run.scheduling = scheduling;
+    const SolveReport report = Solver::solve(run);
+    EXPECT_TRUE(report.solved) << name_of(scheduling);
+    EXPECT_FALSE(report.solution.empty()) << name_of(scheduling);
+    EXPECT_EQ(report.walkers.size(), 4u) << name_of(scheduling);
+  }
+}
+
+TEST(Solver, DegenerateCommunicationOptionsRejectTheRequest) {
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.walkers = 0;
+  EXPECT_THROW((void)Solver::solve(request), std::invalid_argument);
+
+  request.walkers = 4;
+  request.neighborhood = parallel::Neighborhood::kRing;
+  request.exchange = parallel::Exchange::kElite;
+  request.comm_period = 0;  // would silently never publish
+  EXPECT_THROW((void)Solver::solve(request), std::invalid_argument);
+
+  request.comm_period = 100;
+  request.comm_adopt_probability = 2.0;
+  EXPECT_THROW((void)Solver::solve(request), std::invalid_argument);
+
+  request.comm_adopt_probability = 0.5;
+  request.exchange = parallel::Exchange::kDecayElite;  // decay 0
+  EXPECT_THROW((void)Solver::solve(request), std::invalid_argument);
+}
+
+TEST(SolverDeadline, MidExchangeInterruptHasExactlyOneCauseAndABest) {
+  // Deadline fires while threaded walkers are actively migrating whole
+  // configurations: the report must attribute exactly one interrupt cause
+  // and still carry a usable best configuration (the anytime contract).
+  SolveRequest request = unsolvable_request(parallel::Scheduling::kThreads);
+  request.walkers = 4;
+  request.neighborhood = parallel::Neighborhood::kTorus;
+  request.exchange = parallel::Exchange::kMigration;
+  request.comm_period = 10;  // exchange continuously up to the cut-off
+  request.comm_adopt_probability = 0.9;
+  request.deadline_ms = 150;
+  util::Stopwatch watch;
+  const SolveReport report = Solver::solve(request);
+  EXPECT_FALSE(report.solved);
+  EXPECT_TRUE(report.deadline_expired);
+  EXPECT_FALSE(report.cancelled);  // exactly one cause, never both
+  EXPECT_FALSE(report.solution.empty());
+  EXPECT_LT(report.cost, csp::kInfiniteCost);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_LT(watch.elapsed_seconds(), 60.0);
+  for (const auto& w : report.walkers) {
+    EXPECT_TRUE(w.interrupted) << "walker " << w.id;
   }
 }
 

@@ -154,13 +154,13 @@ TEST(EmulateFirstFinisher, HandlesAllFailed) {
 }
 
 TEST(ElitePool, OfferAcceptsOnlyStrictImprovements) {
-  ElitePool pool;
+  ElitePool pool;  // decay 0: the PR-1 keep-best slot
   const std::vector<int> a{1, 2, 3};
   const std::vector<int> b{3, 2, 1};
-  EXPECT_TRUE(pool.offer(10, a));
-  EXPECT_FALSE(pool.offer(10, b));  // equal is rejected
-  EXPECT_FALSE(pool.offer(11, b));
-  EXPECT_TRUE(pool.offer(9, b));
+  EXPECT_TRUE(pool.offer(1, 10, a));
+  EXPECT_FALSE(pool.offer(2, 10, b));  // equal is rejected
+  EXPECT_FALSE(pool.offer(3, 11, b));
+  EXPECT_TRUE(pool.offer(4, 9, b));
   EXPECT_EQ(pool.best_cost(), 9);
   EXPECT_EQ(pool.accepted_offers(), 2u);
 }
@@ -168,10 +168,10 @@ TEST(ElitePool, OfferAcceptsOnlyStrictImprovements) {
 TEST(ElitePool, TakeIfBetterHonoursThreshold) {
   ElitePool pool;
   std::vector<int> out;
-  EXPECT_EQ(pool.take_if_better(100, out), csp::kInfiniteCost);  // empty
-  pool.offer(10, std::vector<int>{4, 5, 6});
-  EXPECT_EQ(pool.take_if_better(10, out), csp::kInfiniteCost);  // not better
-  EXPECT_EQ(pool.take_if_better(11, out), 10);
+  EXPECT_EQ(pool.take_if_better(1, 100, out), csp::kInfiniteCost);  // empty
+  pool.offer(1, 10, std::vector<int>{4, 5, 6});
+  EXPECT_EQ(pool.take_if_better(2, 10, out), csp::kInfiniteCost);  // not better
+  EXPECT_EQ(pool.take_if_better(2, 11, out), 10);
   EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
 }
 

@@ -1,0 +1,189 @@
+// Graph-shape tests for the pluggable Neighborhood layer (torus wraparound,
+// hypercube degree, non-power-of-two fallback, ring/complete/isolated
+// wiring) and slot-level semantics of the ElitePool exchange slot
+// (keep-best vs overwrite publishes, cost-decay staleness).
+#include "parallel/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "parallel/elite_pool.hpp"
+
+namespace cspls::parallel {
+namespace {
+
+std::set<std::size_t> adopt_set(Neighborhood graph, std::size_t walker,
+                                std::size_t n) {
+  const auto slots = adopt_slots(graph, walker, n);
+  return {slots.begin(), slots.end()};
+}
+
+TEST(Neighborhood, IsolatedHasNoSlotsAndNoEdges) {
+  EXPECT_EQ(slot_count(Neighborhood::kIsolated, 8), 0u);
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_TRUE(adopt_slots(Neighborhood::kIsolated, w, 8).empty());
+  }
+}
+
+TEST(Neighborhood, CompleteSharesOneSlot) {
+  EXPECT_EQ(slot_count(Neighborhood::kComplete, 8), 1u);
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(publish_slot(Neighborhood::kComplete, w, 8), 0u);
+    EXPECT_EQ(adopt_slots(Neighborhood::kComplete, w, 8),
+              std::vector<std::size_t>{0});
+  }
+}
+
+TEST(Neighborhood, RingAdoptsFromThePredecessor) {
+  EXPECT_EQ(slot_count(Neighborhood::kRing, 5), 5u);
+  for (std::size_t w = 0; w < 5; ++w) {
+    EXPECT_EQ(publish_slot(Neighborhood::kRing, w, 5), w);
+    EXPECT_EQ(adopt_slots(Neighborhood::kRing, w, 5),
+              std::vector<std::size_t>{(w + 4) % 5});
+  }
+  // The single-walker ring keeps its self loop (the PR-1 wiring).
+  EXPECT_EQ(adopt_slots(Neighborhood::kRing, 0, 1),
+            std::vector<std::size_t>{0});
+}
+
+TEST(Neighborhood, TorusShapePicksTheSquarestFactorization) {
+  EXPECT_EQ(torus_shape(12), (TorusShape{3, 4}));
+  EXPECT_EQ(torus_shape(9), (TorusShape{3, 3}));
+  EXPECT_EQ(torus_shape(16), (TorusShape{4, 4}));
+  EXPECT_EQ(torus_shape(7), (TorusShape{1, 7}));  // prime: one ring row
+  EXPECT_EQ(torus_shape(1), (TorusShape{1, 1}));
+}
+
+TEST(Neighborhood, TorusWrapsAroundBothAxes) {
+  // 3x3: corner walker 0 reaches its wrapped row/column partners.
+  EXPECT_EQ(adopt_set(Neighborhood::kTorus, 0, 9),
+            (std::set<std::size_t>{1, 2, 3, 6}));
+  // Centre walker 4 reaches the plain 4-neighbourhood.
+  EXPECT_EQ(adopt_set(Neighborhood::kTorus, 4, 9),
+            (std::set<std::size_t>{1, 3, 5, 7}));
+  // Last walker 8 wraps on both axes.
+  EXPECT_EQ(adopt_set(Neighborhood::kTorus, 8, 9),
+            (std::set<std::size_t>{2, 5, 6, 7}));
+}
+
+TEST(Neighborhood, DegenerateToriDropDuplicateAndSelfEdges) {
+  // Prime pool: a 1xN torus is a bidirectional ring (up/down collapse onto
+  // self and are dropped).
+  EXPECT_EQ(adopt_set(Neighborhood::kTorus, 0, 5),
+            (std::set<std::size_t>{1, 4}));
+  // 2x2: each axis has one distinct partner.
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(adopt_slots(Neighborhood::kTorus, w, 4).size(), 2u) << w;
+  }
+  // Two walkers: a single mutual edge, not three copies of it.
+  EXPECT_EQ(adopt_slots(Neighborhood::kTorus, 0, 2),
+            std::vector<std::size_t>{1});
+  EXPECT_TRUE(adopt_slots(Neighborhood::kTorus, 0, 1).empty());
+}
+
+TEST(Neighborhood, TorusIsUndirected) {
+  for (const std::size_t n : {2u, 4u, 6u, 9u, 12u, 7u}) {
+    for (std::size_t w = 0; w < n; ++w) {
+      for (const std::size_t m : adopt_slots(Neighborhood::kTorus, w, n)) {
+        const auto back = adopt_set(Neighborhood::kTorus, m, n);
+        EXPECT_TRUE(back.count(w)) << n << ": " << w << "<->" << m;
+      }
+    }
+  }
+}
+
+TEST(Neighborhood, HypercubeDegreeIsLogTwoOfPowerOfTwoPools) {
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const auto degree =
+        static_cast<std::size_t>(std::bit_width(n) - 1);  // log2(n)
+    for (std::size_t w = 0; w < n; ++w) {
+      const auto slots = adopt_slots(Neighborhood::kHypercube, w, n);
+      EXPECT_EQ(slots.size(), degree) << "n=" << n << " walker " << w;
+      for (const std::size_t m : slots) {
+        EXPECT_EQ(std::popcount(w ^ m), 1) << "non-edge " << w << "->" << m;
+      }
+    }
+  }
+}
+
+TEST(Neighborhood, HypercubeClipsOutOfRangePartnersForOtherPools) {
+  // n=6: walker 0's partners 1, 2, 4 all exist; walker 5 (101b) loses its
+  // bit-1 partner 7 and keeps {4, 1}.
+  EXPECT_EQ(adopt_set(Neighborhood::kHypercube, 0, 6),
+            (std::set<std::size_t>{1, 2, 4}));
+  EXPECT_EQ(adopt_set(Neighborhood::kHypercube, 5, 6),
+            (std::set<std::size_t>{4, 1}));
+  // Clipping keeps the graph undirected and in range.
+  for (const std::size_t n : {3u, 5u, 6u, 7u, 12u}) {
+    for (std::size_t w = 0; w < n; ++w) {
+      for (const std::size_t m : adopt_slots(Neighborhood::kHypercube, w, n)) {
+        EXPECT_LT(m, n);
+        EXPECT_TRUE(adopt_set(Neighborhood::kHypercube, m, n).count(w));
+      }
+    }
+  }
+  EXPECT_TRUE(adopt_slots(Neighborhood::kHypercube, 0, 1).empty());
+}
+
+// --- ElitePool slot semantics -------------------------------------------
+
+TEST(ElitePool, OfferKeepsTheStrictlyBest) {
+  ElitePool slot;
+  const std::vector<int> a{1, 2}, b{3, 4};
+  EXPECT_TRUE(slot.offer(1, 10, a));
+  EXPECT_FALSE(slot.offer(2, 10, b));  // ties rejected
+  EXPECT_FALSE(slot.offer(3, 12, b));
+  EXPECT_TRUE(slot.offer(4, 7, b));
+  std::vector<int> out;
+  EXPECT_EQ(slot.take_if_better(5, 8, out), 7);
+  EXPECT_EQ(out, b);
+  EXPECT_EQ(slot.take_if_better(5, 7, out), csp::kInfiniteCost);  // not strictly better
+  EXPECT_EQ(slot.accepted_offers(), 2u);
+}
+
+TEST(ElitePool, StoreOverwritesUnconditionally) {
+  ElitePool slot;
+  const std::vector<int> a{1, 2}, b{3, 4};
+  slot.store(1, 5, a);
+  slot.store(2, 9, b);  // worse, still replaces (migration)
+  std::vector<int> out;
+  // The migration adopt: an infinite threshold takes any fresh entry.
+  EXPECT_EQ(slot.take_if_better(3, csp::kInfiniteCost, out), 9);
+  EXPECT_EQ(out, b);
+  EXPECT_EQ(slot.take_if_better(3, 4, out), csp::kInfiniteCost);
+  EXPECT_EQ(slot.accepted_offers(), 2u);
+}
+
+TEST(ElitePool, DecayForgetsStaleEntries) {
+  ElitePool slot(/*decay=*/3);
+  const std::vector<int> a{1, 2}, b{3, 4};
+  ASSERT_TRUE(slot.offer(1, 5, a));
+  std::vector<int> out;
+  // Fresh through tick entry+decay, stale after — under both the elite and
+  // the migration (infinite) thresholds.
+  EXPECT_EQ(slot.take_if_better(4, 100, out), 5);
+  EXPECT_EQ(slot.take_if_better(4, csp::kInfiniteCost, out), 5);
+  EXPECT_EQ(slot.take_if_better(5, 100, out), csp::kInfiniteCost);
+  EXPECT_EQ(slot.take_if_better(5, csp::kInfiniteCost, out),
+            csp::kInfiniteCost);
+  // A stale entry is forgotten: a *worse* offer now replaces it.
+  EXPECT_TRUE(slot.offer(6, 50, b));
+  EXPECT_EQ(slot.take_if_better(7, 100, out), 50);
+  EXPECT_EQ(out, b);
+}
+
+TEST(ElitePool, ZeroDecayNeverForgets) {
+  ElitePool slot;  // decay 0
+  const std::vector<int> a{1, 2};
+  ASSERT_TRUE(slot.offer(1, 5, a));
+  std::vector<int> out;
+  EXPECT_EQ(slot.take_if_better(1'000'000, 100, out), 5);
+  // No staleness window: a worse offer stays rejected forever.
+  EXPECT_FALSE(slot.offer(1'000'000, 50, a));
+}
+
+}  // namespace
+}  // namespace cspls::parallel

@@ -1,11 +1,18 @@
 // WalkerPool policy-matrix tests: scheduling-mode equivalence against the
-// legacy entry points (walker-for-walker RNG-stream identity), the new
-// ring-elite topology, best-after-budget termination, and trace neutrality.
+// legacy entry points (walker-for-walker RNG-stream identity), fixed-seed
+// identity of the legacy communication topologies spelled through the new
+// Neighborhood x ExchangeStrategy API, the migration and decay-elite
+// strategies, option validation, best-after-budget termination, and trace
+// neutrality.
 #include "parallel/walker_pool.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+
 #include "core/adaptive_search.hpp"
+#include "parallel/elite_pool.hpp"
 #include "parallel/multi_walk.hpp"
 #include "problems/costas.hpp"
 #include "problems/langford.hpp"
@@ -148,7 +155,8 @@ TEST(WalkerPool, RingEliteExchangeSolves) {
   pool.master_seed = 6;
   pool.scheduling = Scheduling::kThreads;
   pool.termination = Termination::kFirstFinisher;
-  pool.communication.topology = Topology::kRingElite;
+  pool.communication.neighborhood = Neighborhood::kRing;
+  pool.communication.exchange = Exchange::kElite;
   pool.communication.period = 50;
   pool.communication.adopt_probability = 0.5;
   const auto report = WalkerPool(pool).run(costas);
@@ -168,7 +176,8 @@ TEST(WalkerPool, RingEliteIsDeterministicSequentially) {
 
   WalkerPoolOptions pool = sequential_options(4, 13);
   pool.params = params;
-  pool.communication.topology = Topology::kRingElite;
+  pool.communication.neighborhood = Neighborhood::kRing;
+  pool.communication.exchange = Exchange::kElite;
   pool.communication.period = 100;
   pool.communication.adopt_probability = 0.5;
 
@@ -241,6 +250,265 @@ TEST(WalkerPool, ThreadedBestAfterBudgetRunsEveryWalkerToCompletion) {
     EXPECT_FALSE(w.result.interrupted);
     EXPECT_TRUE(w.result.solved);
   }
+}
+
+// --- Fixed-seed identity of the legacy topologies under the new API -----
+
+/// Reference implementation of the PR-1 communication wiring: per-walker
+/// elite slots (one shared slot for the shared topology), keep-best publish
+/// every `period` iterations, single-source adopt-if-better on reset after
+/// one chance(p) draw — exactly the hooks walker_pool.cpp hard-wired before
+/// the Neighborhood/ExchangeStrategy split.  Walkers run sequentially, so
+/// the pool's kSequential mode must reproduce these results byte-for-byte.
+std::vector<core::Result> reference_elite_walks(
+    const csp::Problem& prototype, std::size_t num_walkers,
+    std::uint64_t master_seed, const std::optional<core::Params>& params,
+    std::uint64_t period, double adopt_probability, bool shared) {
+  const core::Params resolved =
+      params.has_value() ? *params
+                         : core::Params::from_hints(prototype.tuning(),
+                                                    prototype.num_variables());
+  const core::AdaptiveSearch engine(resolved);
+  const util::RngStreamFactory streams(master_seed);
+  std::vector<std::unique_ptr<ElitePool>> slots;
+  const std::size_t count = shared ? 1 : num_walkers;
+  for (std::size_t i = 0; i < count; ++i) {
+    slots.push_back(std::make_unique<ElitePool>());
+  }
+  std::vector<core::Result> results;
+  results.reserve(num_walkers);
+  for (std::size_t id = 0; id < num_walkers; ++id) {
+    auto problem = prototype.clone();
+    util::Xoshiro256 rng = streams.stream(id);
+    ElitePool* publish = shared ? slots.front().get() : slots[id].get();
+    ElitePool* adopt =
+        shared ? slots.front().get()
+               : slots[(id + num_walkers - 1) % num_walkers].get();
+    core::Hooks hooks;
+    hooks.observer_period = period;
+    hooks.observer = [publish](std::uint64_t, csp::Cost cost,
+                               std::span<const int> values) {
+      publish->offer(0, cost, values);
+    };
+    hooks.on_reset = [adopt, p = adopt_probability](csp::Problem& p_,
+                                                    util::Xoshiro256& r) {
+      if (!r.chance(p)) return false;
+      std::vector<int> elite;
+      const csp::Cost cost = adopt->take_if_better(0, p_.total_cost(), elite);
+      if (cost == csp::kInfiniteCost) return false;
+      p_.assign(elite);
+      return true;
+    };
+    results.push_back(engine.solve(*problem, rng, core::StopToken{}, hooks));
+  }
+  return results;
+}
+
+/// Communication actually fires on this configuration (unsolvable instance,
+/// small budget, frequent exchange), so identity here pins the exchange
+/// wiring, not just the no-op path.
+WalkerPoolOptions exchanging_options(Neighborhood neighborhood,
+                                     Exchange exchange) {
+  problems::Langford langford(5);
+  core::Params params =
+      core::Params::from_hints(langford.tuning(), langford.num_variables());
+  params.restart_limit = 2'000;
+  params.max_restarts = 1;
+
+  WalkerPoolOptions pool = sequential_options(4, 13);
+  pool.params = params;
+  pool.communication.neighborhood = neighborhood;
+  pool.communication.exchange = exchange;
+  pool.communication.period = 100;
+  pool.communication.adopt_probability = 0.5;
+  return pool;
+}
+
+void expect_matches_reference(const MultiWalkReport& report,
+                              const std::vector<core::Result>& reference) {
+  ASSERT_EQ(report.walkers.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(report.walkers[i].result.solved, reference[i].solved)
+        << "walker " << i;
+    EXPECT_EQ(report.walkers[i].result.cost, reference[i].cost)
+        << "walker " << i;
+    EXPECT_EQ(report.walkers[i].result.solution, reference[i].solution)
+        << "walker " << i;
+    EXPECT_EQ(report.walkers[i].result.stats.iterations,
+              reference[i].stats.iterations)
+        << "walker " << i;
+    EXPECT_EQ(report.walkers[i].result.stats.resets,
+              reference[i].stats.resets)
+        << "walker " << i;
+  }
+}
+
+TEST(WalkerPoolEquivalence, SharedEliteViaNewApiReproducesPr1Trajectories) {
+  problems::Langford langford(5);
+  const WalkerPoolOptions pool =
+      exchanging_options(Neighborhood::kComplete, Exchange::kElite);
+  const auto reference = reference_elite_walks(
+      langford, pool.num_walkers, pool.master_seed, pool.params,
+      pool.communication.period, pool.communication.adopt_probability,
+      /*shared=*/true);
+  expect_matches_reference(WalkerPool(pool).run(langford), reference);
+}
+
+TEST(WalkerPoolEquivalence, RingEliteViaNewApiReproducesPr1Trajectories) {
+  problems::Langford langford(5);
+  const WalkerPoolOptions pool =
+      exchanging_options(Neighborhood::kRing, Exchange::kElite);
+  const auto reference = reference_elite_walks(
+      langford, pool.num_walkers, pool.master_seed, pool.params,
+      pool.communication.period, pool.communication.adopt_probability,
+      /*shared=*/false);
+  expect_matches_reference(WalkerPool(pool).run(langford), reference);
+}
+
+TEST(WalkerPoolEquivalence, TopologyAliasConstructorSpellsTheSamePolicies) {
+  CommunicationPolicy independent{Topology::kIndependent};
+  EXPECT_EQ(independent.neighborhood, Neighborhood::kIsolated);
+  EXPECT_EQ(independent.exchange, Exchange::kNone);
+  CommunicationPolicy shared{Topology::kSharedElite};
+  EXPECT_EQ(shared.neighborhood, Neighborhood::kComplete);
+  EXPECT_EQ(shared.exchange, Exchange::kElite);
+  CommunicationPolicy ring{Topology::kRingElite};
+  EXPECT_EQ(ring.neighborhood, Neighborhood::kRing);
+  EXPECT_EQ(ring.exchange, Exchange::kElite);
+  // The alias keeps the knob defaults of the original CommunicationPolicy.
+  EXPECT_EQ(ring.period, CommunicationPolicy{}.period);
+  EXPECT_EQ(ring.adopt_probability, CommunicationPolicy{}.adopt_probability);
+  EXPECT_EQ(ring.decay, 0u);
+
+  // And an aliased pool run is byte-identical to the spelled-out one.
+  problems::Langford langford(5);
+  WalkerPoolOptions spelled =
+      exchanging_options(Neighborhood::kRing, Exchange::kElite);
+  WalkerPoolOptions aliased = spelled;
+  aliased.communication = CommunicationPolicy(Topology::kRingElite);
+  aliased.communication.period = spelled.communication.period;
+  aliased.communication.adopt_probability =
+      spelled.communication.adopt_probability;
+  const auto a = WalkerPool(spelled).run(langford);
+  const auto b = WalkerPool(aliased).run(langford);
+  ASSERT_EQ(a.walkers.size(), b.walkers.size());
+  for (std::size_t i = 0; i < a.walkers.size(); ++i) {
+    EXPECT_EQ(a.walkers[i].result.stats.iterations,
+              b.walkers[i].result.stats.iterations);
+    EXPECT_EQ(a.walkers[i].result.solution, b.walkers[i].result.solution);
+  }
+  EXPECT_EQ(a.elite_accepted, b.elite_accepted);
+}
+
+// --- The new neighbourhoods and exchange strategies ---------------------
+
+TEST(WalkerPool, MigrationOnTorusSolvesThreaded) {
+  problems::Costas costas(10);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 4;
+  pool.master_seed = 8;
+  pool.scheduling = Scheduling::kThreads;
+  pool.termination = Termination::kFirstFinisher;
+  pool.communication.neighborhood = Neighborhood::kTorus;
+  pool.communication.exchange = Exchange::kMigration;
+  pool.communication.period = 50;
+  pool.communication.adopt_probability = 0.5;
+  const auto report = WalkerPool(pool).run(costas);
+  ASSERT_TRUE(report.solved);
+  EXPECT_TRUE(costas.verify(report.best.solution));
+  // Migration stores unconditionally, so slots accept every publish.
+  EXPECT_GT(report.elite_accepted, 0u);
+}
+
+TEST(WalkerPool, DecayEliteOnHypercubeIsDeterministicSequentially) {
+  problems::Langford langford(5);  // unsolvable: every walker runs its budget
+  WalkerPoolOptions pool =
+      exchanging_options(Neighborhood::kHypercube, Exchange::kDecayElite);
+  pool.communication.decay = 6;
+  const auto a = WalkerPool(pool).run(langford);
+  const auto b = WalkerPool(pool).run(langford);
+  ASSERT_EQ(a.walkers.size(), b.walkers.size());
+  for (std::size_t i = 0; i < a.walkers.size(); ++i) {
+    EXPECT_EQ(a.walkers[i].result.stats.iterations,
+              b.walkers[i].result.stats.iterations);
+    EXPECT_EQ(a.walkers[i].result.cost, b.walkers[i].result.cost);
+    EXPECT_EQ(a.walkers[i].result.solution, b.walkers[i].result.solution);
+  }
+  EXPECT_EQ(a.elite_accepted, b.elite_accepted);
+}
+
+TEST(WalkerPool, MigrationIsDeterministicSequentially) {
+  problems::Langford langford(5);
+  const WalkerPoolOptions pool =
+      exchanging_options(Neighborhood::kTorus, Exchange::kMigration);
+  const auto a = WalkerPool(pool).run(langford);
+  const auto b = WalkerPool(pool).run(langford);
+  ASSERT_EQ(a.walkers.size(), b.walkers.size());
+  for (std::size_t i = 0; i < a.walkers.size(); ++i) {
+    EXPECT_EQ(a.walkers[i].result.stats.iterations,
+              b.walkers[i].result.stats.iterations);
+    EXPECT_EQ(a.walkers[i].result.solution, b.walkers[i].result.solution);
+  }
+}
+
+// --- Option validation --------------------------------------------------
+
+TEST(WalkerPoolValidation, DegenerateOptionsAreRejectedUpFront) {
+  problems::Costas costas(8);
+  const auto expect_rejected = [&costas](WalkerPoolOptions pool,
+                                         const char* what) {
+    try {
+      (void)WalkerPool(std::move(pool)).run(costas);
+      FAIL() << "accepted: " << what;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << e.what();
+    }
+  };
+
+  WalkerPoolOptions zero_walkers;
+  zero_walkers.num_walkers = 0;
+  expect_rejected(zero_walkers, "num_walkers");
+
+  WalkerPoolOptions zero_period;
+  zero_period.communication.neighborhood = Neighborhood::kRing;
+  zero_period.communication.exchange = Exchange::kElite;
+  zero_period.communication.period = 0;
+  expect_rejected(zero_period, "period");
+
+  WalkerPoolOptions bad_adopt;
+  bad_adopt.communication.neighborhood = Neighborhood::kRing;
+  bad_adopt.communication.exchange = Exchange::kElite;
+  bad_adopt.communication.adopt_probability = 1.5;
+  expect_rejected(bad_adopt, "adopt_probability");
+
+  WalkerPoolOptions isolated_exchange;
+  isolated_exchange.communication.exchange = Exchange::kElite;
+  expect_rejected(isolated_exchange, "isolated");
+
+  WalkerPoolOptions decayless;
+  decayless.communication.neighborhood = Neighborhood::kRing;
+  decayless.communication.exchange = Exchange::kDecayElite;
+  expect_rejected(decayless, "decay");
+
+  WalkerPoolOptions elite_with_decay;
+  elite_with_decay.communication.neighborhood = Neighborhood::kRing;
+  elite_with_decay.communication.exchange = Exchange::kElite;
+  elite_with_decay.communication.decay = 5;
+  expect_rejected(elite_with_decay, "decay");
+}
+
+TEST(WalkerPoolValidation, IgnoredKnobsStayIgnoredWithoutExchange) {
+  // The independent scheme historically ran with arbitrary knob values
+  // (benches pass period 0); without an exchanging strategy they must keep
+  // not mattering.
+  problems::Costas costas(9);
+  WalkerPoolOptions pool = sequential_options(2, 4);
+  pool.communication.period = 0;
+  pool.communication.adopt_probability = -3.0;
+  const auto report = WalkerPool(pool).run(costas);
+  EXPECT_EQ(report.walkers.size(), 2u);
+  EXPECT_EQ(report.elite_accepted, 0u);
 }
 
 TEST(WalkerPool, LegacyWrappersShareWalkerTrajectories) {

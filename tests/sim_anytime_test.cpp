@@ -1,0 +1,93 @@
+// sim::anytime_curve — best-cost-after-budget aggregation over walker cost
+// traces: running minima per walker, pool minimum per budget, budget-grid
+// helper, and consistency with a real traced WalkerPool run.
+#include "sim/anytime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel/walker_pool.hpp"
+#include "problems/costas.hpp"
+
+namespace cspls::sim {
+namespace {
+
+core::WalkerTrace trace_of(std::vector<core::TraceSample> samples) {
+  core::WalkerTrace trace;
+  trace.cost_samples = std::move(samples);
+  return trace;
+}
+
+TEST(AnytimeCurve, TakesRunningMinimaThenPoolMinimum) {
+  // Walker 0 dips to 3 at iteration 100 and *rises* back to 9 (a reset);
+  // walker 1 reaches 5 late.  The anytime value reports the best
+  // configuration that could have been returned, not the current one.
+  const std::vector<core::WalkerTrace> walkers = {
+      trace_of({{0, 20}, {100, 3}, {200, 9}}),
+      trace_of({{0, 18}, {150, 5}}),
+  };
+  const std::vector<std::uint64_t> budgets = {0, 99, 100, 160, 500};
+  const auto curve = anytime_curve(walkers, budgets);
+  ASSERT_EQ(curve.size(), budgets.size());
+  EXPECT_EQ(curve[0], (AnytimePoint{0, 18}));
+  EXPECT_EQ(curve[1], (AnytimePoint{99, 18}));
+  EXPECT_EQ(curve[2], (AnytimePoint{100, 3}));
+  EXPECT_EQ(curve[3], (AnytimePoint{160, 3}));   // running min, despite {200, 9}
+  EXPECT_EQ(curve[4], (AnytimePoint{500, 3}));
+}
+
+TEST(AnytimeCurve, WalkersWithoutSamplesContributeNothing) {
+  const std::vector<core::WalkerTrace> walkers = {
+      trace_of({}),
+      trace_of({{50, 7}}),
+  };
+  const std::vector<std::uint64_t> budgets = {10, 50};
+  const auto curve = anytime_curve(walkers, budgets);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_EQ(curve[0].best_cost, csp::kInfiniteCost);  // nothing sampled yet
+  EXPECT_EQ(curve[1].best_cost, 7);
+
+  EXPECT_TRUE(anytime_curve({}, budgets)[0].best_cost == csp::kInfiniteCost);
+}
+
+TEST(AnytimeBudgetGrid, DoublesUpToTheLastSampledIteration) {
+  const std::vector<core::WalkerTrace> walkers = {
+      trace_of({{0, 9}, {800, 2}}),
+      trace_of({{0, 9}, {100, 4}}),
+  };
+  const auto grid = anytime_budget_grid(walkers, 4);
+  EXPECT_EQ(grid, (std::vector<std::uint64_t>{100, 200, 400, 800}));
+  // Degenerate inputs: no samples, or zero points.
+  EXPECT_TRUE(anytime_budget_grid({}, 4).empty());
+  EXPECT_TRUE(anytime_budget_grid(walkers, 0).empty());
+  // Tiny ranges drop zero/duplicate budgets instead of emitting them.
+  const std::vector<core::WalkerTrace> tiny = {trace_of({{0, 3}, {2, 1}})};
+  EXPECT_EQ(anytime_budget_grid(tiny, 4), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(AnytimeCurve, AgreesWithATracedPoolRun) {
+  problems::Costas costas(9);
+  parallel::WalkerPoolOptions pool;
+  pool.num_walkers = 3;
+  pool.master_seed = 21;
+  pool.scheduling = parallel::Scheduling::kSequential;
+  pool.termination = parallel::Termination::kBestAfterBudget;
+  pool.trace.enabled = true;
+  pool.trace.sample_period = 50;
+  const auto report = parallel::WalkerPool(pool).run(costas);
+
+  std::vector<core::WalkerTrace> traces;
+  for (const auto& w : report.walkers) traces.push_back(w.trace);
+  const auto grid = anytime_budget_grid(traces, 6);
+  ASSERT_FALSE(grid.empty());
+  const auto curve = anytime_curve(traces, grid);
+  ASSERT_EQ(curve.size(), grid.size());
+  // Non-increasing in the budget, and the full-budget point matches the
+  // pool's best outcome.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].best_cost, curve[i - 1].best_cost);
+  }
+  EXPECT_EQ(curve.back().best_cost, report.best.cost);
+}
+
+}  // namespace
+}  // namespace cspls::sim
