@@ -216,7 +216,9 @@ SolverService::SolverService(Options options)
       detail::Worker{std::jthread([this] { dispatch_loop(); }), nullptr});
 }
 
-SolverService::~SolverService() {
+SolverService::~SolverService() { shutdown(); }
+
+void SolverService::shutdown() {
   std::vector<detail::Worker> workers;
   std::vector<std::shared_ptr<detail::JobState>> queued;
   {
@@ -236,10 +238,23 @@ SolverService::~SolverService() {
   // already be gone from the FIFO's point of view).
   for (const auto& job : queued) detail::finish_cancelled(job);
   // jthread destructors join the dispatcher and every worker as `workers`
-  // goes out of scope.
+  // goes out of scope; a second call finds everything already drained.
 }
 
 JobHandle SolverService::submit(SolveRequest request) {
+  // Shutdown is checked *before* validation: "submit after shutdown" is
+  // the caller's actual mistake, and reporting a parse/validation error
+  // for a request a closed service would never run is misleading.
+  const auto throw_if_shutdown = [this] {
+    if (core_->shutdown) {
+      throw std::runtime_error("SolverService: submit after shutdown");
+    }
+  };
+  {
+    std::lock_guard<std::mutex> guard(core_->m);
+    throw_if_shutdown();
+  }
+
   // Validate the instance and the pool configuration now so the caller
   // gets the diagnostic (with the valid problem names / the offending
   // knob) at the submission site, not from a failed job.
@@ -251,9 +266,7 @@ JobHandle SolverService::submit(SolveRequest request) {
   job->core = core_;
   {
     std::lock_guard<std::mutex> guard(core_->m);
-    if (core_->shutdown) {
-      throw std::runtime_error("SolverService: submit after shutdown");
-    }
+    throw_if_shutdown();  // closed while we were validating
     job->id = core_->next_id++;
     core_->fifo.push_back(job);
   }

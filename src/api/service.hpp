@@ -107,8 +107,17 @@ class SolverService {
 
   /// Validate and enqueue `request`.  Throws std::invalid_argument on a
   /// malformed request (unknown problem / unusable size — the message lists
-  /// the valid names); admission itself never blocks.
+  /// the valid names); admission itself never blocks.  After shutdown()
+  /// every submission — malformed or not — throws std::runtime_error
+  /// ("submit after shutdown"): the shutdown check runs *before*
+  /// validation, so a closed service never misreports itself as a parse
+  /// error.
   [[nodiscard]] JobHandle submit(SolveRequest request);
+
+  /// Stop accepting submissions, cancel every queued and running job and
+  /// join all workers (blocking).  Idempotent; also run by the destructor.
+  /// Outstanding JobHandles stay valid and observe kCancelled.
+  void shutdown();
 
   [[nodiscard]] std::size_t thread_budget() const noexcept { return budget_; }
 

@@ -165,6 +165,7 @@ parallel::WalkerPoolOptions SolveRequest::to_pool_options() const {
   options.scheduling = scheduling;
   options.communication.neighborhood = neighborhood;
   options.communication.exchange = exchange;
+  options.communication.mode = comm_mode;
   options.communication.period = comm_period;
   options.communication.adopt_probability = comm_adopt_probability;
   options.communication.decay = comm_decay;
@@ -182,6 +183,7 @@ util::Json SolveRequest::to_json() const {
       .set("scheduling", std::string(name_of(scheduling)))
       .set("neighborhood", std::string(name_of(neighborhood)))
       .set("exchange", std::string(name_of(exchange)))
+      .set("comm_mode", std::string(name_of(comm_mode)))
       .set("termination", std::string(name_of(termination)))
       .set("comm_period", comm_period)
       .set("comm_adopt_probability", comm_adopt_probability)
@@ -204,9 +206,9 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
   require_known_members(
       json,
       {"problem", "walkers", "seed", "scheduling", "neighborhood", "exchange",
-       "topology", "termination", "comm_period", "comm_adopt_probability",
-       "comm_decay", "max_threads", "deadline_ms", "params", "trace",
-       "trace_sample_period"},
+       "comm_mode", "topology", "termination", "comm_period",
+       "comm_adopt_probability", "comm_decay", "max_threads", "deadline_ms",
+       "params", "trace", "trace_sample_period"},
       "SolveRequest");
   SolveRequest request;
   request.problem = get_string(json, "problem", "");
@@ -239,6 +241,8 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
     request.exchange =
         get_policy(json, "exchange", exchange_from_name, request.exchange);
   }
+  request.comm_mode = get_policy(json, "comm_mode", comm_mode_from_name,
+                                 request.comm_mode);
   request.termination = get_policy(json, "termination", termination_from_name,
                                    request.termination);
   request.comm_period = get_u64(json, "comm_period", request.comm_period);
@@ -284,7 +288,9 @@ util::Json SolveReport::to_json() const {
       .set("wall_seconds", wall_seconds)
       .set("time_to_solution_seconds", time_to_solution_seconds)
       .set("total_iterations", total_iterations)
-      .set("elite_accepted", elite_accepted);
+      .set("comm_publishes", comm_publishes)
+      .set("elite_accepted", elite_accepted)
+      .set("comm_adoptions", comm_adoptions);
   util::Json solution_json = util::Json::array();
   for (const int v : solution) solution_json.push_back(v);
   json.set("solution", std::move(solution_json));
@@ -321,7 +327,8 @@ SolveReport SolveReport::from_json(const util::Json& json) {
       json,
       {"problem", "solved", "cancelled", "deadline_expired", "winner", "cost",
        "wall_seconds", "time_to_solution_seconds", "total_iterations",
-       "elite_accepted", "solution", "walkers"},
+       "comm_publishes", "elite_accepted", "comm_adoptions", "solution",
+       "walkers"},
       "SolveReport");
   SolveReport report;
   report.problem = get_string(json, "problem", "");
@@ -344,7 +351,9 @@ SolveReport SolveReport::from_json(const util::Json& json) {
   report.time_to_solution_seconds =
       get_double(json, "time_to_solution_seconds", 0.0);
   report.total_iterations = get_u64(json, "total_iterations", 0);
+  report.comm_publishes = get_u64(json, "comm_publishes", 0);
   report.elite_accepted = get_u64(json, "elite_accepted", 0);
+  report.comm_adoptions = get_u64(json, "comm_adoptions", 0);
   if (const util::Json* solution = json.find("solution");
       solution != nullptr) {
     if (!solution->is_array()) bad_member("solution", "expected an array");

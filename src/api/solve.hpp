@@ -42,6 +42,7 @@ using parallel::name_of;
 using parallel::scheduling_from_name;
 using parallel::neighborhood_from_name;
 using parallel::exchange_from_name;
+using parallel::comm_mode_from_name;
 using parallel::topology_from_name;
 using parallel::termination_from_name;
 using parallel::restart_schedule_from_name;
@@ -64,6 +65,11 @@ struct SolveRequest {
   /// deprecated "topology" member as an alias for the three legacy pairs.
   parallel::Neighborhood neighborhood = parallel::Neighborhood::kIsolated;
   parallel::Exchange exchange = parallel::Exchange::kNone;
+  /// When adoption may happen ("comm_mode" on the wire): "on_reset" = only
+  /// when a partial reset fires (the historical semantics), "async" = also
+  /// through a staleness-bounded pull every `comm_period` iterations while
+  /// walking (asynchronous gossip).  Requires an exchanging strategy.
+  parallel::CommMode comm_mode = parallel::CommMode::kOnReset;
   parallel::Termination termination = parallel::Termination::kFirstFinisher;
 
   /// Exchange knobs (ignored under Exchange::kNone): publish period in
@@ -147,7 +153,12 @@ struct SolveReport {
   double time_to_solution_seconds = 0.0;
 
   std::uint64_t total_iterations = 0;
+  /// Exchange-traffic counters: publish events of any kind, improving
+  /// keep-best accepts, and configurations actually adopted from an
+  /// in-neighbour slot (reset-time or mid-walk).
+  std::uint64_t comm_publishes = 0;
   std::uint64_t elite_accepted = 0;
+  std::uint64_t comm_adoptions = 0;
 
   /// The accepted configuration (winner's solution, or best reached).
   std::vector<int> solution;

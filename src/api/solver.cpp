@@ -59,7 +59,9 @@ SolveReport Solver::solve(const SolveRequest& request,
   report.wall_seconds = pool_report.wall_seconds;
   report.time_to_solution_seconds = pool_report.time_to_solution_seconds;
   report.total_iterations = pool_report.total_iterations();
+  report.comm_publishes = pool_report.comm_publishes;
   report.elite_accepted = pool_report.elite_accepted;
+  report.comm_adoptions = pool_report.comm_adoptions;
   report.solution = pool_report.best.solution;
   report.walkers.reserve(pool_report.walkers.size());
   for (const parallel::WalkerOutcome& outcome : pool_report.walkers) {

@@ -109,6 +109,20 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
         trace->cost_samples.push_back(TraceSample{iter, cost});
       }
 
+      // Asynchronous gossip gate: pull a neighbour's configuration mid-walk.
+      // The hook owns its RNG discipline (e.g. one chance() draw per gate);
+      // on adoption the engine re-enters exactly as after a reset-time
+      // adoption — recomputed cost, invalidated error cache, cleared tabu
+      // state — except no reset is counted.
+      if (hooks.mid_walk && hooks.mid_walk_period != 0 &&
+          iter % hooks.mid_walk_period == 0 && hooks.mid_walk(problem, rng)) {
+        cost = problem.total_cost();
+        errors_valid = false;
+        state.clear_tabu();
+        note_best(cost);
+        if (cost <= params_.target_cost) break;  // adopted a solution
+      }
+
       // --- Step 2: pick the worst non-tabu variable (random tie-break). ---
       // One bulk virtual call fills the preallocated error vector (reused
       // while the configuration is unchanged); the tabu filter is fused into

@@ -49,6 +49,18 @@ struct Hooks {
   /// configuration) and the default random partial reset is skipped.
   std::function<bool(csp::Problem&, util::Xoshiro256&)> on_reset;
 
+  /// Asynchronous gossip: called every `mid_walk_period` iterations *while
+  /// walking* (before that iteration's variable selection), not only when
+  /// the reset policy fires.  If it returns true the hook has replaced the
+  /// configuration wholesale (adopted a neighbour's configuration); the
+  /// engine then recomputes the total cost, invalidates its error-vector
+  /// cache and clears the tabu/marking state exactly as after a reset-time
+  /// adoption — without counting a reset — so the next scan observes the
+  /// adopted configuration consistently.  A false return must leave the
+  /// configuration untouched (the caches stay valid).
+  std::function<bool(csp::Problem&, util::Xoshiro256&)> mid_walk;
+  std::uint64_t mid_walk_period = 0;  ///< 0 disables mid-walk adoption
+
   /// Observation callback fired every `observer_period` iterations with the
   /// current iteration count, cost and configuration.
   std::function<void(std::uint64_t, csp::Cost, std::span<const int>)> observer;

@@ -3,33 +3,41 @@
 namespace cspls::parallel {
 
 bool ElitePool::offer(std::uint64_t tick, csp::Cost cost,
-                      std::span<const int> values) {
+                      std::span<const int> values, std::size_t publisher) {
   const std::scoped_lock lock(mutex_);
+  ++publishes_;
   if (has_entry_ && !stale(tick) && cost >= best_cost_) return false;
   has_entry_ = true;
   best_cost_ = cost;
   best_values_.assign(values.begin(), values.end());
   entry_tick_ = tick;
+  entry_publisher_ = publisher;
   ++accepted_;
   return true;
 }
 
 void ElitePool::store(std::uint64_t tick, csp::Cost cost,
-                      std::span<const int> values) {
+                      std::span<const int> values, std::size_t publisher) {
   const std::scoped_lock lock(mutex_);
+  ++publishes_;
   has_entry_ = true;
   best_cost_ = cost;
   best_values_.assign(values.begin(), values.end());
   entry_tick_ = tick;
-  ++accepted_;
+  entry_publisher_ = publisher;
 }
 
 csp::Cost ElitePool::take_if_better(std::uint64_t now, csp::Cost below,
-                                    std::vector<int>& out) const {
+                                    std::vector<int>& out,
+                                    std::size_t exclude_publisher) const {
   const std::scoped_lock lock(mutex_);
   if (!has_entry_ || stale(now) || best_cost_ >= below ||
       best_values_.empty()) {
     return csp::kInfiniteCost;
+  }
+  if (exclude_publisher != kNoPublisher &&
+      entry_publisher_ == exclude_publisher) {
+    return csp::kInfiniteCost;  // own publication: nothing to gossip
   }
   out = best_values_;
   return best_cost_;
@@ -38,6 +46,11 @@ csp::Cost ElitePool::take_if_better(std::uint64_t now, csp::Cost below,
 csp::Cost ElitePool::best_cost() const {
   const std::scoped_lock lock(mutex_);
   return has_entry_ ? best_cost_ : csp::kInfiniteCost;
+}
+
+std::uint64_t ElitePool::publishes() const {
+  const std::scoped_lock lock(mutex_);
+  return publishes_;
 }
 
 std::uint64_t ElitePool::accepted_offers() const {

@@ -35,30 +35,55 @@ namespace cspls::parallel {
 
 class ElitePool {
  public:
+  /// "No publisher recorded" / "exclude nobody" sentinel for the publisher
+  /// stamp below.
+  static constexpr std::size_t kNoPublisher = static_cast<std::size_t>(-1);
+
   /// `decay` is the staleness bound in exchange-clock ticks (0 = entries
   /// never expire).
   explicit ElitePool(std::uint64_t decay = 0) noexcept : decay_(decay) {}
 
   /// Keep-best publish at time `tick`: kept if strictly better than the
   /// current entry, or if the current entry has gone stale.  Returns true
-  /// when accepted.
-  bool offer(std::uint64_t tick, csp::Cost cost, std::span<const int> values);
+  /// when accepted.  `publisher` stamps the entry with the publishing
+  /// walker (consumed by the mid-walk self-adoption filter); the stamp
+  /// never affects acceptance.
+  bool offer(std::uint64_t tick, csp::Cost cost, std::span<const int> values,
+             std::size_t publisher = kNoPublisher);
 
   /// Unconditional overwrite at time `tick` (migration publish): the slot
-  /// always carries the owner's latest configuration.  Counts as accepted.
-  void store(std::uint64_t tick, csp::Cost cost, std::span<const int> values);
+  /// always carries the owner's latest configuration.  Counts as a publish,
+  /// never as an accepted offer — an overwrite that cannot be rejected
+  /// carries no acceptance signal.
+  void store(std::uint64_t tick, csp::Cost cost, std::span<const int> values,
+             std::size_t publisher = kNoPublisher);
 
   /// Copy the entry into `out` if it is fresh at time `now` and its cost is
   /// strictly below `below`; returns its cost or csp::kInfiniteCost.
   /// `below` = csp::kInfiniteCost adopts any fresh entry (migration).
+  /// An entry stamped with `exclude_publisher` is invisible: the
+  /// asynchronous mid-walk gate passes its own walker id so a shared slot
+  /// (or a self-loop) never hands a walker back its own publication —
+  /// that "adoption" would be a no-op assign that wipes tabu state and
+  /// inflates the adoption counter.  Reset-time adoption excludes nobody:
+  /// restarting from your *own* recorded crossroad is the paper's
+  /// future-work semantics, since the reset abandons the current position
+  /// anyway.
   csp::Cost take_if_better(std::uint64_t now, csp::Cost below,
-                           std::vector<int>& out) const;
+                           std::vector<int>& out,
+                           std::size_t exclude_publisher = kNoPublisher) const;
 
   /// Cost of the current entry (freshness not consulted), or
   /// csp::kInfiniteCost when empty.
   [[nodiscard]] csp::Cost best_cost() const;
 
-  /// Number of accepted publishes (the ablation bench's exchange counter).
+  /// Publish events of any kind (offer calls accepted or not, plus every
+  /// store): the denominator of the exchange-traffic counters.
+  [[nodiscard]] std::uint64_t publishes() const;
+
+  /// Keep-best offers actually accepted (strictly improving, or replacing a
+  /// stale entry).  Stores never count: acceptance of an unconditional
+  /// overwrite is vacuous.
   [[nodiscard]] std::uint64_t accepted_offers() const;
 
  private:
@@ -73,6 +98,8 @@ class ElitePool {
   csp::Cost best_cost_ = csp::kInfiniteCost;
   std::vector<int> best_values_;
   std::uint64_t entry_tick_ = 0;
+  std::size_t entry_publisher_ = kNoPublisher;
+  std::uint64_t publishes_ = 0;
   std::uint64_t accepted_ = 0;
 };
 

@@ -35,6 +35,12 @@ CommChannels::CommChannels(const CommunicationPolicy& policy,
   }
 }
 
+std::uint64_t CommChannels::publishes() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) total += slot->publishes();
+  return total;
+}
+
 std::uint64_t CommChannels::accepted() const {
   std::uint64_t total = 0;
   for (const auto& slot : slots_) total += slot->accepted_offers();
@@ -52,14 +58,14 @@ core::Hooks comm_hooks(const CommunicationPolicy& policy,
       &channels.slot(publish_slot(policy.neighborhood, walker, num_walkers));
 
   hooks.observer_period = policy.period;
-  hooks.observer = [publish, &channels, migrate](std::uint64_t,
-                                                 csp::Cost cost,
-                                                 std::span<const int> values) {
+  hooks.observer = [publish, &channels, migrate, walker](
+                       std::uint64_t, csp::Cost cost,
+                       std::span<const int> values) {
     const std::uint64_t tick = channels.next_tick();
     if (migrate) {
-      publish->store(tick, cost, values);
+      publish->store(tick, cost, values, walker);
     } else {
-      publish->offer(tick, cost, values);
+      publish->offer(tick, cost, values, walker);
     }
   };
 
@@ -70,35 +76,58 @@ core::Hooks comm_hooks(const CommunicationPolicy& policy,
   }
   if (sources.empty()) return hooks;  // e.g. single-walker torus/hypercube
 
-  hooks.on_reset = [sources = std::move(sources), &channels, migrate,
-                    p = policy.adopt_probability](csp::Problem& problem,
-                                                  util::Xoshiro256& rng) {
-    // Exactly one RNG draw whether or not anything is adopted, so the
-    // communication gate never desynchronizes a walker's stream from the
-    // equivalent PR-1 run.
-    if (!rng.chance(p)) return false;
-    const std::uint64_t now = channels.now();
-    std::vector<int> incoming;
-    std::vector<int> best;
-    bool found = false;
-    // Scan the in-neighbour slots in graph order for the lowest-cost fresh
-    // entry.  Elite only adopts a strict improvement on the walker's own
-    // cost; migration adopts the best migrant regardless of it
-    // (diversification, not elitism) — the infinite threshold makes any
-    // fresh entry beat "nothing" while still skipping (and not copying)
-    // migrants worse than one already in hand.
-    csp::Cost below = migrate ? csp::kInfiniteCost : problem.total_cost();
-    for (ElitePool* source : sources) {
-      const csp::Cost cost = source->take_if_better(now, below, incoming);
-      if (cost == csp::kInfiniteCost) continue;
-      best.swap(incoming);
-      below = cost;
-      found = true;
-    }
-    if (!found) return false;
-    problem.assign(best);
-    return true;
+  // One adoption scan serves both hooks; they differ only in the
+  // self-publication filter.  Reset-time adoption excludes nobody (your
+  // own recorded crossroad is a legitimate restart point — the reset
+  // abandons the current position anyway); the mid-walk gate excludes the
+  // walker's own entries, because pulling back your own latest publication
+  // from a shared slot or self-loop is a no-op assign that would wipe the
+  // tabu state and count a phantom adoption.
+  const auto make_adopt = [&policy, &channels, migrate,
+                           sources = std::move(sources)](
+                              std::size_t exclude_publisher) {
+    return [sources, &channels, migrate, exclude_publisher,
+            p = policy.adopt_probability](csp::Problem& problem,
+                                          util::Xoshiro256& rng) {
+      // Exactly one RNG draw per gate whether or not anything is adopted,
+      // so the communication gate never desynchronizes a walker's stream
+      // from the equivalent PR-1 run (and mid-walk gates stay
+      // reproducible).
+      if (!rng.chance(p)) return false;
+      const std::uint64_t now = channels.now();
+      std::vector<int> incoming;
+      std::vector<int> best;
+      bool found = false;
+      // Scan the in-neighbour slots in graph order for the lowest-cost
+      // fresh entry.  Elite only adopts a strict improvement on the
+      // walker's own cost; migration adopts the best migrant regardless of
+      // it (diversification, not elitism) — the infinite threshold makes
+      // any fresh entry beat "nothing" while still skipping (and not
+      // copying) migrants worse than one already in hand.
+      csp::Cost below = migrate ? csp::kInfiniteCost : problem.total_cost();
+      for (ElitePool* source : sources) {
+        const csp::Cost cost =
+            source->take_if_better(now, below, incoming, exclude_publisher);
+        if (cost == csp::kInfiniteCost) continue;
+        best.swap(incoming);
+        below = cost;
+        found = true;
+      }
+      if (!found) return false;
+      problem.assign(best);
+      channels.record_adoption();
+      return true;
+    };
   };
+
+  hooks.on_reset = make_adopt(ElitePool::kNoPublisher);
+  if (policy.mode == CommMode::kAsync) {
+    // Asynchronous gossip: the same staleness-bounded, single-draw adoption
+    // scan also runs mid-walk every `period` iterations, so a walker can
+    // pull a better configuration without waiting for its reset policy.
+    hooks.mid_walk = make_adopt(walker);
+    hooks.mid_walk_period = policy.period;
+  }
   return hooks;
 }
 

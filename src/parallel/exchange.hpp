@@ -28,10 +28,19 @@
 // kDecayElite, optional freshness filter for kMigration, rejected for
 // kElite which by definition never forgets).
 //
+// A third orthogonal axis, CommMode, decides *when* adoption may happen:
+// kOnReset confines it to partial resets (the PR-4 semantics, and the
+// restart-time elite adoption the paper's communication analysis stops
+// at); kAsync additionally gates a staleness-bounded pull every `period`
+// iterations *while walking* (the cooperative gossip of the X10 and Cell
+// BE follow-ups), through the engine's mid-walk adoption hook — strict
+// improvement for the elite strategies, unconditional for migration.
+//
 // Determinism: adoption scans the in-neighbour slots in deterministic graph
-// order and draws exactly one RNG value (the adopt_probability gate), so a
-// single-source graph reproduces the PR-1 trajectories byte-for-byte and
-// sequential runs of any graph are exactly reproducible.
+// order and draws exactly one RNG value (the adopt_probability gate) per
+// consultation — whether reset-time or mid-walk — so a single-source
+// on-reset graph reproduces the PR-1 trajectories byte-for-byte and
+// sequential runs of any graph (either mode) are exactly reproducible.
 #pragma once
 
 #include <atomic>
@@ -52,6 +61,12 @@ enum class Exchange {
   kDecayElite,  ///< kElite whose entries age out after `decay` ticks
 };
 
+/// When adoption may happen — the third orthogonal communication axis.
+enum class CommMode {
+  kOnReset,  ///< adopt only when a partial reset fires (restart-time elite)
+  kAsync,    ///< also pull from the in-neighbour slots mid-walk every period
+};
+
 /// The legacy communication enum of PR 1..3.  Deprecated: each value is an
 /// alias for a (Neighborhood, Exchange) pair via the CommunicationPolicy
 /// converting constructor; new code should spell the pair directly.
@@ -66,6 +81,10 @@ enum class Topology {
 struct CommunicationPolicy {
   Neighborhood neighborhood = Neighborhood::kIsolated;
   Exchange exchange = Exchange::kNone;
+  /// When adoption may happen: on partial resets only (the PR-4 default,
+  /// byte-identical trajectories), or additionally mid-walk every `period`
+  /// iterations (asynchronous gossip).  Requires an exchanging strategy.
+  CommMode mode = CommMode::kOnReset;
   /// Walkers publish every `period` iterations (the paper's goal 1:
   /// minimise data transfers).  Must be non-zero when exchanging.
   std::uint64_t period = 1000;
@@ -112,19 +131,42 @@ class CommChannels {
     return clock_.load(std::memory_order_relaxed);
   }
 
-  /// Publishes accepted across all slots (MultiWalkReport::elite_accepted).
+  /// Publish events across all slots, accepted or not
+  /// (MultiWalkReport::comm_publishes).
+  [[nodiscard]] std::uint64_t publishes() const;
+
+  /// Improving keep-best publishes accepted across all slots
+  /// (MultiWalkReport::elite_accepted).  Migration's unconditional stores
+  /// count as publishes, never as accepts — an overwrite carries no signal.
   [[nodiscard]] std::uint64_t accepted() const;
+
+  /// Record one adoption event: a configuration actually assigned from an
+  /// in-neighbour slot (not every take_if_better probe of the multi-source
+  /// scan).  Called by the comm_hooks adoption path, reset-time or mid-walk.
+  void record_adoption() noexcept {
+    adoptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Adoption events across the pool (MultiWalkReport::comm_adoptions).
+  [[nodiscard]] std::uint64_t adoptions() const noexcept {
+    return adoptions_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<std::unique_ptr<ElitePool>> slots_;
   std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::uint64_t> adoptions_{0};
 };
 
 /// Engine hooks for walker `walker` of `num_walkers` under `policy`:
 /// publish to the walker's slot every `period` iterations, adopt from its
-/// in-neighbour slots on partial reset with probability `adopt_probability`.
-/// Returns empty hooks when the policy does not exchange or the walker has
-/// no slots to talk to.  `channels` must outlive the returned hooks.
+/// in-neighbour slots on partial reset with probability `adopt_probability`
+/// — and, under CommMode::kAsync, also through the engine's mid-walk gate
+/// every `period` iterations (same single-draw discipline, staleness
+/// bounded by `decay`; strict improvement for elite, unconditional for
+/// migration).  Returns empty hooks when the policy does not exchange or
+/// the walker has no slots to talk to.  `channels` must outlive the
+/// returned hooks.
 [[nodiscard]] core::Hooks comm_hooks(const CommunicationPolicy& policy,
                                      CommChannels& channels,
                                      std::size_t walker,

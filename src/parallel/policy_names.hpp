@@ -62,6 +62,16 @@ namespace cspls::parallel {
   return "none";
 }
 
+[[nodiscard]] constexpr std::string_view name_of(CommMode mode) {
+  switch (mode) {
+    case CommMode::kOnReset:
+      return "on_reset";
+    case CommMode::kAsync:
+      return "async";
+  }
+  return "on_reset";
+}
+
 /// Legacy alias spellings (the pre-neighborhood wire format).
 [[nodiscard]] constexpr std::string_view name_of(Topology topology) {
   switch (topology) {
@@ -123,6 +133,13 @@ namespace cspls::parallel {
   return std::nullopt;
 }
 
+[[nodiscard]] inline std::optional<CommMode> comm_mode_from_name(
+    std::string_view name) {
+  if (name == "on_reset") return CommMode::kOnReset;
+  if (name == "async") return CommMode::kAsync;
+  return std::nullopt;
+}
+
 [[nodiscard]] inline std::optional<Topology> topology_from_name(
     std::string_view name) {
   if (name == "independent") return Topology::kIndependent;
@@ -150,6 +167,7 @@ restart_schedule_from_name(std::string_view name) {
   return "scheduling: threads | sequential | emulated-race\n"
          "neighborhood: isolated | complete | ring | torus | hypercube\n"
          "exchange: none | elite | migration | decay-elite\n"
+         "comm_mode: on_reset | async\n"
          "topology (deprecated alias): independent | shared-elite | "
          "ring-elite\n"
          "termination: first-finisher | best-after-budget\n"

@@ -23,6 +23,12 @@ void validate_options(const WalkerPoolOptions& options) {
         "WalkerPoolOptions: num_walkers must be at least 1");
   }
   const CommunicationPolicy& comm = options.communication;
+  if (comm.mode == CommMode::kAsync && !comm.exchanging()) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: communication.mode = async requires an "
+        "exchanging strategy (async gossip over Exchange::kNone would "
+        "silently never adopt)");
+  }
   if (!comm.exchanging()) return;  // knobs are ignored without an exchange
   if (comm.period == 0) {
     throw std::invalid_argument(
@@ -190,6 +196,45 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
     out.result = std::move(result);
   };
 
+  // Between-walker short-circuit for any path that runs walkers one after
+  // another (sequential/emulated scheduling, and the threaded scheduler
+  // collapsed to a single thread): once a stop source has fired, the
+  // not-yet-started walkers are marked interrupted with zero iterations
+  // instead of each paying a full clone + initial cost evaluation.
+  const auto mark_rest_interrupted = [&](std::size_t from,
+                                         core::StopCause cause) {
+    for (std::size_t rest = from; rest < k; ++rest) {
+      report.walkers[rest].walker_id = rest;
+      report.walkers[rest].result.interrupted = true;
+      report.walkers[rest].result.stop_cause = cause;
+    }
+  };
+  const auto run_walkers_one_by_one = [&] {
+    for (std::size_t id = 0; id < k; ++id) {
+      // Unthrottled check on purpose: the engine-rate throttle inside the
+      // token's poll would let each walker start and run a stride of
+      // iterations before noticing an already-expired deadline.
+      const bool ext_cancelled = external.cancelled();
+      if (ext_cancelled || external.deadline_expired()) {
+        const core::StopCause cause = ext_cancelled
+                                          ? core::StopCause::kCancel
+                                          : core::StopCause::kDeadline;
+        (ext_cancelled ? external_cancel_hit : external_deadline_hit)
+            .store(true, std::memory_order_relaxed);
+        mark_rest_interrupted(id, cause);
+        break;
+      }
+      // A collapsed threaded race already decided: the remaining walkers
+      // would only run to their first poll and report kChained anyway —
+      // record exactly that outcome without paying their start-up cost.
+      if (race && stop.load(std::memory_order_acquire)) {
+        mark_rest_interrupted(id, core::StopCause::kChained);
+        break;
+      }
+      run_walker(id);
+    }
+  };
+
   if (threaded) {
     const std::size_t hw = std::thread::hardware_concurrency() == 0
                                ? 2
@@ -199,7 +244,7 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
     const std::size_t num_threads = std::min({k, thread_cap, hw * 16});
 
     if (num_threads <= 1) {
-      for (std::size_t id = 0; id < k; ++id) run_walker(id);
+      run_walkers_one_by_one();
     } else {
       // Wave execution: an atomic ticket dispenser hands walker ids to a
       // bounded pool of OS threads.
@@ -219,29 +264,7 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
       pool.clear();  // join
     }
   } else {
-    for (std::size_t id = 0; id < k; ++id) {
-      // Unthrottled check on purpose: the engine-rate throttle inside the
-      // token's poll would let each walker start and run a stride of
-      // iterations before noticing an already-expired deadline.
-      const bool ext_cancelled = external.cancelled();
-      if (ext_cancelled || external.deadline_expired()) {
-        // Cancel/deadline between walkers: walkers not yet started report
-        // interrupted with zero iterations (they were cut short before
-        // drawing a single configuration).
-        const core::StopCause cause = ext_cancelled
-                                          ? core::StopCause::kCancel
-                                          : core::StopCause::kDeadline;
-        (ext_cancelled ? external_cancel_hit : external_deadline_hit)
-            .store(true, std::memory_order_relaxed);
-        for (std::size_t rest = id; rest < k; ++rest) {
-          report.walkers[rest].walker_id = rest;
-          report.walkers[rest].result.interrupted = true;
-          report.walkers[rest].result.stop_cause = cause;
-        }
-        break;
-      }
-      run_walker(id);
-    }
+    run_walkers_one_by_one();
   }
 
   // Cancellation wins the attribution tie when walkers observed both.
@@ -254,7 +277,9 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
 
   if (!threaded && options_.termination == Termination::kFirstFinisher) {
     MultiWalkReport resolved = resolve_emulated_race(std::move(report.walkers));
+    resolved.comm_publishes = comm.publishes();
     resolved.elite_accepted = comm.accepted();
+    resolved.comm_adoptions = comm.adoptions();
     resolved.interrupt_cause = interrupt_cause;
     resolved.interrupted = interrupt_cause != core::StopCause::kNone;
     return resolved;
@@ -297,7 +322,9 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
     select_best_after_budget(report);
     report.time_to_solution_seconds = report.wall_seconds;
   }
+  report.comm_publishes = comm.publishes();
   report.elite_accepted = comm.accepted();
+  report.comm_adoptions = comm.adoptions();
   report.interrupt_cause = interrupt_cause;
   report.interrupted = interrupt_cause != core::StopCause::kNone;
   return report;

@@ -20,7 +20,11 @@
 //       complete (one shared blackboard), ring, 2-D torus, hypercube;
 //     * an ExchangeStrategy: what flows over the edges — nothing, periodic
 //       elite publish/adopt-on-reset, whole-configuration migration
-//       (island model), or a cost-decay elite pool whose entries age out.
+//       (island model), or a cost-decay elite pool whose entries age out;
+//     * a CommMode: when adoption may happen — on partial resets only
+//       (kOnReset, the historical semantics) or additionally mid-walk every
+//       publish period (kAsync, asynchronous gossip through the engine's
+//       mid-walk hook).
 //     The legacy Topology enum survives as a deprecated alias constructor
 //     (kIndependent = isolated x none, kSharedElite = complete x elite,
 //     kRingElite = ring x elite — byte-for-byte the PR-1 trajectories).
@@ -124,9 +128,16 @@ struct MultiWalkReport {
   core::Result best;
   /// Every walker's outcome, indexed by walker id.
   std::vector<WalkerOutcome> walkers;
-  /// Publishes accepted across all communication slots (0 under
-  /// Exchange::kNone).
+  /// Publish events across all communication slots, accepted or not (0
+  /// under Exchange::kNone).
+  std::uint64_t comm_publishes = 0;
+  /// Improving keep-best publishes accepted across all slots (0 under
+  /// Exchange::kNone, and 0 under pure migration — unconditional overwrites
+  /// carry no acceptance signal).
   std::uint64_t elite_accepted = 0;
+  /// Adoption events: configurations actually pulled from an in-neighbour
+  /// slot, whether at reset time or — under CommMode::kAsync — mid-walk.
+  std::uint64_t comm_adoptions = 0;
   /// True when an external cancel flag or deadline cut the pool short: at
   /// least one walker was stopped (or never started) because the caller's
   /// StopToken fired.  Race losers interrupted by the pool's own
@@ -150,10 +161,12 @@ struct MultiWalkReport {
 /// offending knob: a zero walker population, an exchanging strategy with a
 /// zero publish period, an adopt probability outside [0, 1], an isolated
 /// neighbourhood asked to exchange, a decay-elite strategy without a decay
-/// bound, or a plain elite strategy with one (kElite never forgets — spell
-/// kDecayElite).  Called by WalkerPool::run, so a degenerate configuration
-/// fails loudly instead of silently running without communication;
-/// api::Solver surfaces the same error as a rejected request.
+/// bound, a plain elite strategy with one (kElite never forgets — spell
+/// kDecayElite), or CommMode::kAsync without an exchanging strategy (there
+/// is nothing to gossip).  Called by WalkerPool::run, so a degenerate
+/// configuration fails loudly instead of silently running without
+/// communication; api::Solver surfaces the same error as a rejected
+/// request.
 void validate_options(const WalkerPoolOptions& options);
 
 /// The unified runtime: executes one walker population under the configured

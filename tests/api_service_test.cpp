@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -167,6 +168,43 @@ TEST(SolverService, SubmitRejectsDegeneratePoolOptionsSynchronously) {
   silent_exchange.comm_period = 0;
   EXPECT_THROW((void)service.submit(silent_exchange), std::invalid_argument);
   EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
+TEST(SolverService, SubmitAfterShutdownReportsShutdownNotValidation) {
+  // Regression: submit() used to validate the request *before* checking the
+  // shutdown flag, so a malformed request submitted after shutdown was
+  // misreported as a parse/validation error.  Shutdown wins: every
+  // post-shutdown submission fails the same way, malformed or not.
+  SolverService service(SolverService::Options{1, 0});
+  service.shutdown();
+
+  SolveRequest malformed = quick_request(1);
+  malformed.problem = "knapsack:10";  // would fail validation
+  try {
+    (void)service.submit(malformed);
+    FAIL() << "submit accepted after shutdown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("submit after shutdown"),
+              std::string::npos)
+        << e.what();
+  } catch (const std::invalid_argument& e) {
+    FAIL() << "validation error leaked past shutdown: " << e.what();
+  }
+
+  // A perfectly valid request is rejected identically.
+  EXPECT_THROW((void)service.submit(quick_request(2)), std::runtime_error);
+  EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
+TEST(SolverService, ShutdownIsIdempotentAndCancelsOutstandingJobs) {
+  SolverService service(SolverService::Options{1, 0});
+  const JobHandle running = service.submit(endless_request(11));
+  const JobHandle queued = service.submit(endless_request(12));
+  service.shutdown();
+  service.shutdown();  // second call is a no-op
+  EXPECT_EQ(running.status(), JobStatus::kCancelled);
+  EXPECT_EQ(queued.status(), JobStatus::kCancelled);
+  EXPECT_TRUE(queued.wait().cancelled);
 }
 
 TEST(SolverService, DestructionCancelsOutstandingJobs) {

@@ -40,6 +40,7 @@ TEST(SolveRequestJson, EncodeDecodeEncodeIsByteStable) {
   request.scheduling = parallel::Scheduling::kEmulatedRace;
   request.neighborhood = parallel::Neighborhood::kTorus;
   request.exchange = parallel::Exchange::kDecayElite;
+  request.comm_mode = parallel::CommMode::kAsync;
   request.termination = parallel::Termination::kBestAfterBudget;
   request.comm_period = 250;
   request.comm_adopt_probability = 0.75;
@@ -165,6 +166,10 @@ TEST(PolicyNames, RoundTripThroughTheTables) {
                        Exchange::kDecayElite}) {
     EXPECT_EQ(exchange_from_name(name_of(e)), e);
   }
+  for (const auto m :
+       {parallel::CommMode::kOnReset, parallel::CommMode::kAsync}) {
+    EXPECT_EQ(comm_mode_from_name(name_of(m)), m);
+  }
   for (const auto t : {Topology::kIndependent, Topology::kSharedElite,
                        Topology::kRingElite}) {
     EXPECT_EQ(topology_from_name(name_of(t)), t);
@@ -176,8 +181,82 @@ TEST(PolicyNames, RoundTripThroughTheTables) {
   EXPECT_FALSE(scheduling_from_name("bogus").has_value());
   EXPECT_FALSE(neighborhood_from_name("bogus").has_value());
   EXPECT_FALSE(exchange_from_name("bogus").has_value());
+  EXPECT_FALSE(comm_mode_from_name("bogus").has_value());
   EXPECT_FALSE(topology_from_name("bogus").has_value());
   EXPECT_FALSE(termination_from_name("bogus").has_value());
+}
+
+TEST(SolveRequestJson, CommModeDefaultsToOnResetAndRoundTrips) {
+  // Absent member = the historical restart-time semantics.
+  const SolveRequest minimal =
+      SolveRequest::from_json_string(R"({"problem":"costas:10"})");
+  EXPECT_EQ(minimal.comm_mode, parallel::CommMode::kOnReset);
+  EXPECT_NE(minimal.to_json_string().find("\"comm_mode\":\"on_reset\""),
+            std::string::npos);
+
+  // The async spelling decodes, re-encodes byte-stably and survives the
+  // value round trip.
+  const SolveRequest async = SolveRequest::from_json_string(
+      R"({"problem":"costas:10","neighborhood":"ring","exchange":"elite",)"
+      R"("comm_mode":"async"})");
+  EXPECT_EQ(async.comm_mode, parallel::CommMode::kAsync);
+  const std::string encoded = async.to_json_string();
+  EXPECT_EQ(SolveRequest::from_json_string(encoded).to_json_string(),
+            encoded);
+
+  // Unknown mode names are rejected with the valid alternatives attached.
+  try {
+    (void)SolveRequest::from_json_string(
+        R"({"problem":"costas:10","comm_mode":"psychic"})");
+    FAIL() << "unknown comm_mode accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("comm_mode"), std::string::npos) << message;
+    EXPECT_NE(message.find("async"), std::string::npos) << message;
+  }
+}
+
+TEST(Solver, AsyncGossipWithoutExchangeIsARejectedRequest) {
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.comm_mode = parallel::CommMode::kAsync;  // exchange stays "none"
+  try {
+    (void)Solver::solve(request);
+    FAIL() << "async x none accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("async"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Solver, AsyncGossipRequestSolvesAndCountsAdoptions) {
+  SolveRequest request;
+  request.problem = "costas:10";
+  request.walkers = 4;
+  request.seed = 7;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  // Ring, not complete: per-walker slots mean walkers > 0 genuinely pull
+  // their predecessor's recorded best mid-walk (a shared slot would mostly
+  // hold the walker's own publication, which the gossip gate refuses).
+  request.neighborhood = parallel::Neighborhood::kRing;
+  request.exchange = parallel::Exchange::kElite;
+  request.comm_mode = parallel::CommMode::kAsync;
+  request.comm_period = 50;
+  request.comm_adopt_probability = 1.0;
+  const SolveReport report = Solver::solve(request);
+  EXPECT_TRUE(report.solved);
+  // Elite gossip: publishes flow, keep-best offers accept, and mid-walk
+  // pulls actually adopted (each later walker starts far above its
+  // predecessor's recorded best, so the first gates improve on it).
+  EXPECT_GT(report.comm_publishes, 0u);
+  EXPECT_GT(report.elite_accepted, 0u);
+  EXPECT_GT(report.comm_adoptions, 0u);
+  // The counters cross the report wire.
+  const SolveReport decoded =
+      SolveReport::from_json_string(report.to_json_string());
+  EXPECT_EQ(decoded.comm_publishes, report.comm_publishes);
+  EXPECT_EQ(decoded.comm_adoptions, report.comm_adoptions);
 }
 
 TEST(SolveRequestJson, LegacyTopologyMemberIsAnAcceptedAlias) {

@@ -141,7 +141,8 @@ TEST(ElitePool, OfferKeepsTheStrictlyBest) {
   EXPECT_EQ(slot.take_if_better(5, 8, out), 7);
   EXPECT_EQ(out, b);
   EXPECT_EQ(slot.take_if_better(5, 7, out), csp::kInfiniteCost);  // not strictly better
-  EXPECT_EQ(slot.accepted_offers(), 2u);
+  EXPECT_EQ(slot.publishes(), 4u);       // every offer counts as a publish
+  EXPECT_EQ(slot.accepted_offers(), 2u); // only the improving ones accept
 }
 
 TEST(ElitePool, StoreOverwritesUnconditionally) {
@@ -154,7 +155,10 @@ TEST(ElitePool, StoreOverwritesUnconditionally) {
   EXPECT_EQ(slot.take_if_better(3, csp::kInfiniteCost, out), 9);
   EXPECT_EQ(out, b);
   EXPECT_EQ(slot.take_if_better(3, 4, out), csp::kInfiniteCost);
-  EXPECT_EQ(slot.accepted_offers(), 2u);
+  // Unconditional overwrites are publishes, never "accepted" offers — an
+  // acceptance that cannot be refused carries no signal.
+  EXPECT_EQ(slot.publishes(), 2u);
+  EXPECT_EQ(slot.accepted_offers(), 0u);
 }
 
 TEST(ElitePool, DecayForgetsStaleEntries) {
@@ -173,6 +177,27 @@ TEST(ElitePool, DecayForgetsStaleEntries) {
   EXPECT_TRUE(slot.offer(6, 50, b));
   EXPECT_EQ(slot.take_if_better(7, 100, out), 50);
   EXPECT_EQ(out, b);
+}
+
+TEST(ElitePool, PublisherStampFiltersSelfAdoption) {
+  ElitePool slot;
+  const std::vector<int> a{1, 2};
+  ASSERT_TRUE(slot.offer(1, 5, a, /*publisher=*/3));
+  std::vector<int> out;
+  // The publishing walker cannot take its own entry back...
+  EXPECT_EQ(slot.take_if_better(2, 100, out, /*exclude_publisher=*/3),
+            csp::kInfiniteCost);
+  // ...anyone else can, and so can a reset-time take (no exclusion).
+  EXPECT_EQ(slot.take_if_better(2, 100, out, /*exclude_publisher=*/1), 5);
+  EXPECT_EQ(slot.take_if_better(2, 100, out), 5);
+  // A store overwrites the stamp along with the entry.
+  slot.store(3, 9, a, /*publisher=*/1);
+  EXPECT_EQ(slot.take_if_better(4, csp::kInfiniteCost, out,
+                                /*exclude_publisher=*/3),
+            9);
+  EXPECT_EQ(slot.take_if_better(4, csp::kInfiniteCost, out,
+                                /*exclude_publisher=*/1),
+            csp::kInfiniteCost);
 }
 
 TEST(ElitePool, ZeroDecayNeverForgets) {

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 
@@ -416,8 +418,10 @@ TEST(WalkerPool, MigrationOnTorusSolvesThreaded) {
   const auto report = WalkerPool(pool).run(costas);
   ASSERT_TRUE(report.solved);
   EXPECT_TRUE(costas.verify(report.best.solution));
-  // Migration stores unconditionally, so slots accept every publish.
-  EXPECT_GT(report.elite_accepted, 0u);
+  // Migration publishes unconditionally, but an overwrite that cannot be
+  // refused is not an "accepted" offer — the counters stay apart.
+  EXPECT_GT(report.comm_publishes, 0u);
+  EXPECT_EQ(report.elite_accepted, 0u);
 }
 
 TEST(WalkerPool, DecayEliteOnHypercubeIsDeterministicSequentially) {
@@ -509,6 +513,82 @@ TEST(WalkerPoolValidation, IgnoredKnobsStayIgnoredWithoutExchange) {
   const auto report = WalkerPool(pool).run(costas);
   EXPECT_EQ(report.walkers.size(), 2u);
   EXPECT_EQ(report.elite_accepted, 0u);
+}
+
+TEST(WalkerPool, CollapsedThreadedSchedulerShortCircuitsOnExpiredDeadline) {
+  // Regression: kThreads collapsed to one OS thread (max_threads = 1) used
+  // to run every remaining walker to a first poll even when the external
+  // token had already fired — paying a full clone + initial cost evaluation
+  // per walker.  It must short-circuit between walkers exactly like the
+  // sequential scheduler: not-yet-started walkers report interrupted with
+  // zero iterations and the right cause.
+  problems::Costas costas(10);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 4;
+  pool.master_seed = 2;
+  pool.scheduling = Scheduling::kThreads;
+  pool.max_threads = 1;
+  pool.termination = Termination::kBestAfterBudget;
+
+  const auto expired = core::StopToken::with_deadline(
+      core::StopToken::Clock::now() - std::chrono::milliseconds(10));
+  const auto report = WalkerPool(pool).run(costas, expired);
+
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.interrupt_cause, core::StopCause::kDeadline);
+  ASSERT_EQ(report.walkers.size(), 4u);
+  for (const auto& w : report.walkers) {
+    EXPECT_TRUE(w.result.interrupted);
+    EXPECT_EQ(w.result.stop_cause, core::StopCause::kDeadline);
+    EXPECT_EQ(w.result.stats.iterations, 0u);  // never started walking
+  }
+}
+
+TEST(WalkerPool, CollapsedThreadedSchedulerShortCircuitsOnCancel) {
+  problems::Costas costas(10);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 3;
+  pool.master_seed = 2;
+  pool.scheduling = Scheduling::kThreads;
+  pool.max_threads = 1;
+  pool.termination = Termination::kBestAfterBudget;
+
+  std::atomic<bool> cancel{true};  // cancelled before the pool launches
+  const auto report = WalkerPool(pool).run(costas, core::StopToken(&cancel));
+
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.interrupt_cause, core::StopCause::kCancel);
+  for (const auto& w : report.walkers) {
+    EXPECT_TRUE(w.result.interrupted);
+    EXPECT_EQ(w.result.stop_cause, core::StopCause::kCancel);
+    EXPECT_EQ(w.result.stats.iterations, 0u);
+  }
+}
+
+TEST(WalkerPool, CollapsedThreadedRaceShortCircuitsAfterInternalWinner) {
+  // Same short-circuit for the pool's *own* completion flag: once a walker
+  // of the collapsed (one-thread) race has won, the remaining walkers
+  // would only run to their first poll and report kChained — they must be
+  // marked so without paying a clone + initial cost evaluation each.
+  problems::Costas costas(10);
+  WalkerPoolOptions pool;
+  pool.num_walkers = 4;
+  pool.master_seed = 1;
+  pool.scheduling = Scheduling::kThreads;
+  pool.max_threads = 1;
+  pool.termination = Termination::kFirstFinisher;
+  const auto report = WalkerPool(pool).run(costas);
+
+  ASSERT_TRUE(report.solved);
+  ASSERT_TRUE(report.has_winner());
+  EXPECT_FALSE(report.interrupted);  // an internal win is not an interrupt
+  EXPECT_EQ(report.interrupt_cause, core::StopCause::kNone);
+  for (const auto& w : report.walkers) {
+    if (w.walker_id <= report.winner) continue;
+    EXPECT_TRUE(w.result.interrupted);
+    EXPECT_EQ(w.result.stop_cause, core::StopCause::kChained);
+    EXPECT_EQ(w.result.stats.iterations, 0u);
+  }
 }
 
 TEST(WalkerPool, LegacyWrappersShareWalkerTrajectories) {

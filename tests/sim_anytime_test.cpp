@@ -64,6 +64,90 @@ TEST(AnytimeBudgetGrid, DoublesUpToTheLastSampledIteration) {
   EXPECT_EQ(anytime_budget_grid(tiny, 4), (std::vector<std::uint64_t>{1, 2}));
 }
 
+TEST(AnytimeCurve, AllEmptyTracesYieldInfiniteEverywhere) {
+  // A pool whose walkers recorded nothing (tracing off, or cut before the
+  // first sample) must produce a well-formed all-infinite curve, not crash
+  // or fabricate zeros.
+  const std::vector<core::WalkerTrace> walkers = {
+      trace_of({}), trace_of({}), trace_of({})};
+  const std::vector<std::uint64_t> budgets = {0, 10, 1'000};
+  const auto curve = anytime_curve(walkers, budgets);
+  ASSERT_EQ(curve.size(), budgets.size());
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    EXPECT_EQ(curve[b].budget, budgets[b]);
+    EXPECT_EQ(curve[b].best_cost, csp::kInfiniteCost);
+  }
+  // And the grid over nothing is empty.
+  EXPECT_TRUE(anytime_budget_grid(walkers, 8).empty());
+}
+
+TEST(AnytimeCurve, BudgetBelowEveryFirstSampleIsInfinite) {
+  // Every walker's first sample lies beyond the queried budgets: no
+  // configuration could have been returned yet at any of them.
+  const std::vector<core::WalkerTrace> walkers = {
+      trace_of({{100, 5}, {200, 3}}),
+      trace_of({{150, 9}}),
+  };
+  const std::vector<std::uint64_t> budgets = {0, 50, 99};
+  const auto curve = anytime_curve(walkers, budgets);
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& point : curve) {
+    EXPECT_EQ(point.best_cost, csp::kInfiniteCost);
+  }
+  // The first budget at or past a sample picks it up.
+  EXPECT_EQ(anytime_curve(walkers, std::vector<std::uint64_t>{100})[0]
+                .best_cost,
+            5);
+}
+
+TEST(AnytimeBudgetGrid, SinglePointGridsAndSingleSampleTraces) {
+  const std::vector<core::WalkerTrace> walkers = {
+      trace_of({{0, 9}, {800, 2}})};
+  // points = 1: exactly the last sampled iteration.
+  EXPECT_EQ(anytime_budget_grid(walkers, 1),
+            (std::vector<std::uint64_t>{800}));
+  // A lone sample at iteration 1 cannot halve: one budget, no zeros.
+  const std::vector<core::WalkerTrace> lone = {trace_of({{1, 4}})};
+  EXPECT_EQ(anytime_budget_grid(lone, 4), (std::vector<std::uint64_t>{1}));
+  // Samples only at iteration 0 span no budget range at all.
+  const std::vector<core::WalkerTrace> degenerate = {trace_of({{0, 4}})};
+  EXPECT_TRUE(anytime_budget_grid(degenerate, 4).empty());
+}
+
+TEST(AnytimeCurve, SeparatesGossipFromOnResetRegimes) {
+  // The ablation's mode comparison in miniature: the same unsolvable
+  // population traced under on-reset and async gossip produces two
+  // comparable anytime curves over a shared budget grid — both
+  // non-increasing, both ending at their pool's best cost.
+  problems::Costas costas(9);
+  for (const auto mode :
+       {parallel::CommMode::kOnReset, parallel::CommMode::kAsync}) {
+    parallel::WalkerPoolOptions pool;
+    pool.num_walkers = 3;
+    pool.master_seed = 33;
+    pool.scheduling = parallel::Scheduling::kSequential;
+    pool.termination = parallel::Termination::kBestAfterBudget;
+    pool.communication.neighborhood = parallel::Neighborhood::kRing;
+    pool.communication.exchange = parallel::Exchange::kElite;
+    pool.communication.mode = mode;
+    pool.communication.period = 50;
+    pool.communication.adopt_probability = 0.5;
+    pool.trace.enabled = true;
+    pool.trace.sample_period = 50;
+    const auto report = parallel::WalkerPool(pool).run(costas);
+
+    std::vector<core::WalkerTrace> traces;
+    for (const auto& w : report.walkers) traces.push_back(w.trace);
+    const auto grid = anytime_budget_grid(traces, 5);
+    ASSERT_FALSE(grid.empty());
+    const auto curve = anytime_curve(traces, grid);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      EXPECT_LE(curve[i].best_cost, curve[i - 1].best_cost);
+    }
+    EXPECT_EQ(curve.back().best_cost, report.best.cost);
+  }
+}
+
 TEST(AnytimeCurve, AgreesWithATracedPoolRun) {
   problems::Costas costas(9);
   parallel::WalkerPoolOptions pool;
