@@ -1,14 +1,20 @@
 // Hot-path measurement harness: drives the Adaptive Search engine over every
-// kernel through both hot paths — the batched kernel overrides
-// (cost_on_all_variables / best_swap_for) and the scalar reference
-// (csp::ScalarPathProblem, reproducing the pre-batched per-variable virtual
-// loop) — in the same binary, and reports iterations/sec and
-// cost-evaluations/sec per path plus the batched/scalar speedup.
+// kernel through three hot paths in the same binary —
 //
-// Emits machine-readable BENCH_micro.json (schema cspls-bench-micro/1) so CI
-// and future PRs can track the perf trajectory; exits non-zero if the two
-// paths ever disagree on a fixed-seed trajectory (they must be identical —
-// the batched API is a pure constant-factor optimization).
+//   scalar : csp::ScalarPathProblem, reproducing the pre-batched
+//            per-variable virtual loop (PR 1 shape);
+//   batched: the kernel's bulk overrides (cost_on_all_variables /
+//            best_swap_for) with SIMD force-disabled, i.e. the literal PR 2
+//            scalar kernels;
+//   simd   : the same bulk overrides with the vector-extension lanes enabled
+//            (util/simd.hpp), the PR 6 data-parallel rewrites.
+//
+// Reports iterations/sec per path plus batched/scalar and simd/batched
+// speedups.  Emits machine-readable BENCH_micro.json (schema
+// cspls-bench-micro/2) so CI and future PRs can track the perf trajectory;
+// exits non-zero if any two paths ever disagree on a fixed-seed trajectory
+// (they must be identical — both the batched API and the SIMD lanes are pure
+// constant-factor optimizations).
 //
 // Usage: bench_micro_solver [--quick] [--out FILE] [--seed N]
 #include <cstdio>
@@ -21,6 +27,7 @@
 #include "csp/scalar_path.hpp"
 #include "problems/registry.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -83,6 +90,12 @@ PathResult run_path(csp::Problem& problem, std::uint64_t budget,
   return out;
 }
 
+bool paths_match(const PathResult& a, const PathResult& b) {
+  return a.iterations == b.iterations &&
+         a.cost_evaluations == b.cost_evaluations &&
+         a.final_cost == b.final_cost && a.solution == b.solution;
+}
+
 void append_json_path(std::string& json, const char* key,
                       const PathResult& r) {
   char buf[256];
@@ -97,8 +110,8 @@ void append_json_path(std::string& json, const char* key,
 
 int main(int argc, char** argv) {
   util::ArgParser args("bench_micro_solver",
-                       "Hot-path throughput: batched vs scalar engine path "
-                       "per kernel, emitting BENCH_micro.json");
+                       "Hot-path throughput: scalar vs batched vs SIMD engine "
+                       "path per kernel, emitting BENCH_micro.json");
   args.add_flag("quick", "CI smoke mode: 1/10 iteration budgets");
   args.add_string("out", "BENCH_micro.json", "JSON output path");
   args.add_uint64("seed", 0xB5EED, "master RNG seed");
@@ -108,16 +121,20 @@ int main(int argc, char** argv) {
   const bool quick = args.flag("quick");
   const auto seed = args.get_uint64("seed");
 
-  std::printf("# bench_micro_solver — batched vs scalar hot path%s\n",
+  std::printf("# bench_micro_solver — scalar vs batched vs SIMD hot path%s\n",
               quick ? " (--quick)" : "");
+  std::printf("# SIMD tier: %s\n", util::simd::tier_name());
 
   util::Table table({"instance", "vars", "iters", "scalar it/s",
-                     "batched it/s", "speedup", "batched evals/s"});
+                     "batched it/s", "simd it/s", "batched/scalar",
+                     "simd/batched"});
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"cspls-bench-micro/1\",\n";
+  json += "  \"schema\": \"cspls-bench-micro/2\",\n";
   json += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  json += std::string("  \"simd_tier\": \"") + util::simd::tier_name() +
+          "\",\n";
   json += "  \"results\": [\n";
 
   bool paths_agree = true;
@@ -127,8 +144,10 @@ int main(int argc, char** argv) {
         quick ? std::max<std::uint64_t>(200, w.iteration_budget / 10)
               : w.iteration_budget;
 
-    // Batched path: the kernel's own bulk overrides.
+    // Batched/simd paths: the kernel's own bulk overrides; which inner loop
+    // they run is toggled per measurement via simd::set_force_scalar.
     auto batched_problem = problems::make_problem(w.problem, w.size, 7);
+    auto simd_problem = problems::make_problem(w.problem, w.size, 7);
     const std::string instance = batched_problem->instance_description();
     const std::size_t vars = batched_problem->num_variables();
     // Scalar path: same kernel behind the de-optimizing adapter.
@@ -136,27 +155,32 @@ int main(int argc, char** argv) {
         problems::make_problem(w.problem, w.size, 7));
 
     // Warm-up on throwaway clones (touch caches, fault pages) — the measured
-    // problems must keep their pristine canonical state so both paths start
+    // problems must keep their pristine canonical state so all paths start
     // from the identical configuration.
     {
       const auto warm_budget = std::max<std::uint64_t>(budget / 10, 50);
+      util::simd::set_force_scalar(true);
       auto warm = batched_problem->clone();
       (void)run_path(*warm, warm_budget, seed ^ 0xFFFF);
       auto warm_scalar = scalar_problem.clone();
       (void)run_path(*warm_scalar, warm_budget, seed ^ 0xFFFF);
+      util::simd::set_force_scalar(false);
+      auto warm_simd = simd_problem->clone();
+      (void)run_path(*warm_simd, warm_budget, seed ^ 0xFFFF);
     }
+    util::simd::set_force_scalar(true);
     const PathResult batched = run_path(*batched_problem, budget, seed);
     const PathResult scalar = run_path(scalar_problem, budget, seed);
+    util::simd::set_force_scalar(false);
+    const PathResult simd = run_path(*simd_problem, budget, seed);
 
-    // The two paths must walk the identical trajectory: same iteration
+    // The three paths must walk the identical trajectory: same iteration
     // count, same evaluation count, same final configuration.
-    const bool agree = batched.iterations == scalar.iterations &&
-                       batched.cost_evaluations == scalar.cost_evaluations &&
-                       batched.final_cost == scalar.final_cost &&
-                       batched.solution == scalar.solution;
+    const bool agree =
+        paths_match(batched, scalar) && paths_match(batched, simd);
     if (!agree) {
       std::fprintf(stderr,
-                   "ERROR: scalar and batched paths diverged on %s\n",
+                   "ERROR: scalar/batched/simd paths diverged on %s\n",
                    instance.c_str());
       paths_agree = false;
     }
@@ -164,6 +188,9 @@ int main(int argc, char** argv) {
     const double speedup = scalar.seconds > 0.0 && batched.seconds > 0.0
                                ? scalar.seconds / batched.seconds
                                : 0.0;
+    const double simd_speedup = batched.seconds > 0.0 && simd.seconds > 0.0
+                                    ? batched.seconds / simd.seconds
+                                    : 0.0;
 
     char cell[64];
     std::vector<std::string> row;
@@ -174,9 +201,11 @@ int main(int argc, char** argv) {
     row.push_back(cell);
     std::snprintf(cell, sizeof(cell), "%.0f", batched.iters_per_sec());
     row.push_back(cell);
+    std::snprintf(cell, sizeof(cell), "%.0f", simd.iters_per_sec());
+    row.push_back(cell);
     std::snprintf(cell, sizeof(cell), "%.2fx", speedup);
     row.push_back(cell);
-    std::snprintf(cell, sizeof(cell), "%.0f", batched.evals_per_sec());
+    std::snprintf(cell, sizeof(cell), "%.2fx", simd_speedup);
     row.push_back(cell);
     table.add_row(row);
 
@@ -194,8 +223,12 @@ int main(int argc, char** argv) {
     json += ",\n";
     append_json_path(json, "batched", batched);
     json += ",\n";
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "      \"speedup\": %.3f,\n", speedup);
+    append_json_path(json, "simd", simd);
+    json += ",\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "      \"speedup\": %.3f,\n      \"simd_speedup\": %.3f,\n",
+                  speedup, simd_speedup);
     json += buf;
     json += std::string("      \"paths_agree\": ") +
             (agree ? "true" : "false") + "\n";
@@ -217,8 +250,8 @@ int main(int argc, char** argv) {
 
   if (!paths_agree) {
     std::fprintf(stderr,
-                 "FAIL: at least one kernel's batched path diverged from the "
-                 "scalar reference\n");
+                 "FAIL: at least one kernel's batched/simd path diverged "
+                 "from the scalar reference\n");
     return 1;
   }
   return 0;

@@ -30,7 +30,10 @@ std::array<int, 26> Alpha::reference_solution() noexcept {
           12, 10, 19, 7,  11, 15, 3,  1,  26, 6,  22, 18, 14};
 }
 
-Alpha::Alpha() : PermutationProblem(canonical_values()), letter_eqs_(26) {
+Alpha::Alpha()
+    : PermutationProblem(canonical_values()),
+      letter_eqs_(26),
+      cand_(26, 0) {
   const std::array<int, 26> ref = reference_solution();
   for (const char* word : kWords) {
     words_.emplace_back(word);
@@ -155,11 +158,12 @@ std::uint64_t Alpha::best_swap_for(std::size_t x, util::Xoshiro256& rng,
   // cost_if_swap is already O(equations containing either letter); the bulk
   // win here is devirtualizing the candidate loop.
   const std::size_t nn = num_variables();
-  csp::SwapScan scan(nn);
+  Cost* const cand = cand_.data();
   for (std::size_t j = 0; j < nn; ++j) {
-    if (j == x) continue;
-    scan.consider(j, Alpha::cost_if_swap(x, j), rng);
+    cand[j] = j == x ? csp::kInfiniteCost : Alpha::cost_if_swap(x, j);
   }
+  csp::SwapScan scan(nn);
+  scan.feed_lanes(0, std::span<const Cost>(cand, nn), x, rng);
   best_j = scan.best_j;
   best_cost = scan.best_cost;
   ties = scan.ties;

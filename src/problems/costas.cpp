@@ -4,9 +4,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace cspls::problems {
 
 using csp::Cost;
+namespace simd = util::simd;
 
 namespace {
 std::vector<int> canonical_values(std::size_t n) {
@@ -20,12 +23,26 @@ Costas::Costas(std::size_t n)
     : PermutationProblem(canonical_values(n)),
       n_(n),
       stride_(2 * n + 1),
-      occ_((n - 1) * (2 * n + 1), 0),
+      pstride_(simd::padded_size(n, simd::i32x8::kLanes)),
+      // +8 scratch slots past the real difference triangle: the SIMD swap
+      // scan parks the q == x / q == j lanes there to keep its bump/undo
+      // loops branch-free (each dummy absorbs exactly one op per candidate
+      // and is restored by the matching undo, so they stay at zero).
+      occ_((n - 1) * (2 * n + 1) + 8, 0),
       rowoff_(n * n, 0),
       sign_(n * n, 0),
+      rowoff_pad_(n * pstride_, 0),
+      sgmask_(n * pstride_, 0),
       xrem_slots_(n, 0),
       undo_rem_(2 * n, 0),
-      undo_add_(2 * n, 0) {
+      undo_add_(2 * n, 0),
+      vals_pad_(pstride_, 0),
+      xslot_(pstride_, 0),
+      srj_(pstride_, 0),
+      sax_(pstride_, 0),
+      saj_(pstride_, 0),
+      acc32_(pstride_, 0),
+      cand_(pstride_, 0) {
   if (n < 2) {
     throw std::invalid_argument("Costas: n must be >= 2");
   }
@@ -36,6 +53,9 @@ Costas::Costas(std::size_t n)
       rowoff_[p * n + q] =
           static_cast<std::uint32_t>((d - 1) * stride_ + n);
       sign_[p * n + q] = q > p ? 1 : -1;
+      rowoff_pad_[p * pstride_ + q] =
+          static_cast<std::int32_t>((d - 1) * stride_ + n);
+      sgmask_[p * pstride_ + q] = q > p ? 0 : -1;
     }
   }
 }
@@ -170,20 +190,58 @@ void Costas::cost_on_all_variables(std::span<Cost> out) const {
   // One pass over the difference triangle instead of n scalar calls of O(n)
   // each: every pair's surplus is charged to both endpoints, which is
   // exactly the cost_on_variable projection summed per variable.
-  std::fill(out.begin(), out.end(), Cost{0});
   const auto vals = values();
-  for (std::size_t d = 1; d < n_; ++d) {
+  if (!simd::runtime_enabled()) {
+    std::fill(out.begin(), out.end(), Cost{0});
+    for (std::size_t d = 1; d < n_; ++d) {
+      const int* occ_row = occ_.data() + (d - 1) * stride_ +
+                           static_cast<std::ptrdiff_t>(n_);
+      for (std::size_t a = 0; a + d < n_; ++a) {
+        const int c = occ_row[vals[a + d] - vals[a]];
+        if (c >= 2) {
+          const Cost s = c - 1;
+          out[a] += s;
+          out[a + d] += s;
+        }
+      }
+    }
+    return;
+  }
+  // SIMD triangle pass.  The per-row charge "out[a] += s, out[a+d] += s" is
+  // two *contiguous* accumulations of the same surplus vector at offsets 0
+  // and d, so apart from the occurrence gather the row is pure vector code.
+  // The a+d block may overlap the a block when d < kLanes; the second
+  // load/store pair sits after the first store, so the overlap is read back
+  // correctly.  Accumulation runs in 32-bit (bounded by n² ≪ 2³¹) and is
+  // widened into the Cost lanes once at the end.
+  constexpr std::size_t kL = simd::i32x8::kLanes;
+  const std::size_t n = n_;
+  std::fill(acc32_.begin(), acc32_.end(), 0);
+  const auto one = simd::i32x8::broadcast(1);
+  const auto two = simd::i32x8::broadcast(2);
+  for (std::size_t d = 1; d < n; ++d) {
     const int* occ_row = occ_.data() + (d - 1) * stride_ +
-                         static_cast<std::ptrdiff_t>(n_);
-    for (std::size_t a = 0; a + d < n_; ++a) {
+                         static_cast<std::ptrdiff_t>(n);
+    const std::size_t m = n - d;
+    std::size_t a = 0;
+    for (; a + kL <= m; a += kL) {
+      const auto lo = simd::i32x8::load(vals.data() + a);
+      const auto hi = simd::i32x8::load(vals.data() + a + d);
+      const auto c = simd::i32x8::gather(occ_row, hi - lo);
+      const auto s = (c - one) & simd::cmp_ge(c, two);
+      (simd::i32x8::load(acc32_.data() + a) + s).store(acc32_.data() + a);
+      (simd::i32x8::load(acc32_.data() + a + d) + s)
+          .store(acc32_.data() + a + d);
+    }
+    for (; a < m; ++a) {
       const int c = occ_row[vals[a + d] - vals[a]];
       if (c >= 2) {
-        const Cost s = c - 1;
-        out[a] += s;
-        out[a + d] += s;
+        acc32_[a] += c - 1;
+        acc32_[a + d] += c - 1;
       }
     }
   }
+  for (std::size_t i = 0; i < n; ++i) out[i] = acc32_[i];
 }
 
 std::uint64_t Costas::best_swap_for(std::size_t x, util::Xoshiro256& rng,
@@ -200,6 +258,9 @@ std::uint64_t Costas::best_swap_for(std::size_t x, util::Xoshiro256& rng,
   const auto vals = values();
   const Cost total = total_cost();
   const int vx = vals[x];
+  if (simd::runtime_enabled()) {
+    return best_swap_for_simd(x, rng, best_j, best_cost, ties);
+  }
   const std::uint32_t* ro_x = rowoff_.data() + x * n;
   const std::int8_t* sg_x = sign_.data() + x * n;
 
@@ -258,6 +319,106 @@ std::uint64_t Costas::best_swap_for(std::size_t x, util::Xoshiro256& rng,
       --occ[add[k]];
     }
   }
+  best_j = scan.best_j;
+  best_cost = scan.best_cost;
+  ties = scan.ties;
+  return n - 1;
+}
+
+std::uint64_t Costas::best_swap_for_simd(std::size_t x, util::Xoshiro256& rng,
+                                         std::size_t& best_j, Cost& best_cost,
+                                         std::size_t& ties) const {
+  // Data-parallel variant of the probe-and-undo scan above.  Because the
+  // per-slot surplus marginals telescope (Σ marginals = Σ_slots g(final) −
+  // g(initial), independent of op order), two restructurings preserve every
+  // candidate cost bit-for-bit:
+  //   1. the retraction of x's pairs — common to every candidate — is folded
+  //      out of the j loop and applied ONCE up front (delta0), cutting the
+  //      serial occurrence-bump work per candidate from 4 ops/pair to 3;
+  //   2. slot addresses are batched eight pairs at a time on the lane-padded
+  //      mask tables (slot = ro + ((diff^m)−m), no multiply), then consumed
+  //      by the (inherently serial, scatter-carried) bump loop.
+  // Candidate costs land in cand_ and the reservoir runs through
+  // SwapScan::feed_lanes, which replays the historical RNG draws exactly.
+  constexpr std::size_t kL = simd::i32x8::kLanes;
+  const std::size_t n = n_;
+  const std::size_t pn = pstride_;
+  const auto vals = values();
+  const Cost total = total_cost();
+  const int vx = vals[x];
+  std::copy(vals.begin(), vals.end(), vals_pad_.begin());
+  const std::int32_t* ro_x = rowoff_pad_.data() + x * pn;
+  const std::int32_t* mk_x = sgmask_.data() + x * pn;
+  const auto vxb = simd::i32x8::broadcast(vx);
+  for (std::size_t q = 0; q < pn; q += kL) {
+    const auto d = simd::i32x8::load(vals_pad_.data() + q) - vxb;
+    const auto m = simd::i32x8::load(mk_x + q);
+    const auto s = simd::i32x8::load(ro_x + q) + ((d ^ m) - m);
+    s.store(xslot_.data() + q);
+  }
+  int* const occ = occ_.data();
+  // Dummy scratch slots past the triangle (see the constructor): parking the
+  // q == x / q == j lanes there makes every serial bump/undo loop below
+  // branch-free.  A dummy sees exactly one op per pass, so its count moves
+  // 0 → ±1 (contributing nothing to delta: −1 >= 1 and 0 >= 1 are both
+  // false) and the inverse op restores it to zero.
+  const auto D = static_cast<std::int32_t>((n - 1) * stride_);
+  Cost delta0 = 0;
+  xslot_[x] = D;
+  for (std::size_t q = 0; q < n; ++q) {
+    delta0 -= (--occ[xslot_[q]] >= 1);
+  }
+  const Cost base = total + delta0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == x) {
+      cand_[j] = csp::kInfiniteCost;
+      continue;
+    }
+    const int vj = vals[j];
+    const std::int32_t* ro_j = rowoff_pad_.data() + j * pn;
+    const std::int32_t* mk_j = sgmask_.data() + j * pn;
+    const auto vjb = simd::i32x8::broadcast(vj);
+    for (std::size_t q = 0; q < pn; q += kL) {
+      const auto v = simd::i32x8::load(vals_pad_.data() + q);
+      const auto mj = simd::i32x8::load(mk_j + q);
+      const auto roj = simd::i32x8::load(ro_j + q);
+      const auto mx = simd::i32x8::load(mk_x + q);
+      const auto rox = simd::i32x8::load(ro_x + q);
+      const auto dj = v - vjb;  // retractions of j's pairs + x's asserts
+      (roj + ((dj ^ mj) - mj)).store(srj_.data() + q);
+      (rox + ((dj ^ mx) - mx)).store(sax_.data() + q);
+      const auto dx = v - vxb;  // j's asserts (j holds vx after exchange)
+      (roj + ((dx ^ mj) - mj)).store(saj_.data() + q);
+    }
+    srj_[x] = D + 1;
+    sax_[x] = D + 2;
+    saj_[x] = D + 3;
+    srj_[j] = D + 4;
+    sax_[j] = D + 5;
+    saj_[j] = D + 6;
+    Cost delta = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      delta -= (--occ[srj_[q]] >= 1);
+      delta += (occ[sax_[q]]++ >= 1);
+      delta += (occ[saj_[q]]++ >= 1);
+    }
+    // The {x, j} pair: retracted in the delta0 fold, asserted here.
+    const std::int32_t s_axj =
+        ro_x[j] + (((vx - vj) ^ mk_x[j]) - mk_x[j]);
+    delta += (occ[s_axj]++ >= 1);
+    cand_[j] = base + delta;
+    for (std::size_t q = 0; q < n; ++q) {
+      ++occ[srj_[q]];
+      --occ[sax_[q]];
+      --occ[saj_[q]];
+    }
+    --occ[s_axj];
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    ++occ[xslot_[q]];
+  }
+  csp::SwapScan scan(n);
+  scan.feed_lanes(0, std::span<const Cost>(cand_.data(), n), x, rng);
   best_j = scan.best_j;
   best_cost = scan.best_cost;
   ties = scan.ties;

@@ -18,7 +18,10 @@ std::vector<int> canonical_values(std::size_t n) {
 }  // namespace
 
 Langford::Langford(std::size_t n)
-    : PermutationProblem(canonical_values(n)), n_(n), pos_(2 * n, 0) {
+    : PermutationProblem(canonical_values(n)),
+      n_(n),
+      pos_(2 * n, 0),
+      cand_(2 * n, 0) {
   if (n < 1) {
     throw std::invalid_argument("Langford: n must be >= 1");
   }
@@ -132,14 +135,14 @@ std::uint64_t Langford::best_swap_for(std::size_t x, util::Xoshiro256& rng,
     return static_cast<Cost>(miss < 0 ? -miss : miss);
   };
 
-  csp::SwapScan scan(nn);
+  Cost* const cand = cand_.data();
   for (std::size_t j = 0; j < nn; ++j) {
-    if (j == x) continue;
     const auto item_j = static_cast<std::size_t>(vals[j]);
     const std::size_t kj = item_j / 2;
     if (kj == kx) {
-      // Both copies of one number: the gap is symmetric, nothing changes.
-      scan.consider(j, total, rng);
+      // Both copies of one number: the gap is symmetric, nothing changes
+      // (covers j == x too; that lane is overwritten with the sentinel).
+      cand[j] = total;
       continue;
     }
     // Hypothetically item_x sits at j and item_j at x; the mates stay put.
@@ -149,8 +152,11 @@ std::uint64_t Langford::best_swap_for(std::size_t x, util::Xoshiro256& rng,
     const Cost ej_after =
         gap_error(static_cast<std::ptrdiff_t>(x),
                   static_cast<std::ptrdiff_t>(pos_[item_j ^ 1U]), kj);
-    scan.consider(j, total - ex - ej + ex_after + ej_after, rng);
+    cand[j] = total - ex - ej + ex_after + ej_after;
   }
+  cand[x] = csp::kInfiniteCost;
+  csp::SwapScan scan(nn);
+  scan.feed_lanes(0, std::span<const Cost>(cand, nn), x, rng);
   best_j = scan.best_j;
   best_cost = scan.best_cost;
   ties = scan.ties;

@@ -49,6 +49,8 @@ class Langford final : public csp::PermutationProblem {
   std::size_t n_;
   std::string name_ = "langford";
   std::vector<std::size_t> pos_;  ///< item id -> position (inverse of values)
+  /// Candidate costs consumed by SwapScan::feed_lanes.
+  mutable std::vector<csp::Cost> cand_;
 };
 
 }  // namespace cspls::problems

@@ -17,7 +17,10 @@ std::vector<int> canonical_values(std::size_t n) {
 }  // namespace
 
 Partition::Partition(std::size_t n)
-    : PermutationProblem(canonical_values(n)), n_(n), half_(n / 2) {
+    : PermutationProblem(canonical_values(n)),
+      n_(n),
+      half_(n / 2),
+      cand_(n, 0) {
   if (n == 0 || n % 4 != 0) {
     throw std::invalid_argument("Partition: n must be a positive multiple of 4");
   }
@@ -116,20 +119,23 @@ std::uint64_t Partition::best_swap_for(std::size_t x, util::Xoshiro256& rng,
   const Cost total = total_cost();
   const bool x_in_a = x < half_;
   const Cost vx = vals[x];
-  csp::SwapScan scan(n_);
-  for (std::size_t j = 0; j < n_; ++j) {
-    if (j == x) continue;
-    if ((j < half_) == x_in_a) {
-      // Same side: the partition is unchanged.
-      scan.consider(j, total, rng);
-      continue;
-    }
+  // Same-side candidates leave the partition unchanged; cross-side ones move
+  // one value each way.  Both regions are contiguous, so the fill is two
+  // tight loops and the reservoir runs batched over the whole array.
+  Cost* const cand = cand_.data();
+  const std::size_t same_lo = x_in_a ? 0 : half_;
+  const std::size_t same_hi = x_in_a ? half_ : n_;
+  const std::size_t cross_lo = x_in_a ? half_ : 0;
+  const std::size_t cross_hi = x_in_a ? n_ : half_;
+  for (std::size_t j = same_lo; j < same_hi; ++j) cand[j] = total;
+  for (std::size_t j = cross_lo; j < cross_hi; ++j) {
     const Cost va = x_in_a ? vx : vals[j];  // leaves side A
     const Cost vb = x_in_a ? vals[j] : vx;  // joins side A
-    scan.consider(j,
-                  cost_from(sum_a_ - va + vb, sq_a_ - va * va + vb * vb),
-                  rng);
+    cand[j] = cost_from(sum_a_ - va + vb, sq_a_ - va * va + vb * vb);
   }
+  cand[x] = csp::kInfiniteCost;
+  csp::SwapScan scan(n_);
+  scan.feed_lanes(0, std::span<const Cost>(cand, n_), x, rng);
   best_j = scan.best_j;
   best_cost = scan.best_cost;
   ties = scan.ties;

@@ -1,7 +1,6 @@
 #include "problems/perfect_square.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -66,7 +65,13 @@ PerfectSquare::PerfectSquare(PerfectSquareInstance instance)
       instance_(std::move(instance)),
       overflow_by_pos_(instance_.sizes.size(), 0),
       scratch_order_(instance_.sizes.size()),
-      heights_(static_cast<std::size_t>(instance_.side), 0) {
+      heights_(static_cast<std::size_t>(instance_.side), 0),
+      checkpoint_h_(instance_.sizes.size() *
+                        static_cast<std::size_t>(instance_.side),
+                    0),
+      checkpoint_err_(instance_.sizes.size(), 0),
+      ring_(static_cast<std::size_t>(instance_.side)),
+      cand_(instance_.sizes.size(), 0) {
   long long area = 0;
   for (const int s : instance_.sizes) {
     if (s < 1 || s > instance_.side) {
@@ -92,68 +97,106 @@ std::unique_ptr<csp::Problem> PerfectSquare::clone() const {
   return std::make_unique<PerfectSquare>(*this);
 }
 
-Cost PerfectSquare::decode(std::span<const int> order,
-                           std::vector<Cost>* overflow_by_pos,
-                           std::vector<SquarePlacement>* placements) const {
+Cost PerfectSquare::place(std::size_t s, std::vector<int>& h,
+                          std::size_t& out_x, int& out_y) const {
+  const auto side = static_cast<std::size_t>(instance_.side);
+
+  // Sliding-window maximum of the skyline over windows of width s
+  // (monotone queue): win_max(x) = max h[x .. x+s-1].  The queue lives in a
+  // preallocated ring buffer — head/tail only ever advance, and at most one
+  // index is pushed per column, so `side` slots suffice without wraparound.
+  int best_y = INT32_MAX;
+  std::size_t best_x = 0;
+  std::size_t* ring = ring_.data();  // indices with decreasing heights
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  for (std::size_t x = 0; x < side; ++x) {
+    while (tail > head && h[ring[tail - 1]] <= h[x]) --tail;
+    ring[tail++] = x;
+    if (x + 1 >= s) {
+      const std::size_t win_start = x + 1 - s;
+      while (ring[head] < win_start) ++head;
+      const int y = h[ring[head]];
+      if (y < best_y) {
+        best_y = y;
+        best_x = win_start;
+      }
+    }
+  }
+
+  const int top = best_y + static_cast<int>(s);
+  // Placing on an uneven window buries the area between the lower columns
+  // and the square's bottom forever (the skyline never fills below).
+  // Charging that waste *at creation time* gives the search a gradient
+  // long before anything pokes above the lid; by area conservation the
+  // final buried area equals the final overflow area, so the total is
+  // simply twice the waste and still zero exactly on perfect tilings.
+  Cost buried = 0;
+  for (std::size_t c = best_x; c < best_x + s; ++c) {
+    buried += best_y - h[c];
+    h[c] = top;
+  }
+  const Cost overflow =
+      top > instance_.side
+          ? static_cast<Cost>(top - instance_.side) * static_cast<Cost>(s)
+          : 0;
+  out_x = best_x;
+  out_y = best_y;
+  return buried + overflow;
+}
+
+Cost PerfectSquare::decode_from(std::size_t first, std::span<const int> order,
+                                std::vector<Cost>* overflow_by_pos,
+                                std::vector<SquarePlacement>* placements,
+                                bool capture) const {
   const auto side = static_cast<std::size_t>(instance_.side);
   auto& h = heights_;
-  std::fill(h.begin(), h.end(), 0);
-  if (placements) placements->clear();
+  Cost total = 0;
+  if (first == 0) {
+    std::fill(h.begin(), h.end(), 0);
+  } else {
+    // Resume from the prefix checkpoint: order[0..first) matches the
+    // configuration the checkpoints were captured from, and the decoder is
+    // deterministic, so the first `first` placements are identical.
+    const int* row = checkpoint_h_.data() + first * side;
+    std::copy(row, row + side, h.begin());
+    total = checkpoint_err_[first];
+  }
+  if (placements) placements->resize(first);
 
-  Cost total_overflow = 0;
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+  for (std::size_t pos = first; pos < order.size(); ++pos) {
+    if (capture) {
+      std::copy(h.begin(), h.end(), checkpoint_h_.begin() + pos * side);
+      checkpoint_err_[pos] = total;
+    }
     const int id = order[pos];
     const auto s = static_cast<std::size_t>(
         instance_.sizes[static_cast<std::size_t>(id)]);
-
-    // Sliding-window maximum of the skyline over windows of width s
-    // (monotone deque): win_max(x) = max h[x .. x+s-1].
-    int best_y = INT32_MAX;
     std::size_t best_x = 0;
-    std::deque<std::size_t> deq;  // indices with decreasing heights
-    for (std::size_t x = 0; x < side; ++x) {
-      while (!deq.empty() && h[deq.back()] <= h[x]) deq.pop_back();
-      deq.push_back(x);
-      if (x + 1 >= s) {
-        const std::size_t win_start = x + 1 - s;
-        while (deq.front() < win_start) deq.pop_front();
-        const int y = h[deq.front()];
-        if (y < best_y) {
-          best_y = y;
-          best_x = win_start;
-        }
-      }
-    }
-
-    const int top = best_y + static_cast<int>(s);
-    // Placing on an uneven window buries the area between the lower columns
-    // and the square's bottom forever (the skyline never fills below).
-    // Charging that waste *at creation time* gives the search a gradient
-    // long before anything pokes above the lid; by area conservation the
-    // final buried area equals the final overflow area, so the total is
-    // simply twice the waste and still zero exactly on perfect tilings.
-    Cost buried = 0;
-    for (std::size_t c = best_x; c < best_x + s; ++c) {
-      buried += best_y - h[c];
-      h[c] = top;
-    }
-    const Cost overflow =
-        top > instance_.side
-            ? static_cast<Cost>(top - instance_.side) * static_cast<Cost>(s)
-            : 0;
-    const Cost err = buried + overflow;
-    total_overflow += err;
+    int best_y = 0;
+    const Cost err = place(s, h, best_x, best_y);
+    total += err;
     if (overflow_by_pos) (*overflow_by_pos)[pos] = err;
     if (placements) {
       placements->push_back(SquarePlacement{static_cast<int>(best_x), best_y,
                                             static_cast<int>(s), id});
     }
   }
-  return total_overflow;
+  return total;
+}
+
+Cost PerfectSquare::decode(std::span<const int> order,
+                           std::vector<Cost>* overflow_by_pos,
+                           std::vector<SquarePlacement>* placements) const {
+  return decode_from(0, order, overflow_by_pos, placements, /*capture=*/false);
 }
 
 Cost PerfectSquare::on_rebind() {
-  return decode(values(), &overflow_by_pos_, &placements_);
+  const Cost total =
+      decode_from(0, values(), &overflow_by_pos_, &placements_,
+                  /*capture=*/true);
+  checkpoints_valid_ = true;
+  return total;
 }
 
 Cost PerfectSquare::full_cost() const {
@@ -168,11 +211,22 @@ Cost PerfectSquare::cost_if_swap(std::size_t i, std::size_t j) const {
   const auto vals = values();
   std::copy(vals.begin(), vals.end(), scratch_order_.begin());
   std::swap(scratch_order_[i], scratch_order_[j]);
-  return decode(scratch_order_, nullptr, nullptr);
+  // A swap leaves order positions below min(i, j) untouched, so the probe
+  // decode resumes from that prefix checkpoint instead of position 0.
+  const std::size_t first = checkpoints_valid_ ? std::min(i, j) : 0;
+  return decode_from(first, scratch_order_, nullptr, nullptr,
+                     /*capture=*/false);
 }
 
-Cost PerfectSquare::did_swap(std::size_t /*i*/, std::size_t /*j*/) {
-  return decode(values(), &overflow_by_pos_, &placements_);
+Cost PerfectSquare::did_swap(std::size_t i, std::size_t j) {
+  // Same prefix argument as cost_if_swap: placements, waste attribution and
+  // checkpoints below min(i, j) are unchanged, so only re-decode (and
+  // re-capture) from there.
+  const std::size_t first = checkpoints_valid_ ? std::min(i, j) : 0;
+  const Cost total = decode_from(first, values(), &overflow_by_pos_,
+                                 &placements_, /*capture=*/true);
+  checkpoints_valid_ = true;
+  return total;
 }
 
 void PerfectSquare::cost_on_all_variables(std::span<Cost> out) const {
@@ -185,19 +239,27 @@ std::uint64_t PerfectSquare::best_swap_for(std::size_t x,
                                            std::size_t& best_j,
                                            Cost& best_cost,
                                            std::size_t& ties) const {
-  // Each candidate still re-runs the decoder (the placement of square k
+  // Each candidate still re-runs the decoder tail (the placement of square k
   // depends on every earlier placement), but the order buffer is built once
-  // and patched by two-element swaps instead of copied per candidate.
+  // and patched by two-element swaps, and each decode resumes from the
+  // prefix checkpoint at min(x, j) — candidates with j < x pay only the
+  // suffix from j, candidates with j > x only the suffix from x.
   const std::size_t nn = num_variables();
   const auto vals = values();
   std::copy(vals.begin(), vals.end(), scratch_order_.begin());
-  csp::SwapScan scan(nn);
   for (std::size_t j = 0; j < nn; ++j) {
-    if (j == x) continue;
+    if (j == x) {
+      cand_[j] = csp::kInfiniteCost;
+      continue;
+    }
     std::swap(scratch_order_[x], scratch_order_[j]);
-    scan.consider(j, decode(scratch_order_, nullptr, nullptr), rng);
+    const std::size_t first = checkpoints_valid_ ? std::min(x, j) : 0;
+    cand_[j] = decode_from(first, scratch_order_, nullptr, nullptr,
+                           /*capture=*/false);
     std::swap(scratch_order_[x], scratch_order_[j]);
   }
+  csp::SwapScan scan(nn);
+  scan.feed_lanes(0, std::span<const Cost>(cand_.data(), nn), x, rng);
   best_j = scan.best_j;
   best_cost = scan.best_cost;
   ties = scan.ties;

@@ -17,9 +17,15 @@
 //
 // Because the areas sum to S², the final buried area equals the protruding
 // area, so the cost is twice the waste and zero exactly on perfect tilings;
-// charging waste at creation time gives the search a positional gradient.  cost_if_swap re-runs the decoder (O(n·S) with a monotone-deque
-// sliding maximum), which mirrors the evaluation weight of the original
-// benchmark (perfect-square was the paper's fastest-running benchmark).
+// charging waste at creation time gives the search a positional gradient.
+//
+// Probes run the decoder with an *incremental skyline*: every commit
+// captures, per order position, the skyline (and accumulated waste) before
+// that placement.  A two-element swap at (i, j) cannot affect placements
+// below min(i, j), so cost_if_swap / best_swap_for resume decoding from
+// that checkpoint instead of re-packing from scratch — O((n−p)·S) per probe
+// with a ring-buffer sliding-window maximum — while producing bit-identical
+// placements and waste charges to a full decode.
 //
 // Instances: quadtree-generated classes (exactly solvable by construction,
 // hardness tuned by split count) and the classic order-21 simple perfect
@@ -95,8 +101,25 @@ class PerfectSquare final : public csp::PermutationProblem {
   csp::Cost did_swap(std::size_t i, std::size_t j) override;
 
  private:
-  /// Run the skyline decoder on `order`; optionally fill per-order-position
-  /// waste (buried + protruding area) and placements.  Returns total waste.
+  /// Place one square of size `s` on the skyline `h` (bottom-left rule via a
+  /// ring-buffer monotone sliding-window maximum); charges buried + overflow
+  /// waste, raises the supporting columns, and reports the chosen corner.
+  csp::Cost place(std::size_t s, std::vector<int>& h, std::size_t& out_x,
+                  int& out_y) const;
+
+  /// Run the skyline decoder on `order` starting at order position `first`,
+  /// resuming from the prefix checkpoint captured on the last commit
+  /// (`first` must be 0 unless checkpoints_valid_).  Optionally fills
+  /// per-order-position waste and placements from `first` on (earlier
+  /// entries are untouched — they belong to the unchanged prefix) and, when
+  /// `capture` is set, refreshes the prefix checkpoints (callers must pass
+  /// the *current* configuration in that case).  Returns total waste.
+  [[nodiscard]] csp::Cost decode_from(
+      std::size_t first, std::span<const int> order,
+      std::vector<csp::Cost>* overflow_by_pos,
+      std::vector<SquarePlacement>* placements, bool capture) const;
+
+  /// Full decode, no checkpoint refresh (probes, full_cost).
   [[nodiscard]] csp::Cost decode(std::span<const int> order,
                                  std::vector<csp::Cost>* overflow_by_pos,
                                  std::vector<SquarePlacement>* placements) const;
@@ -107,6 +130,17 @@ class PerfectSquare final : public csp::PermutationProblem {
   std::vector<SquarePlacement> placements_;     ///< decoded, current config
   mutable std::vector<int> scratch_order_;      ///< probe buffer
   mutable std::vector<int> heights_;            ///< decoder skyline buffer
+  /// Incremental-skyline state: checkpoint row p is the skyline *before*
+  /// placing order position p of the current configuration, with the waste
+  /// accumulated so far in checkpoint_err_[p].  A probe whose order agrees
+  /// with the current one below position p resumes there instead of
+  /// re-decoding the whole packing.  Rebuilt on every commit (on_rebind /
+  /// did_swap); probes never touch it.
+  mutable std::vector<int> checkpoint_h_;       ///< n rows of `side` columns
+  mutable std::vector<csp::Cost> checkpoint_err_;
+  bool checkpoints_valid_ = false;
+  mutable std::vector<std::size_t> ring_;       ///< window-max ring buffer
+  mutable std::vector<csp::Cost> cand_;         ///< feed_lanes candidates
 };
 
 }  // namespace cspls::problems

@@ -10,6 +10,7 @@
 #include "core/adaptive_search.hpp"
 #include "problems/registry.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace cspls::problems {
 namespace {
@@ -223,6 +224,87 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ProblemContract,
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });
+
+// --- SIMD tier vs scalar fallback ------------------------------------------
+//
+// The lane rewrites must be invisible: on every kernel, every size (odd ones
+// straddle lane boundaries and exercise the scalar tails), every seed, the
+// SIMD code path must produce byte-identical bulk costs, the same chosen
+// swap (winner, cost, tie count) AND leave the reservoir RNG at the same
+// stream position as the scalar reference — one stray draw would silently
+// fork every downstream decision.
+TEST(SimdScalarEquivalence, RandomSweepAcrossKernelsAndOddSizes) {
+  namespace simd = util::simd;
+  // At least one size per kernel whose variable count is not a lane
+  // multiple (perfect-square size is the quadtree split count: 4 -> n=13,
+  // 6 -> n=19; langford size n -> 2n variables).
+  const std::map<std::string, std::vector<std::size_t>> sweep_sizes = {
+      {"costas", {7, 9}},        {"all-interval", {11, 14}},
+      {"perfect-square", {4, 6}}, {"magic-square", {5, 6}},
+      {"queens", {11, 13}},      {"langford", {7, 9}},
+      {"partition", {12, 20}},   {"alpha", {26}},
+  };
+  for (const auto& name : problem_names()) {
+    for (const std::size_t size : sweep_sizes.at(name)) {
+      for (std::uint64_t seed = 101; seed <= 103; ++seed) {
+        auto scalar_p = make_problem(name, size, 3);
+        auto simd_p = make_problem(name, size, 3);
+        util::Xoshiro256 rng_scalar(seed);
+        util::Xoshiro256 rng_simd(seed);
+        util::Xoshiro256 driver(seed ^ 0xD21BE7);
+
+        simd::set_force_scalar(true);
+        const Cost c0_scalar = scalar_p->randomize(rng_scalar);
+        simd::set_force_scalar(false);
+        const Cost c0_simd = simd_p->randomize(rng_simd);
+        ASSERT_EQ(c0_scalar, c0_simd) << name << " size=" << size;
+
+        const std::size_t n = scalar_p->num_variables();
+        std::vector<Cost> costs_scalar(n);
+        std::vector<Cost> costs_simd(n);
+        for (int step = 0; step < 50; ++step) {
+          simd::set_force_scalar(true);
+          scalar_p->cost_on_all_variables(costs_scalar);
+          simd::set_force_scalar(false);
+          simd_p->cost_on_all_variables(costs_simd);
+          ASSERT_EQ(costs_scalar, costs_simd)
+              << name << " size=" << size << " seed=" << seed
+              << " step=" << step;
+
+          const auto x = static_cast<std::size_t>(driver.below(n));
+          std::size_t bj_scalar = n;
+          std::size_t bj_simd = n;
+          std::size_t ties_scalar = 0;
+          std::size_t ties_simd = 0;
+          Cost bc_scalar = 0;
+          Cost bc_simd = 0;
+          simd::set_force_scalar(true);
+          scalar_p->best_swap_for(x, rng_scalar, bj_scalar, bc_scalar,
+                                  ties_scalar);
+          simd::set_force_scalar(false);
+          simd_p->best_swap_for(x, rng_simd, bj_simd, bc_simd, ties_simd);
+          ASSERT_EQ(bj_scalar, bj_simd)
+              << name << " size=" << size << " seed=" << seed
+              << " step=" << step << " x=" << x;
+          ASSERT_EQ(bc_scalar, bc_simd) << name << " step=" << step;
+          ASSERT_EQ(ties_scalar, ties_simd) << name << " step=" << step;
+          ASSERT_EQ(rng_scalar.state(), rng_simd.state())
+              << name << " size=" << size << " seed=" << seed << " step="
+              << step << ": reservoir RNG stream position diverged";
+
+          if (bj_scalar < n && bj_scalar != x) {
+            simd::set_force_scalar(true);
+            const Cost s1 = scalar_p->swap(x, bj_scalar);
+            simd::set_force_scalar(false);
+            const Cost s2 = simd_p->swap(x, bj_simd);
+            ASSERT_EQ(s1, s2) << name << " step=" << step;
+          }
+        }
+      }
+    }
+  }
+  simd::set_force_scalar(false);
+}
 
 TEST(Registry, KnowsEveryProblemAndRejectsUnknown) {
   EXPECT_EQ(problem_names().size(), 8u);

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_micro.json.
+
+Compares a freshly measured bench JSON (schema cspls-bench-micro/2) against
+the committed baseline and fails if any kernel's *speedup ratio* regressed by
+more than the threshold.  Ratios (batched/scalar and simd/batched) are
+dimensionless per-iteration cost ratios measured inside one binary on one
+machine, so they transfer across hosts far better than raw iterations/sec —
+the gate deliberately never compares absolute throughput.
+
+Usage: check_bench_regression.py FRESH BASELINE [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    schema = data.get("schema", "")
+    if not schema.startswith("cspls-bench-micro/"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return data
+
+
+def by_instance(data):
+    return {r["instance"]: r for r in data.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative drop in a speedup ratio (default "
+        "0.25, i.e. fresh must stay above 75%% of the baseline ratio)",
+    )
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    fresh_by = by_instance(fresh)
+    base_by = by_instance(base)
+
+    # Older baselines (schema /1) lack the simd column; gate what both have.
+    keys = ["speedup"]
+    if base.get("schema") == "cspls-bench-micro/2":
+        keys.append("simd_speedup")
+
+    failures = []
+    rows = []
+    for instance, b in base_by.items():
+        f = fresh_by.get(instance)
+        if f is None:
+            failures.append(f"{instance}: missing from fresh results")
+            continue
+        if not f.get("paths_agree", False):
+            failures.append(f"{instance}: hot paths diverged")
+        for key in keys:
+            b_ratio = b.get(key, 0.0)
+            f_ratio = f.get(key, 0.0)
+            if b_ratio <= 0:
+                continue
+            rel = f_ratio / b_ratio
+            ok = rel >= 1.0 - args.threshold
+            rows.append((instance, key, b_ratio, f_ratio, rel, ok))
+            if not ok:
+                failures.append(
+                    f"{instance}: {key} regressed {b_ratio:.2f}x -> "
+                    f"{f_ratio:.2f}x ({rel:.0%} of baseline)"
+                )
+
+    width = max((len(r[0]) for r in rows), default=8)
+    print(f"{'instance':<{width}}  {'ratio':<13} {'base':>6} {'fresh':>6} "
+          f"{'rel':>5}")
+    for instance, key, b_ratio, f_ratio, rel, ok in rows:
+        mark = "ok" if ok else "FAIL"
+        print(f"{instance:<{width}}  {key:<13} {b_ratio:>5.2f}x "
+              f"{f_ratio:>5.2f}x {rel:>4.0%}  {mark}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: {len(rows)} ratios within {args.threshold:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
