@@ -8,7 +8,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/stop_token.hpp"
 #include "problems/spec.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
 
 namespace cspls::api {
 
@@ -18,6 +21,10 @@ std::string_view name_of(JobStatus status) {
       return "queued";
     case JobStatus::kRunning:
       return "running";
+    case JobStatus::kRetrying:
+      return "retrying";
+    case JobStatus::kDegraded:
+      return "degraded";
     case JobStatus::kDone:
       return "done";
     case JobStatus::kCancelled:
@@ -130,6 +137,22 @@ bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
                          [&] { return is_terminal(job.status); });
 }
 
+const SolveReport& JobHandle::report() const {
+  detail::JobState& job = state();
+  std::lock_guard<std::mutex> guard(job.m);
+  if (!is_terminal(job.status)) {
+    throw std::logic_error("JobHandle::report: job " + std::to_string(job.id) +
+                           " is still " + std::string(name_of(job.status)));
+  }
+  return job.report;
+}
+
+std::string JobHandle::error() const {
+  detail::JobState& job = state();
+  std::lock_guard<std::mutex> guard(job.m);
+  return job.error;
+}
+
 bool JobHandle::cancel() const {
   detail::JobState& job = state();
   {
@@ -162,29 +185,236 @@ std::size_t desired_threads(const SolveRequest& request,
   return desired;
 }
 
+void set_status(const std::shared_ptr<detail::JobState>& job,
+                JobStatus status) {
+  {
+    std::lock_guard<std::mutex> guard(job->m);
+    if (is_terminal(job->status)) return;  // never un-finish a job
+    job->status = status;
+  }
+  job->cv.notify_all();
+}
+
+/// Supervises one attempt: fires `stalled` when `heartbeat` does not move
+/// for `stall_ms` milliseconds.  The jthread destructor (stop + join) is
+/// the disarm path, so the watchdog can never outlive its attempt.
+std::jthread spawn_watchdog(std::uint64_t stall_ms,
+                            const std::atomic<std::uint64_t>* heartbeat,
+                            std::atomic<bool>* stalled) {
+  return std::jthread([stall_ms, heartbeat, stalled](std::stop_token stop) {
+    using Clock = std::chrono::steady_clock;
+    const auto budget = std::chrono::milliseconds(stall_ms);
+    // Poll in small chunks so disarming (and firing) stays prompt even
+    // against multi-second budgets.
+    const auto chunk = std::chrono::milliseconds(
+        std::clamp<std::uint64_t>(stall_ms / 8, 1, 50));
+    std::uint64_t last = heartbeat->load(std::memory_order_relaxed);
+    Clock::time_point last_progress = Clock::now();
+    while (!stop.stop_requested()) {
+      std::this_thread::sleep_for(chunk);
+      const std::uint64_t beats = heartbeat->load(std::memory_order_relaxed);
+      if (beats != last) {
+        last = beats;
+        last_progress = Clock::now();
+        continue;
+      }
+      if (Clock::now() - last_progress >= budget) {
+        stalled->store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+}
+
+/// One attempt's verdict, inspected by the retry loop.
+struct AttemptOutcome {
+  SolveReport report;
+  std::string error;   ///< non-empty when the dispatch path threw
+  bool threw = false;  ///< the dispatch path threw (error holds the message)
+  bool stalled = false;  ///< the watchdog cut this attempt short
+
+  [[nodiscard]] bool all_failed() const noexcept {
+    return !report.walkers.empty() &&
+           report.failed_walkers == report.walkers.size();
+  }
+  /// A retryable attempt: crashed wholesale or stalled — never a run that
+  /// merely failed to solve, and never one the caller cancelled.
+  [[nodiscard]] bool bad() const noexcept {
+    return threw || all_failed() || stalled;
+  }
+};
+
+AttemptOutcome run_attempt(const std::shared_ptr<detail::JobState>& job,
+                           SolveRequest attempt_request, std::size_t leased,
+                           util::fault::Session& dispatch_faults) {
+  AttemptOutcome outcome;
+  std::atomic<std::uint64_t> heartbeat{0};
+  std::atomic<bool> watchdog_cancel{false};
+  try {
+    if (util::fault::probe(&dispatch_faults,
+                           util::fault::Site::kServiceDispatch) ==
+        util::fault::Action::kCorrupt) {
+      throw std::runtime_error("injected fault: corrupt service_dispatch");
+    }
+    if (attempt_request.scheduling == parallel::Scheduling::kThreads) {
+      // The lease caps this job's concurrency; walkers beyond it run in
+      // waves (WalkerPoolOptions::max_threads semantics).
+      attempt_request.max_threads = leased;
+    }
+    // The watchdog flag rides a chained slot: walkers it stops record
+    // StopCause::kChained, so a watchdog cut is never misreported as a
+    // caller cancellation (and survives the pool's first-finisher chain).
+    const core::StopToken token =
+        core::StopToken(&job->cancel).also_cancelled_by(&watchdog_cancel);
+    {
+      std::jthread watchdog;
+      if (attempt_request.watchdog_stall_ms != 0) {
+        watchdog = spawn_watchdog(attempt_request.watchdog_stall_ms,
+                                  &heartbeat, &watchdog_cancel);
+      }
+      outcome.report = Solver::solve(attempt_request, token, &heartbeat);
+    }  // watchdog disarmed (stopped + joined) here, throw or return
+  } catch (const std::exception& e) {
+    outcome.threw = true;
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.threw = true;
+    outcome.error = "unknown exception";
+  }
+  outcome.stalled = watchdog_cancel.load(std::memory_order_relaxed);
+  return outcome;
+}
+
+/// Backoff in milliseconds before the retry following failing attempt
+/// `attempt` (1-based).  `rng` is seeded from the job's master seed, so
+/// jittered retry timing is reproducible.
+std::uint64_t backoff_ms_for(const RetryPolicy& retry, std::uint32_t attempt,
+                             util::Xoshiro256& rng) {
+  double ms = static_cast<double>(retry.base_backoff_ms);
+  for (std::uint32_t i = 1; i < attempt; ++i) ms *= retry.multiplier;
+  ms *= 1.0 + retry.jitter * rng.uniform01();
+  return static_cast<std::uint64_t>(ms);
+}
+
+/// Cancellation-aware backoff sleep; true when the job was cancelled.
+bool backoff_sleep(const std::shared_ptr<detail::JobState>& job,
+                   std::uint64_t ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point until = Clock::now() + std::chrono::milliseconds(ms);
+  while (Clock::now() < until) {
+    if (job->cancel.load(std::memory_order_relaxed)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return job->cancel.load(std::memory_order_relaxed);
+}
+
 void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
                       const std::shared_ptr<detail::JobState>& job,
                       std::size_t leased) {
-  {
-    std::lock_guard<std::mutex> guard(job->m);
-    job->status = JobStatus::kRunning;
-  }
-  job->cv.notify_all();
-
+  // The whole job body is contained: nothing may escape a worker thread
+  // (an escape would std::terminate the service).  Inner per-attempt
+  // containment lives in run_attempt; this shell catches everything else —
+  // a malformed CSPLS_FAULTS spec, a bad_alloc while copying the request.
+  JobStatus status = JobStatus::kFailed;
   SolveReport report;
   std::string error;
-  bool failed = false;
   try {
-    SolveRequest capped = job->request;
-    if (capped.scheduling == parallel::Scheduling::kThreads) {
-      // The lease caps this job's concurrency; walkers beyond it run in
-      // waves (WalkerPoolOptions::max_threads semantics).
-      capped.max_threads = leased;
+    // One session across all attempts, counting `service_dispatch` probes:
+    // a plan with at_count=n fires on the n-th attempt, which is what
+    // makes retry-then-succeed trajectories scriptable.
+    const util::fault::Schedule fault_schedule =
+        util::fault::kCompiledIn
+            ? util::fault::Schedule::with_env(job->request.faults)
+            : util::fault::Schedule{};
+    util::fault::Session dispatch_faults(&fault_schedule,
+                                         util::fault::kAnyWalker);
+    const RetryPolicy& retry = job->request.retry;
+    const std::uint32_t max_attempts =
+        std::max<std::uint32_t>(1, retry.max_attempts);
+    // Deterministic jitter: the stream is derived from the job's seed, not
+    // from global entropy, so a fixed-seed retry trajectory is replayable.
+    util::Xoshiro256 backoff_rng(job->request.seed ^ 0x5afe'b0ff'd1ce'5eedULL);
+
+    SolveRequest attempt_request = job->request;
+    attempt_request.walkers = std::max<std::size_t>(1, job->request.walkers);
+    bool degraded = false;
+    bool cancelled_between_attempts = false;
+    AttemptOutcome outcome;
+    std::uint32_t attempts_run = 0;
+
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      set_status(job, degraded ? JobStatus::kDegraded : JobStatus::kRunning);
+      outcome = run_attempt(job, attempt_request, leased, dispatch_faults);
+      attempts_run = attempt;
+      if (!outcome.bad() || outcome.report.cancelled) break;
+      if (job->cancel.load(std::memory_order_relaxed)) {
+        cancelled_between_attempts = true;
+        break;
+      }
+      if (attempt == max_attempts) break;  // attempts exhausted
+
+      // Prepare the retry: degrade stalled jobs to half the walkers, and
+      // reseed from the failed attempt's best configuration when it
+      // produced one (all-failed attempts leave no checkpoint).
+      if (outcome.stalled) {
+        degraded = true;
+        attempt_request.walkers =
+            std::max<std::size_t>(1, attempt_request.walkers / 2);
+      }
+      if (!outcome.report.solution.empty()) {
+        attempt_request.warm_start = outcome.report.solution;
+      }
+      const std::uint64_t backoff =
+          backoff_ms_for(retry, attempt, backoff_rng);
+      if (backoff != 0) {
+        set_status(job, JobStatus::kRetrying);
+        if (backoff_sleep(job, backoff)) {
+          cancelled_between_attempts = true;
+          break;
+        }
+      }
     }
-    report = Solver::solve(capped, &job->cancel);
+
+    // Read the verdict before the move empties outcome.report.
+    const bool last_attempt_all_failed = outcome.all_failed();
+    report = std::move(outcome.report);
+    report.attempts = attempts_run;
+    report.degraded = degraded;
+    if (cancelled_between_attempts) {
+      report.cancelled = true;
+      status = JobStatus::kCancelled;
+    } else if (outcome.threw) {
+      status = JobStatus::kFailed;
+      error = std::move(outcome.error);
+    } else if (report.cancelled) {
+      // Status mirrors what the run actually observed (report.cancelled),
+      // not a re-read of the flag — a cancel landing after normal
+      // completion must not produce a kCancelled status around a solved,
+      // uncancelled report.
+      status = JobStatus::kCancelled;
+    } else if (last_attempt_all_failed) {
+      // Structured failure: the report (with each walker's error) stays
+      // readable via JobHandle::report(); wait() rethrows this summary.
+      status = JobStatus::kFailed;
+      error = "all " + std::to_string(report.walkers.size()) +
+              " walkers failed on every attempt (" +
+              std::to_string(report.attempts) + " of " +
+              std::to_string(std::max<std::uint32_t>(
+                  1, job->request.retry.max_attempts)) +
+              "); walker 0: " +
+              (report.walkers.empty() ? std::string("<no detail>")
+                                      : report.walkers.front().error);
+    } else {
+      // Includes a final stalled attempt: the anytime contract applies —
+      // the report carries the best configuration the attempt reached.
+      status = JobStatus::kDone;
+    }
   } catch (const std::exception& e) {
-    failed = true;
+    status = JobStatus::kFailed;
     error = e.what();
+  } catch (...) {
+    status = JobStatus::kFailed;
+    error = "unknown exception";
   }
 
   {
@@ -193,12 +423,6 @@ void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
   }
   core->cv.notify_all();
 
-  // Status mirrors what the run actually observed (report.cancelled), not
-  // a re-read of the flag — a cancel landing after normal completion must
-  // not produce a kCancelled status around a solved, uncancelled report.
-  const JobStatus status = failed            ? JobStatus::kFailed
-                           : report.cancelled ? JobStatus::kCancelled
-                                              : JobStatus::kDone;
   detail::finish(job, status, std::move(report), std::move(error));
 }
 
@@ -322,18 +546,27 @@ void SolverService::dispatch_loop() {
     });
 
     // FIFO admission: lease threads for the head job and hand it to a
-    // dedicated worker.
+    // dedicated worker.  Spawning is part of the contained dispatch path:
+    // if the worker cannot be created (thread exhaustion, bad_alloc) the
+    // lease is refunded and the job resolves kFailed — an exception here
+    // would take down the dispatcher and hang every outstanding handle.
     if (!core.fifo.empty() && core.free_threads > 0) {
       const auto job = core.fifo.front();
       core.fifo.pop_front();
       const std::size_t leased = std::min(
           desired_threads(job->request, per_job_cap_), core.free_threads);
       core.free_threads -= leased;
-      core.workers.push_back(detail::Worker{
-          std::jthread([core = core_, job, leased] {
-            run_admitted_job(core, job, leased);
-          }),
-          job});
+      try {
+        core.workers.push_back(detail::Worker{
+            std::jthread([core = core_, job, leased] {
+              run_admitted_job(core, job, leased);
+            }),
+            job});
+      } catch (const std::exception& e) {
+        core.free_threads += leased;
+        detail::finish(job, JobStatus::kFailed, {},
+                       std::string("dispatch failed: ") + e.what());
+      }
     }
   }
 }

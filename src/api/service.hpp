@@ -21,6 +21,16 @@
 // engine polling period and its report carries the best configuration
 // reached so far (the anytime contract) with `cancelled` set.  Destroying
 // the service cancels every outstanding job and joins all workers.
+//
+// Self-healing: an attempt that crashes wholesale (every walker failed, or
+// the dispatch path threw) or stalls (no engine heartbeat for the
+// request's watchdog_stall_ms) is retried under the request's RetryPolicy
+// — exponential backoff with seeded jitter (kRetrying while backing off),
+// walkers reseeded from the failed attempt's best configuration, and
+// stalled jobs degraded to half the walkers (kDegraded) instead of
+// hanging.  A job whose every attempt crashed resolves as kFailed with a
+// structured report (JobHandle::report()); it never takes the process
+// down.
 #pragma once
 
 #include <chrono>
@@ -35,9 +45,13 @@ namespace cspls::api {
 enum class JobStatus {
   kQueued,     ///< admitted to the FIFO, waiting for budget
   kRunning,    ///< leased threads, walkers executing
+  kRetrying,   ///< a crashed/stalled attempt is backing off before a rerun
+  kDegraded,   ///< running again after the watchdog shrank the walker pool
   kDone,       ///< finished on its own (solved or budget exhausted)
   kCancelled,  ///< stopped by cancel() or service shutdown
-  kFailed,     ///< internal error; JobHandle::wait() rethrows it
+  kFailed,     ///< every attempt crashed wholesale (or an internal error);
+               ///< JobHandle::wait() rethrows it, report() still returns
+               ///< the structured last-attempt report
 };
 
 [[nodiscard]] constexpr bool is_terminal(JobStatus status) noexcept {
@@ -70,6 +84,15 @@ class JobHandle {
 
   /// Bounded wait; true when the job is terminal before the timeout.
   [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// The terminal report without wait()'s kFailed rethrow — the structured
+  /// view of a failed job (e.g. an all-walkers-crashed report with every
+  /// walker's error).  Throws std::logic_error while the job is still
+  /// live; call after wait_for()/wait() observed a terminal status.
+  [[nodiscard]] const SolveReport& report() const;
+
+  /// The job's error message ("" unless kFailed).
+  [[nodiscard]] std::string error() const;
 
   /// Request cancellation.  Returns true when the job was still queued or
   /// running (the request will take effect), false when already terminal.

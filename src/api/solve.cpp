@@ -150,6 +150,41 @@ core::Params params_from_json(const util::Json& json) {
   return params;
 }
 
+util::Json retry_to_json(const RetryPolicy& retry) {
+  util::Json json = util::Json::object();
+  json.set("max_attempts", static_cast<std::uint64_t>(retry.max_attempts))
+      .set("base_backoff_ms", retry.base_backoff_ms)
+      .set("multiplier", retry.multiplier)
+      .set("jitter", retry.jitter);
+  return json;
+}
+
+RetryPolicy retry_from_json(const util::Json& json) {
+  if (!json.is_object()) bad_member("retry", "expected an object");
+  require_known_members(
+      json, {"max_attempts", "base_backoff_ms", "multiplier", "jitter"},
+      "SolveRequest.retry");
+  RetryPolicy retry;
+  retry.max_attempts = static_cast<std::uint32_t>(
+      get_u64(json, "max_attempts", retry.max_attempts));
+  retry.base_backoff_ms =
+      get_u64(json, "base_backoff_ms", retry.base_backoff_ms);
+  retry.multiplier = get_double(json, "multiplier", retry.multiplier);
+  retry.jitter = get_double(json, "jitter", retry.jitter);
+  // Mirror Solver::solve's validation at the wire boundary, so a malformed
+  // policy is rejected where it is decoded, not attempts later.
+  if (retry.max_attempts == 0) {
+    bad_member("retry", "max_attempts must be >= 1 (the first attempt counts)");
+  }
+  if (!(retry.multiplier >= 1.0)) {
+    bad_member("retry", "multiplier must be >= 1 (backoff never shrinks)");
+  }
+  if (!(retry.jitter >= 0.0 && retry.jitter <= 1.0)) {
+    bad_member("retry", "jitter must be in [0, 1]");
+  }
+  return retry;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -172,6 +207,8 @@ parallel::WalkerPoolOptions SolveRequest::to_pool_options() const {
   options.termination = termination;
   options.trace.enabled = trace;
   options.trace.sample_period = trace_sample_period;
+  options.faults = faults;
+  options.warm_start = warm_start;
   return options;
 }
 
@@ -192,6 +229,20 @@ util::Json SolveRequest::to_json() const {
       .set("deadline_ms", deadline_ms);
   if (params.has_value()) json.set("params", params_to_json(*params));
   json.set("trace", trace).set("trace_sample_period", trace_sample_period);
+  json.set("retry", retry_to_json(retry))
+      .set("watchdog_stall_ms", watchdog_stall_ms);
+  if (warm_start.has_value()) {
+    util::Json values = util::Json::array();
+    for (const int v : *warm_start) values.push_back(v);
+    json.set("warm_start", std::move(values));
+  }
+  if (!faults.empty()) {
+    util::Json plans = util::Json::array();
+    for (const util::fault::FaultPlan& plan : faults) {
+      plans.push_back(plan.to_json());
+    }
+    json.set("faults", std::move(plans));
+  }
   return json;
 }
 
@@ -208,7 +259,8 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
       {"problem", "walkers", "seed", "scheduling", "neighborhood", "exchange",
        "comm_mode", "topology", "termination", "comm_period",
        "comm_adopt_probability", "comm_decay", "max_threads", "deadline_ms",
-       "params", "trace", "trace_sample_period"},
+       "params", "trace", "trace_sample_period", "retry", "watchdog_stall_ms",
+       "warm_start", "faults"},
       "SolveRequest");
   SolveRequest request;
   request.problem = get_string(json, "problem", "");
@@ -258,6 +310,35 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
   request.trace = get_bool(json, "trace", request.trace);
   request.trace_sample_period =
       get_u64(json, "trace_sample_period", request.trace_sample_period);
+  if (const util::Json* retry = json.find("retry"); retry != nullptr) {
+    request.retry = retry_from_json(*retry);
+  }
+  request.watchdog_stall_ms =
+      get_u64(json, "watchdog_stall_ms", request.watchdog_stall_ms);
+  if (const util::Json* warm = json.find("warm_start"); warm != nullptr) {
+    if (!warm->is_array()) bad_member("warm_start", "expected an array");
+    std::vector<int> values;
+    values.reserve(warm->size());
+    for (const util::Json& v : warm->elements()) {
+      try {
+        values.push_back(static_cast<int>(v.as_int64()));
+      } catch (const std::exception& e) {
+        bad_member("warm_start", e.what());
+      }
+    }
+    request.warm_start = std::move(values);
+  }
+  if (const util::Json* faults = json.find("faults"); faults != nullptr) {
+    if (!faults->is_array()) bad_member("faults", "expected an array");
+    request.faults.reserve(faults->size());
+    for (const util::Json& plan : faults->elements()) {
+      try {
+        request.faults.push_back(util::fault::FaultPlan::from_json(plan));
+      } catch (const std::exception& e) {
+        bad_member("faults", e.what());
+      }
+    }
+  }
   return request;
 }
 
@@ -290,7 +371,10 @@ util::Json SolveReport::to_json() const {
       .set("total_iterations", total_iterations)
       .set("comm_publishes", comm_publishes)
       .set("elite_accepted", elite_accepted)
-      .set("comm_adoptions", comm_adoptions);
+      .set("comm_adoptions", comm_adoptions)
+      .set("failed_walkers", static_cast<std::uint64_t>(failed_walkers))
+      .set("attempts", static_cast<std::uint64_t>(attempts))
+      .set("degraded", degraded);
   util::Json solution_json = util::Json::array();
   for (const int v : solution) solution_json.push_back(v);
   json.set("solution", std::move(solution_json));
@@ -308,7 +392,9 @@ util::Json SolveReport::to_json() const {
         .set("resets", w.resets)
         .set("restarts", w.restarts)
         .set("cost_evaluations", w.cost_evaluations)
-        .set("seconds", w.seconds);
+        .set("seconds", w.seconds)
+        .set("failed", w.failed);
+    if (!w.error.empty()) wj.set("error", w.error);
     walkers_json.push_back(std::move(wj));
   }
   json.set("walkers", std::move(walkers_json));
@@ -327,8 +413,8 @@ SolveReport SolveReport::from_json(const util::Json& json) {
       json,
       {"problem", "solved", "cancelled", "deadline_expired", "winner", "cost",
        "wall_seconds", "time_to_solution_seconds", "total_iterations",
-       "comm_publishes", "elite_accepted", "comm_adoptions", "solution",
-       "walkers"},
+       "comm_publishes", "elite_accepted", "comm_adoptions", "failed_walkers",
+       "attempts", "degraded", "solution", "walkers"},
       "SolveReport");
   SolveReport report;
   report.problem = get_string(json, "problem", "");
@@ -354,6 +440,10 @@ SolveReport SolveReport::from_json(const util::Json& json) {
   report.comm_publishes = get_u64(json, "comm_publishes", 0);
   report.elite_accepted = get_u64(json, "elite_accepted", 0);
   report.comm_adoptions = get_u64(json, "comm_adoptions", 0);
+  report.failed_walkers =
+      static_cast<std::size_t>(get_u64(json, "failed_walkers", 0));
+  report.attempts = static_cast<std::uint32_t>(get_u64(json, "attempts", 1));
+  report.degraded = get_bool(json, "degraded", false);
   if (const util::Json* solution = json.find("solution");
       solution != nullptr) {
     if (!solution->is_array()) bad_member("solution", "expected an array");
@@ -388,6 +478,8 @@ SolveReport SolveReport::from_json(const util::Json& json) {
       w.restarts = get_u64(wj, "restarts", 0);
       w.cost_evaluations = get_u64(wj, "cost_evaluations", 0);
       w.seconds = get_double(wj, "seconds", 0.0);
+      w.failed = get_bool(wj, "failed", false);
+      w.error = get_string(wj, "error", "");
       report.walkers.push_back(w);
     }
   }

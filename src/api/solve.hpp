@@ -49,6 +49,25 @@ using parallel::restart_schedule_from_name;
 
 // --- SolveRequest -----------------------------------------------------
 
+/// Per-job retry discipline for api::SolverService ("retry" on the wire).
+/// An attempt is retried when it crashes wholesale (every walker failed, or
+/// the dispatch path threw) or the watchdog declared it stalled — never
+/// when it merely failed to solve.  Backoff before attempt n (n >= 2) is
+///
+///   base_backoff_ms * multiplier^(n-2) * (1 + jitter * u),  u ~ U[0,1)
+///
+/// with u drawn from an RNG seeded by the job's master seed, so retry
+/// timing is as reproducible as the walks themselves.
+struct RetryPolicy {
+  /// Total attempts, the first included (1 = never retry, the default).
+  std::uint32_t max_attempts = 1;
+  std::uint64_t base_backoff_ms = 0;  ///< backoff before the first retry
+  double multiplier = 2.0;            ///< exponential growth per retry
+  double jitter = 0.0;                ///< uniform jitter fraction in [0, 1]
+
+  [[nodiscard]] bool operator==(const RetryPolicy&) const = default;
+};
+
 struct SolveRequest {
   /// Instance spec, e.g. "costas:18" (problems::parse_spec grammar).
   std::string problem;
@@ -94,6 +113,26 @@ struct SolveRequest {
   bool trace = false;
   std::uint64_t trace_sample_period = 0;
 
+  /// Retry discipline for jobs run through api::SolverService (ignored by
+  /// the synchronous api::Solver, which runs exactly one attempt).
+  RetryPolicy retry;
+
+  /// Watchdog budget in milliseconds for api::SolverService: when a
+  /// running attempt makes no engine progress (no heartbeat) for this long
+  /// it is declared stalled, cut short, and retried degraded (half the
+  /// walkers).  0 disables the watchdog.
+  std::uint64_t watchdog_stall_ms = 0;
+
+  /// Start every walker's first walk from this configuration instead of a
+  /// random one (a checkpoint; RNG streams are unaffected).  The service
+  /// fills this on retries with the failed attempt's best configuration.
+  std::optional<std::vector<int>> warm_start;
+
+  /// Fault-injection plans ("faults" on the wire), merged with the
+  /// CSPLS_FAULTS env schedule.  Carried in every build; armed only when
+  /// the binary was compiled with CSPLS_FAULT_INJECTION.
+  std::vector<util::fault::FaultPlan> faults;
+
   /// The equivalent WalkerPool configuration.
   [[nodiscard]] parallel::WalkerPoolOptions to_pool_options() const;
 
@@ -123,6 +162,11 @@ struct WalkerReport {
   std::uint64_t restarts = 0;
   std::uint64_t cost_evaluations = 0;
   double seconds = 0.0;
+  /// Crash containment: this walker died on an exception; `error` holds
+  /// the message and the counters describe the walk up to nothing — a
+  /// failed walker reports zero work and an infinite cost.
+  bool failed = false;
+  std::string error;
 
   [[nodiscard]] bool operator==(const WalkerReport&) const = default;
 };
@@ -159,6 +203,14 @@ struct SolveReport {
   std::uint64_t comm_publishes = 0;
   std::uint64_t elite_accepted = 0;
   std::uint64_t comm_adoptions = 0;
+  /// Walkers that died on an exception (each carries failed + error in its
+  /// WalkerReport); survivors are unaffected.
+  std::size_t failed_walkers = 0;
+  /// Attempts the serving layer ran to produce this report (1 = first try;
+  /// always 1 from the synchronous api::Solver).
+  std::uint32_t attempts = 1;
+  /// True when the watchdog degraded the job (fewer walkers) on a retry.
+  bool degraded = false;
 
   /// The accepted configuration (winner's solution, or best reached).
   std::vector<int> solution;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 
 #include "core/stop_token.hpp"
 #include "problems/spec.hpp"
@@ -24,24 +26,45 @@ WalkerReport walker_report_of(const parallel::WalkerOutcome& outcome) {
   report.restarts = outcome.result.stats.restarts;
   report.cost_evaluations = outcome.result.stats.cost_evaluations;
   report.seconds = outcome.result.stats.seconds;
+  report.failed = outcome.failed();
+  report.error = outcome.result.error;
   return report;
+}
+
+void validate_retry(const RetryPolicy& retry) {
+  if (retry.max_attempts == 0) {
+    throw std::invalid_argument(
+        "SolveRequest: retry.max_attempts must be at least 1 (the first "
+        "attempt counts)");
+  }
+  if (!(retry.multiplier >= 1.0)) {
+    throw std::invalid_argument(
+        "SolveRequest: retry.multiplier must be >= 1 (backoff never "
+        "shrinks)");
+  }
+  if (!(retry.jitter >= 0.0 && retry.jitter <= 1.0)) {
+    throw std::invalid_argument(
+        "SolveRequest: retry.jitter must be in [0, 1]");
+  }
 }
 
 }  // namespace
 
-SolveReport Solver::solve(const SolveRequest& request,
-                          const std::atomic<bool>* cancel) {
+SolveReport Solver::solve(const SolveRequest& request, core::StopToken token,
+                          std::atomic<std::uint64_t>* heartbeat) {
+  validate_retry(request.retry);
   const problems::ProblemSpec spec = problems::parse_spec(request.problem);
   const std::unique_ptr<csp::Problem> problem = problems::instantiate(spec);
 
-  core::StopToken token(cancel);
   if (request.deadline_ms != 0) {
-    token = core::StopToken(
-        cancel, core::StopToken::Clock::now() +
-                    std::chrono::milliseconds(request.deadline_ms));
+    token = token.expiring_at(
+        core::StopToken::Clock::now() +
+        std::chrono::milliseconds(request.deadline_ms));
   }
 
-  const parallel::WalkerPool pool(request.to_pool_options());
+  parallel::WalkerPoolOptions options = request.to_pool_options();
+  options.heartbeat = heartbeat;
+  const parallel::WalkerPool pool(std::move(options));
   const parallel::MultiWalkReport pool_report = pool.run(*problem, token);
 
   SolveReport report;
@@ -62,6 +85,7 @@ SolveReport Solver::solve(const SolveRequest& request,
   report.comm_publishes = pool_report.comm_publishes;
   report.elite_accepted = pool_report.elite_accepted;
   report.comm_adoptions = pool_report.comm_adoptions;
+  report.failed_walkers = pool_report.failed_walkers;
   report.solution = pool_report.best.solution;
   report.walkers.reserve(pool_report.walkers.size());
   for (const parallel::WalkerOutcome& outcome : pool_report.walkers) {

@@ -28,7 +28,19 @@ class Solver {
   /// best configuration reached (SolveReport::cancelled set).  This is the
   /// primitive SolverService builds on.
   [[nodiscard]] static SolveReport solve(const SolveRequest& request,
-                                         const std::atomic<bool>* cancel);
+                                         const std::atomic<bool>* cancel) {
+    return solve(request, core::StopToken(cancel), nullptr);
+  }
+
+  /// Full-control overload for the serving layer: an arbitrary StopToken
+  /// (the request's deadline_ms is applied on top, tightening any deadline
+  /// the token already carries) and an optional liveness counter bumped by
+  /// every walker (see core::Hooks::heartbeat) for watchdog supervision.
+  /// Validates the retry/warm-start knobs along with the rest of the
+  /// request.
+  [[nodiscard]] static SolveReport solve(const SolveRequest& request,
+                                         core::StopToken token,
+                                         std::atomic<std::uint64_t>* heartbeat);
 };
 
 }  // namespace cspls::api

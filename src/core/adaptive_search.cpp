@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace cspls::core {
@@ -42,6 +43,13 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
   WalkState state(n);
 
   Cost cost = problem.randomize(rng);
+  if (hooks.warm_start != nullptr && hooks.warm_start->size() == n) {
+    // Retry checkpoint: adopt the supplied configuration.  The randomize
+    // above already consumed its draws, so the RNG stream position — and
+    // every subsequent draw — is identical to a cold start.
+    problem.assign(*hooks.warm_start);
+    cost = problem.total_cost();
+  }
 
   WalkerTrace* trace = hooks.trace;
   if (trace != nullptr && hooks.trace_sample_period != 0) {
@@ -84,6 +92,9 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
   std::uint32_t restarts_done = 0;
   bool done = false;
   while (!done) {
+    if (hooks.heartbeat != nullptr) {
+      hooks.heartbeat->fetch_add(1, std::memory_order_relaxed);
+    }
     note_best(cost);
     std::uint64_t iter_in_walk = 0;
     const std::uint64_t budget = walk_budget(
@@ -99,6 +110,19 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       if (iter_in_walk >= budget) break;  // walk exhausted
       ++iter_in_walk;
       const std::uint64_t iter = ++result.stats.iterations;
+
+      if (hooks.heartbeat != nullptr && (iter & 1023) == 0) {
+        hooks.heartbeat->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (util::fault::probe(hooks.fault, util::fault::Site::kWalkerIteration) ==
+          util::fault::Action::kCorrupt) {
+        // Detected corruption: the configuration is untrusted, recover by
+        // scrambling it wholesale and rebuilding every cache.
+        cost = problem.reset_perturbation(1.0, rng);
+        errors_valid = false;
+        state.clear_tabu();
+        note_best(cost);
+      }
 
       if (hooks.observer && hooks.observer_period != 0 &&
           iter % hooks.observer_period == 0) {

@@ -37,6 +37,10 @@
 #include "csp/problem.hpp"
 #include "util/rng.hpp"
 
+namespace cspls::util::fault {
+class Session;
+}  // namespace cspls::util::fault
+
 namespace cspls::core {
 
 /// Optional extension points (all disabled by default).  They implement the
@@ -72,6 +76,27 @@ struct Hooks {
   /// observational — never consumes the walk's RNG stream.
   WalkerTrace* trace = nullptr;
   std::uint64_t trace_sample_period = 0;  ///< 0 = counters only
+
+  /// Armed fault-injection session for this walk (null = no injection).
+  /// Probed once per iteration at the `walker_iteration` site; a kCorrupt
+  /// action scrambles the configuration (detected corruption), kThrow
+  /// propagates out of solve() for the pool's containment to record.  In
+  /// builds without CSPLS_FAULT_INJECTION the probe is an inline no-op.
+  util::fault::Session* fault = nullptr;
+
+  /// Liveness signal for the serving layer's watchdog: bumped at the start
+  /// of every walk and every 1024 iterations.  A stalled walker (wedged in
+  /// a bulk cost hook, an injected stall, a scheduler pathology) stops
+  /// bumping, which is exactly what the watchdog detects.
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
+
+  /// When non-null, the first walk starts from this configuration instead
+  /// of the initial random one (retry-with-checkpoint: the service reseeds
+  /// a retried job from the best configuration of the failed attempt).
+  /// The initial randomize(rng) still runs first, so the walk's RNG stream
+  /// position — and therefore every later draw — is unchanged by warm
+  /// starting.  Restarts (step 6) randomize as usual.
+  const std::vector<int>* warm_start = nullptr;
 };
 
 class AdaptiveSearch {

@@ -42,6 +42,10 @@ struct Result {
   /// Which stop source cut the run short (kNone when not interrupted).
   /// Recorded by the poll that observed the stop, so attribution is exact.
   StopCause stop_cause = StopCause::kNone;
+
+  /// Non-empty iff stop_cause == StopCause::kFailed: the message of the
+  /// exception that killed the walk (captured by the pool's containment).
+  std::string error;
 };
 
 inline std::string RunStats::to_string() const {

@@ -34,6 +34,9 @@ enum class StopCause : std::uint8_t {
   kChained,    ///< a flag chained via also_cancelled_by (the pool's
                ///< internal first-finisher completion flag)
   kDeadline,   ///< the steady-clock deadline passed
+  kFailed,     ///< the walk died on an exception; never produced by poll(),
+               ///< recorded by the pool's crash containment with the
+               ///< exception message in Result::error
 };
 
 class StopToken {
@@ -63,21 +66,37 @@ class StopToken {
     return with_deadline(Clock::now() + budget);
   }
 
+  /// This token with its deadline set to `deadline` (or tightened to it,
+  /// when the existing deadline is later).  The serving layer uses this to
+  /// apply a request's time budget on top of a caller token that may
+  /// already carry one.
+  [[nodiscard]] StopToken expiring_at(Clock::time_point deadline) const noexcept {
+    StopToken combined = *this;
+    if (!combined.has_deadline_ || deadline < combined.deadline_) {
+      combined.deadline_ = deadline;
+      combined.has_deadline_ = true;
+    }
+    return combined;
+  }
+
   /// This token plus one chained cancel flag (the parallel runtime chains
-  /// its internal completion flag onto the caller's external token).  The
-  /// chained flag always occupies the secondary slot — polls attribute it
-  /// as StopCause::kChained, distinct from the primary kCancel — and a
-  /// second chain overwrites the first.
+  /// its internal completion flag onto the caller's external token, and the
+  /// serving layer chains its watchdog flag before handing the token down).
+  /// Chained flags occupy the secondary slots — polls attribute them as
+  /// StopCause::kChained, distinct from the primary kCancel.  Chains stack
+  /// (two secondary slots, so a watchdog chain survives the pool's
+  /// first-finisher chain); a third chain overwrites the last slot.
   [[nodiscard]] StopToken also_cancelled_by(
       const std::atomic<bool>* flag) const noexcept {
     StopToken combined = *this;
-    combined.flags_[1] = flag;
+    combined.flags_[combined.flags_[1] == nullptr ? 1 : 2] = flag;
     return combined;
   }
 
   /// True when any stop source exists (fast-path gate for pollers).
   [[nodiscard]] bool can_stop() const noexcept {
-    return flags_[0] != nullptr || flags_[1] != nullptr || has_deadline_;
+    return flags_[0] != nullptr || flags_[1] != nullptr ||
+           flags_[2] != nullptr || has_deadline_;
   }
 
   /// True when any cancel flag has been raised (never consults the clock).
@@ -85,7 +104,9 @@ class StopToken {
     return (flags_[0] != nullptr &&
             flags_[0]->load(std::memory_order_relaxed)) ||
            (flags_[1] != nullptr &&
-            flags_[1]->load(std::memory_order_relaxed));
+            flags_[1]->load(std::memory_order_relaxed)) ||
+           (flags_[2] != nullptr &&
+            flags_[2]->load(std::memory_order_relaxed));
   }
 
   [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
@@ -111,6 +132,9 @@ class StopToken {
     if (flags_[1] != nullptr && flags_[1]->load(std::memory_order_relaxed)) {
       return StopCause::kChained;
     }
+    if (flags_[2] != nullptr && flags_[2]->load(std::memory_order_relaxed)) {
+      return StopCause::kChained;
+    }
     if (!has_deadline_) return StopCause::kNone;
     if (polls_until_clock_ != 0) {
       --polls_until_clock_;
@@ -128,7 +152,7 @@ class StopToken {
   static constexpr std::uint32_t kDeadlinePollStride = 64;
 
  private:
-  const std::atomic<bool>* flags_[2] = {nullptr, nullptr};
+  const std::atomic<bool>* flags_[3] = {nullptr, nullptr, nullptr};
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   /// Per-copy clock-read throttle; mutable so polling stays const.  Tokens

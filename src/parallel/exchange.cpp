@@ -49,7 +49,7 @@ std::uint64_t CommChannels::accepted() const {
 
 core::Hooks comm_hooks(const CommunicationPolicy& policy,
                        CommChannels& channels, std::size_t walker,
-                       std::size_t num_walkers) {
+                       std::size_t num_walkers, util::fault::Session* fault) {
   core::Hooks hooks;
   if (!policy.exchanging() || !channels.active()) return hooks;
 
@@ -58,9 +58,13 @@ core::Hooks comm_hooks(const CommunicationPolicy& policy,
       &channels.slot(publish_slot(policy.neighborhood, walker, num_walkers));
 
   hooks.observer_period = policy.period;
-  hooks.observer = [publish, &channels, migrate, walker](
+  hooks.observer = [publish, &channels, migrate, walker, fault](
                        std::uint64_t, csp::Cost cost,
                        std::span<const int> values) {
+    if (util::fault::probe(fault, util::fault::Site::kElitePublish) ==
+        util::fault::Action::kCorrupt) {
+      return;  // torn publish: the message is dropped, the walk continues
+    }
     const std::uint64_t tick = channels.next_tick();
     if (migrate) {
       publish->store(tick, cost, values, walker);
@@ -83,10 +87,10 @@ core::Hooks comm_hooks(const CommunicationPolicy& policy,
   // walker's own entries, because pulling back your own latest publication
   // from a shared slot or self-loop is a no-op assign that would wipe the
   // tabu state and count a phantom adoption.
-  const auto make_adopt = [&policy, &channels, migrate,
+  const auto make_adopt = [&policy, &channels, migrate, fault,
                            sources = std::move(sources)](
                               std::size_t exclude_publisher) {
-    return [sources, &channels, migrate, exclude_publisher,
+    return [sources, &channels, migrate, exclude_publisher, fault,
             p = policy.adopt_probability](csp::Problem& problem,
                                           util::Xoshiro256& rng) {
       // Exactly one RNG draw per gate whether or not anything is adopted,
@@ -94,6 +98,10 @@ core::Hooks comm_hooks(const CommunicationPolicy& policy,
       // from the equivalent PR-1 run (and mid-walk gates stay
       // reproducible).
       if (!rng.chance(p)) return false;
+      if (util::fault::probe(fault, util::fault::Site::kEliteAdopt) ==
+          util::fault::Action::kCorrupt) {
+        return false;  // incoming message discarded as corrupt
+      }
       const std::uint64_t now = channels.now();
       std::vector<int> incoming;
       std::vector<int> best;

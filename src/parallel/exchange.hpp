@@ -51,6 +51,7 @@
 #include "core/adaptive_search.hpp"
 #include "parallel/elite_pool.hpp"
 #include "parallel/neighborhood.hpp"
+#include "util/fault.hpp"
 
 namespace cspls::parallel {
 
@@ -167,9 +168,16 @@ class CommChannels {
 /// migration).  Returns empty hooks when the policy does not exchange or
 /// the walker has no slots to talk to.  `channels` must outlive the
 /// returned hooks.
+///
+/// `fault` (optional) arms the communication fault sites: each publish
+/// probes `elite_publish` and each adoption gate probes `elite_adopt` —
+/// kCorrupt drops the message (a torn publish / discarded adoption),
+/// kThrow propagates out of the engine for the pool's crash containment.
+/// The session must outlive the returned hooks.
 [[nodiscard]] core::Hooks comm_hooks(const CommunicationPolicy& policy,
                                      CommChannels& channels,
                                      std::size_t walker,
-                                     std::size_t num_walkers);
+                                     std::size_t num_walkers,
+                                     util::fault::Session* fault = nullptr);
 
 }  // namespace cspls::parallel

@@ -69,12 +69,15 @@ core::Params params_for(const csp::Problem& prototype,
 
 /// Best-cost selection over completed walks (Termination::kBestAfterBudget
 /// and the no-winner fallback of the threaded race): prefer any solved
-/// result, then the lowest cost, first index breaking ties.
+/// result, then any survivor over a crashed walker, then the lowest cost,
+/// first index breaking ties.  On an all-failed pool this still selects a
+/// (failed) result so the report stays structured.
 void select_best_after_budget(MultiWalkReport& report) {
   const auto best_it = std::min_element(
       report.walkers.begin(), report.walkers.end(),
       [](const WalkerOutcome& a, const WalkerOutcome& b) {
         if (a.result.solved != b.result.solved) return a.result.solved;
+        if (a.failed() != b.failed()) return !a.failed();
         return a.result.cost < b.result.cost;
       });
   if (best_it != report.walkers.end()) {
@@ -83,6 +86,16 @@ void select_best_after_budget(MultiWalkReport& report) {
     report.winner = report.solved ? static_cast<std::size_t>(
                                         best_it - report.walkers.begin())
                                   : kNoWinner;
+  }
+}
+
+/// Crash-containment roll-up shared by every return path.
+void tally_failures(MultiWalkReport& report) {
+  report.failed_walkers = 0;
+  report.faults_injected = 0;
+  for (const auto& w : report.walkers) {
+    if (w.failed()) ++report.failed_walkers;
+    report.faults_injected += w.injected_faults;
   }
 }
 
@@ -126,6 +139,7 @@ MultiWalkReport resolve_emulated_race(std::vector<WalkerOutcome> walkers) {
     }
     report.time_to_solution_seconds = wall;
   }
+  tally_failures(report);
   return report;
 }
 
@@ -137,10 +151,24 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
                                 const core::StopToken& external) const {
   validate_options(options_);
   const std::size_t k = options_.num_walkers;
+  if (options_.warm_start.has_value() &&
+      options_.warm_start->size() != prototype.num_variables()) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: warm_start has " +
+        std::to_string(options_.warm_start->size()) + " values but \"" +
+        std::string(prototype.name()) + "\" has " +
+        std::to_string(prototype.num_variables()) + " variables");
+  }
   const core::Params params = params_for(prototype, options_.params);
   const core::AdaptiveSearch engine(params);
   const util::RngStreamFactory streams(options_.master_seed);
   CommChannels comm(options_.communication, k);
+  // The effective fault schedule: request plans + the CSPLS_FAULTS env spec.
+  // Production builds never arm it — sessions stay disarmed and the sites
+  // compile to no-ops.
+  const util::fault::Schedule fault_schedule =
+      util::fault::kCompiledIn ? util::fault::Schedule::with_env(options_.faults)
+                               : util::fault::Schedule{};
 
   const bool threaded = options_.scheduling == Scheduling::kThreads;
   const bool race =
@@ -165,35 +193,62 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
   const auto run_walker = [&](std::size_t id) {
     WalkerOutcome& out = report.walkers[id];
     out.walker_id = id;
-    auto problem = prototype.clone();
-    util::Xoshiro256 rng = streams.stream(id);
-    core::Hooks hooks = comm_hooks(options_.communication, comm, id, k);
-    if (options_.trace.enabled) {
-      out.trace.walker_id = id;
-      hooks.trace = &out.trace;
-      hooks.trace_sample_period = options_.trace.sample_period;
-    }
-    // Each walker polls its own token copy: the caller's cancel/deadline,
-    // chained with the pool's completion flag when racing.
-    const core::StopToken token =
-        race ? external.also_cancelled_by(&stop) : external;
-    core::Result result = engine.solve(*problem, rng, token, hooks);
-    if (result.stop_cause == core::StopCause::kCancel) {
-      external_cancel_hit.store(true, std::memory_order_relaxed);
-    } else if (result.stop_cause == core::StopCause::kDeadline) {
-      external_deadline_hit.store(true, std::memory_order_relaxed);
-    }
-    if (race && result.solved && !result.interrupted) {
-      // First walker to flip the flag is the winner; latecomers keep their
-      // result but lose the race (exactly the paper's completion protocol).
-      bool expected = false;
-      if (stop.compare_exchange_strong(expected, true,
-                                       std::memory_order_acq_rel)) {
-        winner.store(id, std::memory_order_release);
-        solution_time_us.store(watch.elapsed_us(), std::memory_order_release);
+    // Each walker owns its fault session, exactly like its RNG stream, so
+    // probe counts are deterministic under every scheduling mode.
+    util::fault::Session session(&fault_schedule, id);
+    // Crash containment: no exception may escape a walker body — an escape
+    // under kThreads would std::terminate the process.  A throwing walker
+    // (injected or genuine) is recorded as StopCause::kFailed with its
+    // message; survivors keep walking and the termination policies
+    // aggregate over them.
+    try {
+      auto problem = prototype.clone();
+      util::Xoshiro256 rng = streams.stream(id);
+      core::Hooks hooks = comm_hooks(options_.communication, comm, id, k,
+                                     session.armed() ? &session : nullptr);
+      if (options_.trace.enabled) {
+        out.trace.walker_id = id;
+        hooks.trace = &out.trace;
+        hooks.trace_sample_period = options_.trace.sample_period;
       }
+      if (session.armed()) hooks.fault = &session;
+      hooks.heartbeat = options_.heartbeat;
+      if (options_.warm_start.has_value()) {
+        hooks.warm_start = &*options_.warm_start;
+      }
+      // Each walker polls its own token copy: the caller's cancel/deadline,
+      // chained with the pool's completion flag when racing.
+      const core::StopToken token =
+          race ? external.also_cancelled_by(&stop) : external;
+      core::Result result = engine.solve(*problem, rng, token, hooks);
+      if (result.stop_cause == core::StopCause::kCancel) {
+        external_cancel_hit.store(true, std::memory_order_relaxed);
+      } else if (result.stop_cause == core::StopCause::kDeadline) {
+        external_deadline_hit.store(true, std::memory_order_relaxed);
+      }
+      if (race && result.solved && !result.interrupted) {
+        // First walker to flip the flag is the winner; latecomers keep
+        // their result but lose the race (exactly the paper's completion
+        // protocol).
+        bool expected = false;
+        if (stop.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+          winner.store(id, std::memory_order_release);
+          solution_time_us.store(watch.elapsed_us(),
+                                 std::memory_order_release);
+        }
+      }
+      out.result = std::move(result);
+    } catch (const std::exception& e) {
+      out.result = core::Result{};
+      out.result.stop_cause = core::StopCause::kFailed;
+      out.result.error = e.what();
+    } catch (...) {
+      out.result = core::Result{};
+      out.result.stop_cause = core::StopCause::kFailed;
+      out.result.error = "unknown exception";
     }
-    out.result = std::move(result);
+    out.injected_faults = session.fired();
   };
 
   // Between-walker short-circuit for any path that runs walkers one after
@@ -327,6 +382,7 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
   report.comm_adoptions = comm.adoptions();
   report.interrupt_cause = interrupt_cause;
   report.interrupted = interrupt_cause != core::StopCause::kNone;
+  tally_failures(report);
   return report;
 }
 

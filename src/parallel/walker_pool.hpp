@@ -47,6 +47,7 @@
 // its WalkerOutcome.  Recording is passive and RNG-neutral.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -57,6 +58,7 @@
 #include "core/trace.hpp"
 #include "csp/problem.hpp"
 #include "parallel/exchange.hpp"
+#include "util/fault.hpp"
 
 namespace cspls::parallel {
 
@@ -105,6 +107,21 @@ struct WalkerPoolOptions {
   CommunicationPolicy communication;
   Termination termination = Termination::kFirstFinisher;
   TracePolicy trace;
+
+  /// Fault-injection plans for this run, merged with the CSPLS_FAULTS env
+  /// schedule.  Armed only in CSPLS_FAULT_INJECTION builds; in production
+  /// builds the plans are carried but never fire (the sites are no-ops).
+  std::vector<util::fault::FaultPlan> faults;
+
+  /// When set, every walker's first walk starts from this configuration
+  /// instead of a random one (retry-with-checkpoint; see
+  /// core::Hooks::warm_start — RNG streams are unaffected).  Must match the
+  /// problem's num_variables.
+  std::optional<std::vector<int>> warm_start;
+
+  /// Liveness counter bumped by every walker (see core::Hooks::heartbeat);
+  /// null disables.  Must outlive run().
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
 };
 
 struct WalkerOutcome {
@@ -112,6 +129,15 @@ struct WalkerOutcome {
   core::Result result;
   /// Instrumentation record; populated only when TracePolicy::enabled.
   core::WalkerTrace trace;
+  /// Fault plans that fired in this walker's session (0 in production
+  /// builds and un-faulted runs) — the "report" half of corrupt-and-report.
+  std::uint64_t injected_faults = 0;
+
+  /// True when this walker died on an exception (crash containment):
+  /// result.stop_cause == kFailed and result.error holds the message.
+  [[nodiscard]] bool failed() const noexcept {
+    return result.stop_cause == core::StopCause::kFailed;
+  }
 };
 
 struct MultiWalkReport {
@@ -150,6 +176,20 @@ struct MultiWalkReport {
   /// The external source when `interrupted`: kCancel or kDeadline (kCancel
   /// wins when walkers observed both).  kNone otherwise.
   core::StopCause interrupt_cause = core::StopCause::kNone;
+  /// Walkers that died on an exception (crash containment): each is
+  /// recorded with StopCause::kFailed and its message in result.error;
+  /// survivors' trajectories are unaffected.  Equal to walkers.size() on an
+  /// all-failed run — the pool then still returns a structured report with
+  /// solved == false, it never terminates the process.
+  std::size_t failed_walkers = 0;
+  /// Total fault plans fired across the pool (0 in production builds).
+  std::uint64_t faults_injected = 0;
+
+  /// True when every walker died (failed_walkers == walkers.size() != 0):
+  /// the report carries no usable configuration.
+  [[nodiscard]] bool all_failed() const noexcept {
+    return !walkers.empty() && failed_walkers == walkers.size();
+  }
 
   [[nodiscard]] bool has_winner() const noexcept { return winner != kNoWinner; }
 

@@ -1,0 +1,248 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+
+#include "util/json.hpp"
+
+namespace cspls::util::fault {
+
+namespace {
+
+constexpr std::string_view kSiteNames[kNumSites] = {
+    "walker_iteration", "elite_publish", "elite_adopt", "service_dispatch"};
+constexpr std::string_view kKindNames[3] = {"throw", "stall", "corrupt"};
+
+std::optional<Site> site_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    if (kSiteNames[i] == name) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<Kind> kind_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (kKindNames[i] == name) return static_cast<Kind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string names_hint() {
+  return "sites: walker_iteration | elite_publish | elite_adopt | "
+         "service_dispatch; kinds: throw | stall | corrupt";
+}
+
+[[noreturn]] void bad_spec(std::string_view plan, const std::string& detail) {
+  throw std::invalid_argument("CSPLS_FAULTS plan \"" + std::string(plan) +
+                              "\": " + detail + " (" + names_hint() + ")");
+}
+
+std::uint64_t parse_u64_field(std::string_view plan, std::string_view field,
+                              std::string_view name) {
+  if (field.empty() || field.find_first_not_of("0123456789") !=
+                           std::string_view::npos) {
+    bad_spec(plan, "field \"" + std::string(name) +
+                       "\" must be a non-negative integer, got \"" +
+                       std::string(field) + "\"");
+  }
+  std::uint64_t value = 0;
+  for (const char c : field) {
+    if (value > (UINT64_MAX - (c - '0')) / 10) {
+      bad_spec(plan, "field \"" + std::string(name) + "\" overflows");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t pos = text.find(sep);
+    out.push_back(text.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+FaultPlan parse_plan(std::string_view text) {
+  const std::vector<std::string_view> fields = split(text, ':');
+  if (fields.size() < 4 || fields.size() > 5) {
+    bad_spec(text, "expected site:walker:at_count:kind[:stall_ms]");
+  }
+  FaultPlan plan;
+  const std::optional<Site> site = site_from_name(fields[0]);
+  if (!site.has_value()) {
+    bad_spec(text, "unknown site \"" + std::string(fields[0]) + "\"");
+  }
+  plan.site = *site;
+  plan.walker = fields[1] == "*"
+                    ? kAnyWalker
+                    : static_cast<std::size_t>(
+                          parse_u64_field(text, fields[1], "walker"));
+  plan.at_count = parse_u64_field(text, fields[2], "at_count");
+  if (plan.at_count == 0) {
+    bad_spec(text, "at_count is 1-based and must be >= 1");
+  }
+  const std::optional<Kind> kind = kind_from_name(fields[3]);
+  if (!kind.has_value()) {
+    bad_spec(text, "unknown kind \"" + std::string(fields[3]) + "\"");
+  }
+  plan.kind = *kind;
+  if (fields.size() == 5) {
+    plan.stall_ms = parse_u64_field(text, fields[4], "stall_ms");
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::string_view name_of(Site site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::string_view name_of(Kind kind) noexcept {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out(name_of(site));
+  out += ':';
+  out += walker == kAnyWalker ? "*" : std::to_string(walker);
+  out += ':';
+  out += std::to_string(at_count);
+  out += ':';
+  out += name_of(kind);
+  if (kind == Kind::kStall) {
+    out += ':';
+    out += std::to_string(stall_ms);
+  }
+  return out;
+}
+
+util::Json FaultPlan::to_json() const {
+  util::Json json = util::Json::object();
+  json.set("site", std::string(name_of(site)));
+  if (walker != kAnyWalker) {
+    json.set("walker", static_cast<std::uint64_t>(walker));
+  }
+  json.set("at", at_count)
+      .set("kind", std::string(name_of(kind)))
+      .set("stall_ms", stall_ms);
+  return json;
+}
+
+FaultPlan FaultPlan::from_json(const util::Json& json) {
+  if (!json.is_object()) {
+    throw std::invalid_argument("faults[]: expected an object");
+  }
+  for (const auto& member : json.members()) {
+    if (member.first != "site" && member.first != "walker" &&
+        member.first != "at" && member.first != "kind" &&
+        member.first != "stall_ms") {
+      throw std::invalid_argument("faults[]: unknown member \"" +
+                                  member.first + "\"");
+    }
+  }
+  FaultPlan plan;
+  const util::Json* site = json.find("site");
+  if (site == nullptr) {
+    throw std::invalid_argument("faults[]: missing \"site\" (" +
+                                names_hint() + ")");
+  }
+  const std::optional<Site> parsed_site = site_from_name(site->as_string());
+  if (!parsed_site.has_value()) {
+    throw std::invalid_argument("faults[]: unknown site \"" +
+                                site->as_string() + "\" (" + names_hint() +
+                                ")");
+  }
+  plan.site = *parsed_site;
+  if (const util::Json* walker = json.find("walker"); walker != nullptr) {
+    plan.walker = static_cast<std::size_t>(walker->as_uint64());
+  }
+  if (const util::Json* at = json.find("at"); at != nullptr) {
+    plan.at_count = at->as_uint64();
+    if (plan.at_count == 0) {
+      throw std::invalid_argument(
+          "faults[]: \"at\" is 1-based and must be >= 1");
+    }
+  }
+  if (const util::Json* kind = json.find("kind"); kind != nullptr) {
+    const std::optional<Kind> parsed_kind = kind_from_name(kind->as_string());
+    if (!parsed_kind.has_value()) {
+      throw std::invalid_argument("faults[]: unknown kind \"" +
+                                  kind->as_string() + "\" (" + names_hint() +
+                                  ")");
+    }
+    plan.kind = *parsed_kind;
+  }
+  if (const util::Json* stall = json.find("stall_ms"); stall != nullptr) {
+    plan.stall_ms = stall->as_uint64();
+  }
+  return plan;
+}
+
+FaultInjected::FaultInjected(const FaultPlan& plan, std::size_t walker)
+    : std::runtime_error(
+          "injected fault: " + std::string(name_of(plan.kind)) + " at " +
+          std::string(name_of(plan.site)) + " count " +
+          std::to_string(plan.at_count) + " (walker " +
+          (walker == kAnyWalker ? std::string("*")
+                                : std::to_string(walker)) +
+          ")") {}
+
+Schedule Schedule::parse(std::string_view spec) {
+  std::vector<FaultPlan> plans;
+  for (const std::string_view plan : split(spec, ';')) {
+    if (plan.empty()) continue;  // tolerate trailing/double separators
+    plans.push_back(parse_plan(plan));
+  }
+  return Schedule(std::move(plans));
+}
+
+const Schedule& Schedule::from_env() {
+  static const Schedule schedule = [] {
+    const char* spec = std::getenv("CSPLS_FAULTS");
+    return spec == nullptr ? Schedule{} : parse(spec);
+  }();
+  return schedule;
+}
+
+Schedule Schedule::with_env(std::vector<FaultPlan> plans) {
+  const Schedule& env = from_env();
+  plans.insert(plans.end(), env.plans_.begin(), env.plans_.end());
+  return Schedule(std::move(plans));
+}
+
+Action Session::probe(Site site) {
+  const std::uint64_t count = ++counts_[static_cast<std::size_t>(site)];
+  if (schedule_ == nullptr) return Action::kNone;
+  Action action = Action::kNone;
+  for (const FaultPlan& plan : schedule_->plans()) {
+    if (plan.site != site || plan.at_count != count) continue;
+    if (plan.walker != kAnyWalker && plan.walker != walker_) continue;
+    ++fired_;
+    switch (plan.kind) {
+      case Kind::kThrow:
+        throw FaultInjected(plan, walker_);
+      case Kind::kStall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(plan.stall_ms, kMaxStallMs)));
+        break;
+      case Kind::kCorrupt:
+        action = Action::kCorrupt;
+        break;
+    }
+  }
+  return action;
+}
+
+std::uint64_t Session::count(Site site) const noexcept {
+  return counts_[static_cast<std::size_t>(site)];
+}
+
+}  // namespace cspls::util::fault

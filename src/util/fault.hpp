@@ -1,0 +1,190 @@
+// Deterministic fault injection — the testing story for partial failure.
+//
+// At the scale the ROADMAP targets, walker crashes, stalled cores and torn
+// messages are the steady state, not the exception; the follow-up studies
+// the paper spawned (the X10 cooperative teams, the Cell BE heterogeneous
+// port) both had to keep solving while members dropped out.  This layer
+// makes those failure modes *reproducible*: a FaultPlan names an injection
+// site, a target walker, a 1-based probe count and a failure kind, and a
+// Session fires the plan at exactly that probe — same seed, same schedule,
+// same crash, every run (the same philosophy that makes kEmulatedRace the
+// testing story for races).
+//
+// Sites (each probed by the layer that owns it):
+//   walker_iteration  once per engine iteration (core::AdaptiveSearch);
+//   elite_publish     before each communication publish (comm_hooks);
+//   elite_adopt       at each adoption gate, reset-time or mid-walk;
+//   service_dispatch  once per SolverService job attempt (retry testing).
+//
+// Kinds:
+//   throw    raise FaultInjected at the site (a crashing walker / attempt);
+//   stall    bounded sleep of `stall_ms` (a wedged core; exercises the
+//            service watchdog), capped at kMaxStallMs;
+//   corrupt  detected data corruption: the site discards or scrambles its
+//            payload and the session records the event ("corrupt-and-
+//            report") — a scrambled configuration at walker_iteration, a
+//            dropped message at the exchange sites.
+//
+// Schedules come from two places and are merged per run: the CSPLS_FAULTS
+// environment spec (grammar below) and the `faults` member of a
+// SolveRequest.  Spec grammar — plans separated by ';', fields by ':':
+//
+//   site ':' walker ':' at_count ':' kind [':' stall_ms]
+//
+// where `walker` is a 0-based id or '*' (any walker), e.g.
+//
+//   CSPLS_FAULTS="walker_iteration:1:100:throw;elite_publish:*:3:stall:5"
+//
+// Compile-time gate: unless the build defines CSPLS_FAULT_INJECTION (the
+// -DCSPLS_FAULT_INJECTION=ON CMake option), the free probe() below is an
+// inline no-op and the runtimes never arm a schedule — production builds
+// carry zero injection overhead.  Plan values, parsing and JSON round-trip
+// stay available in every build (a request carrying faults must survive the
+// wire regardless of whether the receiving binary can fire them).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cspls::util {
+class Json;
+}  // namespace cspls::util
+
+namespace cspls::util::fault {
+
+/// FaultPlan::walker value matching every walker.
+inline constexpr std::size_t kAnyWalker = static_cast<std::size_t>(-1);
+
+/// Upper bound on a single stall, whatever the plan asks for: a stalled
+/// walker must stay merely slow, never unbounded (shutdown joins it).
+inline constexpr std::uint64_t kMaxStallMs = 10'000;
+
+enum class Site : std::uint8_t {
+  kWalkerIteration,  ///< once per engine iteration
+  kElitePublish,     ///< before each communication publish
+  kEliteAdopt,       ///< at each adoption gate (reset-time or mid-walk)
+  kServiceDispatch,  ///< once per SolverService job attempt
+};
+inline constexpr std::size_t kNumSites = 4;
+
+enum class Kind : std::uint8_t {
+  kThrow,    ///< raise FaultInjected at the site
+  kStall,    ///< bounded sleep of stall_ms
+  kCorrupt,  ///< detected corruption: site discards/scrambles and reports
+};
+
+[[nodiscard]] std::string_view name_of(Site site) noexcept;
+[[nodiscard]] std::string_view name_of(Kind kind) noexcept;
+
+/// One scheduled fault: fire `kind` at the `at_count`-th probe of `site`
+/// by walker `walker` (1-based; kAnyWalker matches every walker).
+struct FaultPlan {
+  Site site = Site::kWalkerIteration;
+  std::size_t walker = kAnyWalker;
+  std::uint64_t at_count = 1;
+  Kind kind = Kind::kThrow;
+  std::uint64_t stall_ms = 10;  ///< sleep length for kStall (<= kMaxStallMs)
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] util::Json to_json() const;
+  /// Throws std::invalid_argument naming the offending member.
+  [[nodiscard]] static FaultPlan from_json(const util::Json& json);
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const = default;
+};
+
+/// The exception a kThrow plan raises.  Derives from std::runtime_error so
+/// the pool's crash containment (which catches std::exception) records the
+/// site/walker/count in the failed walker's error message.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(const FaultPlan& plan, std::size_t walker);
+};
+
+/// An immutable set of plans.  Parse one from the CSPLS_FAULTS grammar or
+/// build it from plan values; merge request plans with the env plans via
+/// with_env().
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<FaultPlan> plans) : plans_(std::move(plans)) {}
+
+  /// Parse the CSPLS_FAULTS spec grammar.  Throws std::invalid_argument
+  /// with the offending field on a malformed spec.
+  [[nodiscard]] static Schedule parse(std::string_view spec);
+
+  /// The process-wide schedule parsed from CSPLS_FAULTS (once, cached;
+  /// empty when the variable is unset or empty).  Throws on a malformed
+  /// spec at first use — a misspelled plan must fail loudly, not silently
+  /// inject nothing.
+  [[nodiscard]] static const Schedule& from_env();
+
+  /// `plans` followed by the env plans — the effective per-run schedule.
+  [[nodiscard]] static Schedule with_env(std::vector<FaultPlan> plans);
+
+  [[nodiscard]] bool empty() const noexcept { return plans_.empty(); }
+  [[nodiscard]] const std::vector<FaultPlan>& plans() const noexcept {
+    return plans_;
+  }
+
+ private:
+  std::vector<FaultPlan> plans_;
+};
+
+/// What a fired probe asks the site to do.  kThrow and kStall are handled
+/// inside probe() (raise / sleep); kCorrupt is returned because only the
+/// site knows what payload to scramble or drop.
+enum class Action : std::uint8_t { kNone, kCorrupt };
+
+/// Per-walker (or per-job) armed counters over one schedule.  Deliberately
+/// single-threaded: each walker owns its session, exactly like its RNG
+/// stream, so probe counts are deterministic under every scheduling mode.
+class Session {
+ public:
+  /// `schedule` may be null (a disarmed session counts nothing and never
+  /// fires) and must outlive the session.
+  Session(const Schedule* schedule, std::size_t walker) noexcept
+      : schedule_(schedule == nullptr || schedule->empty() ? nullptr
+                                                           : schedule),
+        walker_(walker) {}
+
+  /// Count one probe of `site` and fire any matching plan: kThrow raises
+  /// FaultInjected, kStall sleeps (bounded), kCorrupt is returned for the
+  /// site to act on.  Counts are 1-based and per-site.
+  Action probe(Site site);
+
+  [[nodiscard]] std::uint64_t count(Site site) const noexcept;
+  /// Plans fired so far (all kinds — the "report" half of corrupt-and-report).
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+  [[nodiscard]] bool armed() const noexcept { return schedule_ != nullptr; }
+
+ private:
+  const Schedule* schedule_ = nullptr;
+  std::size_t walker_ = kAnyWalker;
+  std::uint64_t counts_[kNumSites] = {0, 0, 0, 0};
+  std::uint64_t fired_ = 0;
+};
+
+// --- The compile-time gate --------------------------------------------
+//
+// Every injection site calls the free probe() below.  When the build does
+// not define CSPLS_FAULT_INJECTION it is a constant-returning inline no-op
+// — the call folds away entirely — and kCompiledIn lets the runtimes skip
+// arming schedules (and the guard test assert exactly that).
+
+#if defined(CSPLS_FAULT_INJECTION) && CSPLS_FAULT_INJECTION
+inline constexpr bool kCompiledIn = true;
+inline Action probe(Session* session, Site site) {
+  return session == nullptr ? Action::kNone : session->probe(site);
+}
+#else
+inline constexpr bool kCompiledIn = false;
+inline Action probe(Session* /*session*/, Site /*site*/) noexcept {
+  return Action::kNone;
+}
+#endif
+
+}  // namespace cspls::util::fault

@@ -246,6 +246,77 @@ TEST(SolverService, DeepQueueDrainsWithoutThreadGrowth) {
   EXPECT_EQ(service.pending_jobs(), 0u);
 }
 
+// --- Shutdown / completion races (exercised under the CI TSan leg) -----
+
+TEST(SolverServiceRaces, ShutdownWithJobsStillQueued) {
+  // Shutdown while the FIFO is deep: every queued job must resolve
+  // kCancelled exactly once, with no handle left hanging — regardless of
+  // how far the dispatcher got with admissions.
+  for (int round = 0; round < 4; ++round) {
+    SolverService service(SolverService::Options{1, 0});
+    std::vector<JobHandle> jobs;
+    jobs.push_back(service.submit(endless_request(100 + round)));
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      jobs.push_back(service.submit(quick_request(seed)));
+    }
+    service.shutdown();
+    for (const JobHandle& job : jobs) {
+      ASSERT_TRUE(job.wait_for(milliseconds(1)));  // already terminal
+      EXPECT_EQ(job.status(), JobStatus::kCancelled);
+      EXPECT_TRUE(job.report().cancelled);
+    }
+    EXPECT_EQ(service.pending_jobs(), 0u);
+  }
+}
+
+TEST(SolverServiceRaces, CancelRacingNaturalCompletion) {
+  // cancel() fired from another thread while quick jobs finish on their
+  // own: whichever side wins, the job lands in exactly one terminal state
+  // and the report matches it (a late cancel must never wrap a solved,
+  // uncancelled report in a kCancelled status).
+  SolverService service(SolverService::Options{2, 0});
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const JobHandle job = service.submit(quick_request(seed));
+    std::jthread canceller([&job] { (void)job.cancel(); });
+    ASSERT_TRUE(job.wait_for(milliseconds(60'000)));
+    canceller.join();
+    const JobStatus status = job.status();
+    const SolveReport& report = job.report();
+    if (status == JobStatus::kCancelled) {
+      EXPECT_TRUE(report.cancelled);
+    } else {
+      ASSERT_EQ(status, JobStatus::kDone);
+      EXPECT_FALSE(report.cancelled);
+    }
+    // Terminal is terminal: the loser of the race cannot re-open the job.
+    EXPECT_FALSE(job.cancel());
+    EXPECT_EQ(job.status(), status);
+  }
+}
+
+TEST(SolverServiceRaces, ConcurrentWaitersAllObserveTheSameReport) {
+  // Several threads in wait() plus repeated wait() on one handle: every
+  // waiter must return the same terminal report object (wait() after
+  // terminal is a pure read, never a second consume).
+  SolverService service(SolverService::Options{2, 0});
+  const JobHandle job = service.submit(quick_request(5));
+  const SolveReport* seen[3] = {nullptr, nullptr, nullptr};
+  {
+    std::vector<std::jthread> waiters;
+    for (int i = 0; i < 3; ++i) {
+      waiters.emplace_back([&job, &seen, i] { seen[i] = &job.wait(); });
+    }
+  }
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[1], seen[2]);
+  // Double-wait on the same thread: identical reference, unchanged report.
+  const SolveReport& first = job.wait();
+  const SolveReport& second = job.wait();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.to_json_string(), second.to_json_string());
+  EXPECT_EQ(&first, seen[0]);
+}
+
 TEST(SolverService, SequentialJobsLeaseOneSlotAndFinish) {
   SolverService service(SolverService::Options{2, 0});
   SolveRequest request = quick_request(3);

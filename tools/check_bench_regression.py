@@ -17,16 +17,38 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read bench file: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    if not isinstance(data, dict):
+        sys.exit(f"{path}: expected a JSON object, got {type(data).__name__}")
     schema = data.get("schema", "")
-    if not schema.startswith("cspls-bench-micro/"):
-        sys.exit(f"{path}: unexpected schema {schema!r}")
+    if not isinstance(schema, str) or not schema.startswith(
+        "cspls-bench-micro/"
+    ):
+        sys.exit(
+            f"{path}: unexpected schema {schema!r} "
+            "(expected cspls-bench-micro/N)"
+        )
     return data
 
 
-def by_instance(data):
-    return {r["instance"]: r for r in data.get("results", [])}
+def by_instance(data, path):
+    results = data.get("results", [])
+    if not isinstance(results, list) or not all(
+        isinstance(r, dict) and "instance" in r for r in results
+    ):
+        sys.exit(
+            f"{path}: \"results\" must be a list of objects with an "
+            "\"instance\" member"
+        )
+    if not results:
+        sys.exit(f"{path}: \"results\" is empty — nothing to gate")
+    return {r["instance"]: r for r in results}
 
 
 def main():
@@ -44,12 +66,24 @@ def main():
 
     fresh = load(args.fresh)
     base = load(args.baseline)
-    fresh_by = by_instance(fresh)
-    base_by = by_instance(base)
+    fresh_by = by_instance(fresh, args.fresh)
+    base_by = by_instance(base, args.baseline)
+
+    # The fresh run must speak a schema at least as new as the baseline:
+    # gating a /2 baseline against a /1 fresh file would silently drop the
+    # simd column and pass vacuously.
+    base_schema = base["schema"]
+    fresh_schema = fresh["schema"]
+    if fresh_schema != base_schema and fresh_schema < base_schema:
+        sys.exit(
+            f"schema mismatch: fresh {args.fresh} speaks {fresh_schema!r} "
+            f"but baseline {args.baseline} speaks {base_schema!r}; "
+            "re-measure with the current bench binary or update the baseline"
+        )
 
     # Older baselines (schema /1) lack the simd column; gate what both have.
     keys = ["speedup"]
-    if base.get("schema") == "cspls-bench-micro/2":
+    if base_schema == "cspls-bench-micro/2":
         keys.append("simd_speedup")
 
     failures = []
@@ -57,14 +91,33 @@ def main():
     for instance, b in base_by.items():
         f = fresh_by.get(instance)
         if f is None:
-            failures.append(f"{instance}: missing from fresh results")
+            renamed = sorted(set(fresh_by) - set(base_by))
+            hint = (
+                f" (fresh-only instances, possible rename: {', '.join(renamed)})"
+                if renamed
+                else ""
+            )
+            failures.append(f"{instance}: missing from fresh results{hint}")
             continue
         if not f.get("paths_agree", False):
             failures.append(f"{instance}: hot paths diverged")
         for key in keys:
             b_ratio = b.get(key, 0.0)
             f_ratio = f.get(key, 0.0)
+            if not isinstance(b_ratio, (int, float)) or not isinstance(
+                f_ratio, (int, float)
+            ):
+                failures.append(
+                    f"{instance}: {key} is not numeric "
+                    f"(base {b_ratio!r}, fresh {f_ratio!r})"
+                )
+                continue
             if b_ratio <= 0:
+                failures.append(
+                    f"{instance}: baseline {key} is {b_ratio} — a zero or "
+                    "negative baseline ratio gates nothing; re-measure the "
+                    "baseline"
+                )
                 continue
             rel = f_ratio / b_ratio
             ok = rel >= 1.0 - args.threshold
