@@ -1,0 +1,222 @@
+// Serving-tier load generator: drives many concurrent small solves through
+// the wire protocol (encoded request lines in, parsed event lines out — the
+// same bytes a stdio/HTTP client would exchange) and reports end-to-end
+// latency percentiles and throughput per priority lane.
+//
+// Defaults complete 1000 jobs; --quick is the CI smoke budget.  The CSV
+// (SERVE_load.csv) schema is validated by tools/check_serve_load.py.
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LaneAgg {
+  std::vector<double> latencies_ms;
+  std::uint64_t solved = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return solved + failed + cancelled;
+  }
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cspls;
+
+  util::ArgParser args("bench_serve_loadgen",
+                       "serving-tier latency/throughput under concurrent "
+                       "small solves");
+  args.add_uint64("jobs", 1000, "solve jobs to push through the wire");
+  args.add_string("problem", "costas:6", "instance spec per job");
+  args.add_uint64("warm-workers", 4, "warm-pool worker threads");
+  args.add_uint64("batch", 8, "warm batch claim size");
+  args.add_uint64("threads", 0, "service-path walker-thread budget");
+  args.add_flag("stream", "request sample streaming on every job");
+  args.add_uint64("seed", 0xC5B15, "base seed (job i uses seed + i)");
+  args.add_string("csv", "SERVE_load.csv", "output CSV path");
+  args.add_flag("quick", "CI smoke budget (250 jobs)");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  const std::uint64_t jobs =
+      args.flag("quick") ? 250 : args.get_uint64("jobs");
+  const std::string problem = args.get_string("problem");
+  const bool stream = args.flag("stream");
+
+  serve::SchedulerOptions options;
+  options.warm_workers =
+      static_cast<std::size_t>(args.get_uint64("warm-workers"));
+  options.warm_batch_max = static_cast<std::size_t>(args.get_uint64("batch"));
+  options.service.thread_budget =
+      static_cast<std::size_t>(args.get_uint64("threads"));
+  serve::Scheduler scheduler(options);
+
+  // tag -> submit time; filled before each handle_line, matched against the
+  // tag echoed in the report event (ids are assigned by the server).
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::map<std::string, Clock::time_point> submit_at;
+  std::map<std::string, LaneAgg> lanes;  // keyed by priority name
+  std::uint64_t reported = 0;
+  std::uint64_t samples_seen = 0;
+  std::map<std::string, std::string> lane_of_tag;
+
+  serve::Session session(scheduler, [&](std::string_view line) {
+    // Parse exactly what a wire client would read.
+    const std::optional<util::Json> event = util::Json::parse(
+        std::string_view(line.data(), line.size() - 1));  // strip '\n'
+    if (!event) return;
+    const std::string& kind = event->at("event").as_string();
+    if (kind == "sample") {
+      std::lock_guard lock(m);
+      ++samples_seen;
+      return;
+    }
+    if (kind != "report") return;
+    const Clock::time_point now = Clock::now();
+    const std::string& tag = event->at("tag").as_string();
+    const std::string& status = event->at("status").as_string();
+    std::lock_guard lock(m);
+    LaneAgg& agg = lanes[lane_of_tag[tag]];
+    agg.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(now - submit_at[tag])
+            .count());
+    if (status == "done") {
+      ++agg.solved;
+    } else if (status == "cancelled") {
+      ++agg.cancelled;
+    } else {
+      ++agg.failed;
+    }
+    ++reported;
+    done_cv.notify_all();
+  });
+
+  constexpr std::string_view kPriorities[] = {"high", "normal", "low"};
+  const Clock::time_point t0 = Clock::now();
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    const std::string tag = "job-" + std::to_string(i);
+    const std::string_view priority = kPriorities[i % 3];
+    util::Json request = util::Json::object();
+    request.set("problem", problem)
+        .set("walkers", std::uint64_t{1})
+        .set("scheduling", "sequential")
+        .set("seed", args.get_uint64("seed") + i);
+    util::Json envelope = util::Json::object();
+    envelope.set("op", "solve")
+        .set("request", std::move(request))
+        .set("priority", priority)
+        .set("tag", tag);
+    if (stream) {
+      envelope.set("stream", true).set("sample_period", std::uint64_t{512});
+    }
+    {
+      std::lock_guard lock(m);
+      submit_at[tag] = Clock::now();
+      lane_of_tag[tag] = std::string(priority);
+    }
+    session.handle_line(envelope.dump(0));
+  }
+
+  {
+    std::unique_lock lock(m);
+    done_cv.wait(lock, [&] { return reported == jobs; });
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  scheduler.shutdown();
+
+  const serve::SchedulerStats stats = scheduler.stats();
+  util::Table table({"lane", "jobs", "solved", "failed", "cancelled",
+                     "p50_ms", "p90_ms", "p99_ms", "max_ms"});
+  std::vector<std::vector<std::string>> rows;
+  LaneAgg all;
+  for (const std::string_view priority : kPriorities) {
+    LaneAgg& agg = lanes[std::string(priority)];
+    all.solved += agg.solved;
+    all.failed += agg.failed;
+    all.cancelled += agg.cancelled;
+    all.latencies_ms.insert(all.latencies_ms.end(), agg.latencies_ms.begin(),
+                            agg.latencies_ms.end());
+  }
+  const auto row_of = [&](std::string_view lane, LaneAgg& agg) {
+    std::sort(agg.latencies_ms.begin(), agg.latencies_ms.end());
+    const double max_ms =
+        agg.latencies_ms.empty() ? 0.0 : agg.latencies_ms.back();
+    return std::vector<std::string>{
+        std::string(lane),
+        std::to_string(agg.total()),
+        std::to_string(agg.solved),
+        std::to_string(agg.failed),
+        std::to_string(agg.cancelled),
+        fmt(percentile(agg.latencies_ms, 0.50)),
+        fmt(percentile(agg.latencies_ms, 0.90)),
+        fmt(percentile(agg.latencies_ms, 0.99)),
+        fmt(max_ms)};
+  };
+  for (const std::string_view priority : kPriorities) {
+    rows.push_back(row_of(priority, lanes[std::string(priority)]));
+  }
+  rows.push_back(row_of("all", all));
+
+  for (const auto& row : rows) table.add_row(row);
+  std::cout << "bench_serve_loadgen: " << jobs << " x " << problem
+            << " through the wire (" << options.warm_workers
+            << " warm workers)\n\n"
+            << table.render();
+  const double throughput = static_cast<double>(jobs) / wall_seconds;
+  std::cout << "\nwall: " << fmt(wall_seconds * 1000.0) << " ms, throughput: "
+            << fmt(throughput) << " jobs/s, batches: " << stats.batches
+            << " (" << stats.batched_jobs << " jobs), givebacks: "
+            << stats.givebacks << ", samples: " << samples_seen << "\n";
+
+  util::CsvWriter csv(args.get_string("csv"));
+  std::vector<std::vector<std::string>> csv_rows;
+  for (auto& row : rows) {
+    row.push_back(fmt(wall_seconds));
+    row.push_back(fmt(throughput));
+    row.push_back(std::to_string(stats.batches));
+    row.push_back(std::to_string(stats.batched_jobs));
+    row.push_back(std::to_string(stats.givebacks));
+    row.push_back(std::to_string(samples_seen));
+    csv_rows.push_back(row);
+  }
+  csv.write_all({"lane", "jobs", "solved", "failed", "cancelled", "p50_ms",
+                 "p90_ms", "p99_ms", "max_ms", "wall_seconds",
+                 "throughput_per_s", "batches", "batched_jobs", "givebacks",
+                 "samples"},
+                csv_rows);
+  std::cout << "CSV: " << csv.path() << "\n";
+  return all.failed == 0 ? 0 : 1;
+}

@@ -15,6 +15,21 @@
 
 namespace cspls::api {
 
+util::Json ServiceStats::to_json() const {
+  util::Json json = util::Json::object();
+  json.set("queued", static_cast<std::uint64_t>(queued));
+  json.set("running", static_cast<std::uint64_t>(running));
+  json.set("submitted", submitted);
+  json.set("completed", completed);
+  json.set("cancelled", cancelled);
+  json.set("failed", failed);
+  json.set("retried", retried);
+  json.set("degraded", degraded);
+  json.set("thread_budget", static_cast<std::uint64_t>(thread_budget));
+  json.set("free_threads", static_cast<std::uint64_t>(free_threads));
+  return json;
+}
+
 std::string_view name_of(JobStatus status) {
   switch (status) {
     case JobStatus::kQueued:
@@ -42,6 +57,7 @@ struct ServiceCore;
 struct JobState {
   std::uint64_t id = 0;
   SolveRequest request;
+  JobStream stream;
   /// Back-reference so JobHandle::cancel can wake the dispatcher even
   /// after the service object is gone (the core outlives both).
   std::shared_ptr<ServiceCore> core;
@@ -70,6 +86,15 @@ struct ServiceCore {
   std::uint64_t next_id = 1;
   bool shutdown = false;
   std::vector<Worker> workers;  ///< running/unreaped jobs only
+
+  // Lifetime counters for ServiceStats — atomics so the terminal-status
+  // bumps in finish() need no extra locking discipline.
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<std::uint64_t> degraded{0};
 };
 
 namespace {
@@ -77,11 +102,30 @@ namespace {
 /// Lock order everywhere: core.m before job.m, never the reverse.
 void finish(const std::shared_ptr<JobState>& job, JobStatus status,
             SolveReport report, std::string error) {
+  bool first_finish = false;
   {
     std::lock_guard<std::mutex> guard(job->m);
+    first_finish = !is_terminal(job->status);
     job->report = std::move(report);
     job->error = std::move(error);
     job->status = status;
+  }
+  if (first_finish && job->core != nullptr) {
+    // Lifetime counters for ServiceStats; only the first terminal
+    // transition counts (shutdown may re-finish an already-drained job).
+    switch (status) {
+      case JobStatus::kDone:
+        job->core->completed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobStatus::kCancelled:
+        job->core->cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobStatus::kFailed:
+        job->core->failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
   }
   job->cv.notify_all();
 }
@@ -266,13 +310,19 @@ AttemptOutcome run_attempt(const std::shared_ptr<detail::JobState>& job,
     // caller cancellation (and survives the pool's first-finisher chain).
     const core::StopToken token =
         core::StopToken(&job->cancel).also_cancelled_by(&watchdog_cancel);
+    SolveCallbacks callbacks;
+    callbacks.heartbeat = &heartbeat;
+    if (job->stream.on_sample && job->stream.sample_period != 0) {
+      callbacks.sample_sink = job->stream.on_sample;
+      callbacks.sample_period = job->stream.sample_period;
+    }
     {
       std::jthread watchdog;
       if (attempt_request.watchdog_stall_ms != 0) {
         watchdog = spawn_watchdog(attempt_request.watchdog_stall_ms,
                                   &heartbeat, &watchdog_cancel);
       }
-      outcome.report = Solver::solve(attempt_request, token, &heartbeat);
+      outcome.report = Solver::solve(attempt_request, token, callbacks);
     }  // watchdog disarmed (stopped + joined) here, throw or return
   } catch (const std::exception& e) {
     outcome.threw = true;
@@ -356,7 +406,9 @@ void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
       // Prepare the retry: degrade stalled jobs to half the walkers, and
       // reseed from the failed attempt's best configuration when it
       // produced one (all-failed attempts leave no checkpoint).
+      core->retried.fetch_add(1, std::memory_order_relaxed);
       if (outcome.stalled) {
+        if (!degraded) core->degraded.fetch_add(1, std::memory_order_relaxed);
         degraded = true;
         attempt_request.walkers =
             std::max<std::size_t>(1, attempt_request.walkers / 2);
@@ -465,7 +517,7 @@ void SolverService::shutdown() {
   // goes out of scope; a second call finds everything already drained.
 }
 
-JobHandle SolverService::submit(SolveRequest request) {
+JobHandle SolverService::submit(SolveRequest request, JobStream stream) {
   // Shutdown is checked *before* validation: "submit after shutdown" is
   // the caller's actual mistake, and reporting a parse/validation error
   // for a request a closed service would never run is misleading.
@@ -487,6 +539,7 @@ JobHandle SolverService::submit(SolveRequest request) {
 
   auto job = std::make_shared<detail::JobState>();
   job->request = std::move(request);
+  job->stream = std::move(stream);
   job->core = core_;
   {
     std::lock_guard<std::mutex> guard(core_->m);
@@ -494,8 +547,31 @@ JobHandle SolverService::submit(SolveRequest request) {
     job->id = core_->next_id++;
     core_->fifo.push_back(job);
   }
+  core_->submitted.fetch_add(1, std::memory_order_relaxed);
   core_->cv.notify_all();
   return JobHandle(job);
+}
+
+ServiceStats SolverService::stats() const {
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> guard(core_->m);
+    snapshot.queued = core_->fifo.size();
+    for (const detail::Worker& worker : core_->workers) {
+      if (worker.job != nullptr && !detail::terminal(worker.job)) {
+        ++snapshot.running;
+      }
+    }
+    snapshot.free_threads = core_->free_threads;
+  }
+  snapshot.submitted = core_->submitted.load(std::memory_order_relaxed);
+  snapshot.completed = core_->completed.load(std::memory_order_relaxed);
+  snapshot.cancelled = core_->cancelled.load(std::memory_order_relaxed);
+  snapshot.failed = core_->failed.load(std::memory_order_relaxed);
+  snapshot.retried = core_->retried.load(std::memory_order_relaxed);
+  snapshot.degraded = core_->degraded.load(std::memory_order_relaxed);
+  snapshot.thread_budget = budget_;
+  return snapshot;
 }
 
 std::size_t SolverService::pending_jobs() const {

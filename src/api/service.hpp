@@ -35,12 +35,46 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "api/solve.hpp"
 #include "api/solver.hpp"
 
 namespace cspls::api {
+
+/// Point-in-time view of a SolverService — what a transport's /stats
+/// endpoint and a load generator need: the live queue state plus lifetime
+/// counters (monotone since construction).
+struct ServiceStats {
+  std::size_t queued = 0;        ///< jobs admitted to the FIFO, not yet run
+  std::size_t running = 0;       ///< jobs currently holding a thread lease
+  std::uint64_t submitted = 0;   ///< successful submit() calls
+  std::uint64_t completed = 0;   ///< jobs finished kDone
+  std::uint64_t cancelled = 0;   ///< jobs finished kCancelled
+  std::uint64_t failed = 0;      ///< jobs finished kFailed
+  std::uint64_t retried = 0;     ///< retry backoffs entered (kRetrying)
+  std::uint64_t degraded = 0;    ///< jobs the watchdog degraded at least once
+  std::size_t thread_budget = 0;
+  std::size_t free_threads = 0;
+
+  /// {"queued":..,"running":..,...} — member order fixed, so the encoding
+  /// is deterministic for a given snapshot.
+  [[nodiscard]] util::Json to_json() const;
+
+  [[nodiscard]] bool operator==(const ServiceStats&) const = default;
+};
+
+/// Streaming subscription for a submitted job: `on_sample` receives
+/// (walker_id, iteration, cost) from walker threads while attempts run (see
+/// SolveCallbacks::sample_sink) — the transport lifts nonincreasing
+/// best-cost events out of it.  Retried attempts stream too, so a consumer
+/// wanting monotone output must filter (samples restart at the retry's
+/// starting cost).  Empty on_sample or zero period disables streaming.
+struct JobStream {
+  std::function<void(std::size_t, std::uint64_t, csp::Cost)> on_sample;
+  std::uint64_t sample_period = 0;
+};
 
 enum class JobStatus {
   kQueued,     ///< admitted to the FIFO, waiting for budget
@@ -135,7 +169,14 @@ class SolverService {
   /// ("submit after shutdown"): the shutdown check runs *before*
   /// validation, so a closed service never misreports itself as a parse
   /// error.
-  [[nodiscard]] JobHandle submit(SolveRequest request);
+  [[nodiscard]] JobHandle submit(SolveRequest request) {
+    return submit(std::move(request), JobStream{});
+  }
+
+  /// Same, with a streaming subscription: `stream.on_sample` is invoked
+  /// from walker threads while the job's attempts run.  The callback must
+  /// be thread-safe and must stay valid until the job is terminal.
+  [[nodiscard]] JobHandle submit(SolveRequest request, JobStream stream);
 
   /// Stop accepting submissions, cancel every queued and running job and
   /// join all workers (blocking).  Idempotent; also run by the destructor.
@@ -146,6 +187,10 @@ class SolverService {
 
   /// Jobs not yet terminal (queued + running).
   [[nodiscard]] std::size_t pending_jobs() const;
+
+  /// Snapshot of the queue state and lifetime counters.  Cheap (one lock);
+  /// safe to poll from a transport's /stats endpoint under load.
+  [[nodiscard]] ServiceStats stats() const;
 
  private:
   void dispatch_loop();

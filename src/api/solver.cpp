@@ -51,7 +51,7 @@ void validate_retry(const RetryPolicy& retry) {
 }  // namespace
 
 SolveReport Solver::solve(const SolveRequest& request, core::StopToken token,
-                          std::atomic<std::uint64_t>* heartbeat) {
+                          const SolveCallbacks& callbacks) {
   validate_retry(request.retry);
   const problems::ProblemSpec spec = problems::parse_spec(request.problem);
   const std::unique_ptr<csp::Problem> problem = problems::instantiate(spec);
@@ -63,7 +63,11 @@ SolveReport Solver::solve(const SolveRequest& request, core::StopToken token,
   }
 
   parallel::WalkerPoolOptions options = request.to_pool_options();
-  options.heartbeat = heartbeat;
+  options.heartbeat = callbacks.heartbeat;
+  if (callbacks.sample_sink && callbacks.sample_period != 0) {
+    options.sample_sink = callbacks.sample_sink;
+    options.sample_sink_period = callbacks.sample_period;
+  }
   const parallel::WalkerPool pool(std::move(options));
   const parallel::MultiWalkReport pool_report = pool.run(*problem, token);
 

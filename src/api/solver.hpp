@@ -6,10 +6,25 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 
 #include "api/solve.hpp"
 
 namespace cspls::api {
+
+/// Out-of-band observation channels for a solve run by the serving layer:
+/// a liveness counter for watchdog supervision and a live cost-sample sink
+/// for streaming anytime responses.  All observational — wiring them cannot
+/// change the outcome of a seeded run.
+struct SolveCallbacks {
+  /// Bumped by every walker (see core::Hooks::heartbeat); null disables.
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
+  /// Called with (walker_id, iteration, cost) at iteration 0 and every
+  /// `sample_period` iterations of each walk; invoked from walker threads,
+  /// so it must be thread-safe.  Empty disables.
+  std::function<void(std::size_t, std::uint64_t, csp::Cost)> sample_sink;
+  std::uint64_t sample_period = 0;
+};
 
 class Solver {
  public:
@@ -38,9 +53,19 @@ class Solver {
   /// every walker (see core::Hooks::heartbeat) for watchdog supervision.
   /// Validates the retry/warm-start knobs along with the rest of the
   /// request.
+  [[nodiscard]] static SolveReport solve(
+      const SolveRequest& request, core::StopToken token,
+      std::atomic<std::uint64_t>* heartbeat) {
+    SolveCallbacks callbacks;
+    callbacks.heartbeat = heartbeat;
+    return solve(request, token, callbacks);
+  }
+
+  /// The serving tier's entry point: full StopToken control plus the
+  /// observation channels (watchdog heartbeat, streaming sample sink).
   [[nodiscard]] static SolveReport solve(const SolveRequest& request,
                                          core::StopToken token,
-                                         std::atomic<std::uint64_t>* heartbeat);
+                                         const SolveCallbacks& callbacks);
 };
 
 }  // namespace cspls::api

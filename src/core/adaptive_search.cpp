@@ -55,6 +55,7 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
   if (trace != nullptr && hooks.trace_sample_period != 0) {
     trace->cost_samples.push_back(TraceSample{0, cost});
   }
+  if (hooks.sample && hooks.sample_period != 0) hooks.sample(0, cost);
 
   // Track the best configuration ever seen (across restarts) so the run
   // reports something useful even when it fails.
@@ -131,6 +132,10 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
       if (trace != nullptr && hooks.trace_sample_period != 0 &&
           iter % hooks.trace_sample_period == 0) {
         trace->cost_samples.push_back(TraceSample{iter, cost});
+      }
+      if (hooks.sample && hooks.sample_period != 0 &&
+          iter % hooks.sample_period == 0) {
+        hooks.sample(iter, cost);
       }
 
       // Asynchronous gossip gate: pull a neighbour's configuration mid-walk.

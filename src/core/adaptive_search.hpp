@@ -70,6 +70,17 @@ struct Hooks {
   std::function<void(std::uint64_t, csp::Cost, std::span<const int>)> observer;
   std::uint64_t observer_period = 0;  ///< 0 disables the observer
 
+  /// Live anytime sampling for the serving tier: called with (iteration,
+  /// cost) at iteration 0 and every `sample_period` iterations after —
+  /// exactly where trace samples are recorded, but pushed to a callback
+  /// while the walk runs instead of collected for after.  Kept separate
+  /// from `observer`, which the communication policies claim for publish
+  /// traffic (comm_hooks) and which carries the configuration; a sample is
+  /// cost-only and purely observational.  Never consumes the walk's RNG
+  /// stream, so streaming cannot change the outcome of a seeded run.
+  std::function<void(std::uint64_t, csp::Cost)> sample;
+  std::uint64_t sample_period = 0;  ///< 0 disables live sampling
+
   /// When non-null, the engine fills this instrumentation record: final
   /// counters always, plus (iteration, cost) samples every
   /// `trace_sample_period` iterations when the period is non-zero.  Purely

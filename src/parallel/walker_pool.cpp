@@ -213,6 +213,12 @@ MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
       }
       if (session.armed()) hooks.fault = &session;
       hooks.heartbeat = options_.heartbeat;
+      if (options_.sample_sink && options_.sample_sink_period != 0) {
+        hooks.sample = [this, id](std::uint64_t iteration, csp::Cost cost) {
+          options_.sample_sink(id, iteration, cost);
+        };
+        hooks.sample_period = options_.sample_sink_period;
+      }
       if (options_.warm_start.has_value()) {
         hooks.warm_start = &*options_.warm_start;
       }

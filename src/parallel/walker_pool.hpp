@@ -49,6 +49,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -122,6 +123,16 @@ struct WalkerPoolOptions {
   /// Liveness counter bumped by every walker (see core::Hooks::heartbeat);
   /// null disables.  Must outlive run().
   std::atomic<std::uint64_t>* heartbeat = nullptr;
+
+  /// Live cost-sample sink for the serving tier's streaming responses:
+  /// called with (walker_id, iteration, current cost) at iteration 0 and
+  /// every `sample_sink_period` iterations of each walk (see
+  /// core::Hooks::sample).  Invoked from walker bodies — concurrently under
+  /// Scheduling::kThreads — so the callback must be thread-safe and cheap.
+  /// Purely observational and RNG-neutral: enabling it cannot change the
+  /// outcome of a seeded run.  Must outlive run().
+  std::function<void(std::size_t, std::uint64_t, csp::Cost)> sample_sink;
+  std::uint64_t sample_sink_period = 0;  ///< 0 disables the sink
 };
 
 struct WalkerOutcome {

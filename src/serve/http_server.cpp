@@ -1,0 +1,283 @@
+#include "serve/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace cspls::serve {
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+std::string hex_of(std::size_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%zx", value);
+  return buffer;
+}
+
+/// One event line as an HTTP/1.1 chunk.
+bool send_chunk(int fd, std::string_view line) {
+  std::string chunk = hex_of(line.size());
+  chunk += "\r\n";
+  chunk.append(line);
+  chunk += "\r\n";
+  return send_all(fd, chunk);
+}
+
+bool send_simple(int fd, int code, std::string_view reason,
+                 std::string_view body) {
+  std::string response = "HTTP/1.1 " + std::to_string(code) + " ";
+  response.append(reason);
+  response +=
+      "\r\nContent-Type: application/x-ndjson\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  response.append(body);
+  return send_all(fd, response);
+}
+
+struct Request {
+  std::string method;
+  std::string path;
+  std::string body;
+};
+
+/// Read one request (start line, headers, Content-Length body).  Returns
+/// false on a connection-level failure; protocol-level problems come back
+/// as `error_code`/`error_message` with ok == true.
+bool read_request(int fd, std::size_t max_body, Request& request,
+                  std::string_view& error_code, std::string& error_message) {
+  std::string buffer;
+  char io[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t got = ::recv(fd, io, sizeof io, 0);
+    if (got <= 0) return false;
+    buffer.append(io, static_cast<std::size_t>(got));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > max_body + 8192 && header_end == std::string::npos) {
+      error_code = kErrOversized;
+      error_message = "request headers exceed the size limit";
+      return true;
+    }
+  }
+
+  const std::string head = buffer.substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string start_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    error_code = kErrBadEnvelope;
+    error_message = "malformed HTTP request line";
+    return true;
+  }
+  request.method = start_line.substr(0, sp1);
+  request.path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::size_t content_length = 0;
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(c)));
+      if (name == "content-length") {
+        std::size_t value_at = colon + 1;
+        while (value_at < line.size() && line[value_at] == ' ') ++value_at;
+        try {
+          content_length = std::stoul(line.substr(value_at));
+        } catch (const std::exception&) {
+          error_code = kErrBadEnvelope;
+          error_message = "unparsable Content-Length";
+          return true;
+        }
+      }
+    }
+    pos = next + 2;
+  }
+  if (content_length > max_body) {
+    error_code = kErrOversized;
+    error_message = "request body of " + std::to_string(content_length) +
+                    " bytes exceeds the " + std::to_string(max_body) +
+                    "-byte limit";
+    return true;
+  }
+
+  request.body = buffer.substr(header_end + 4);
+  while (request.body.size() < content_length) {
+    const ssize_t got = ::recv(fd, io, sizeof io, 0);
+    if (got <= 0) return false;
+    request.body.append(io, static_cast<std::size_t>(got));
+  }
+  request.body.resize(content_length);
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Scheduler& scheduler, Options options)
+    : scheduler_(scheduler), options_(options) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("HttpServer: cannot bind 127.0.0.1:" +
+                             std::to_string(options_.port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR), ::close(fd);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard lock(conn_m_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) {
+    if (connection.joinable()) connection.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    std::lock_guard lock(conn_m_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  Request request;
+  std::string_view error_code;
+  std::string error_message;
+  if (!read_request(fd, options_.max_body_bytes, request, error_code,
+                    error_message)) {
+    ::close(fd);
+    return;
+  }
+  if (!error_code.empty()) {
+    send_simple(fd, 400, "Bad Request",
+                encode_error(error_code, error_message) + "\n");
+    ::close(fd);
+    return;
+  }
+
+  if (request.method == "GET" && request.path == "/stats") {
+    send_simple(fd, 200, "OK",
+                encode_stats(scheduler_.stats().to_json(),
+                             scheduler_.service_stats().to_json()) +
+                    "\n");
+    ::close(fd);
+    return;
+  }
+  if (request.path != "/api") {
+    send_simple(fd, 404, "Not Found",
+                encode_error(kErrUnknownOp,
+                             "no such path (POST /api, GET /stats)") +
+                    "\n");
+    ::close(fd);
+    return;
+  }
+  if (request.method != "POST") {
+    send_simple(fd, 405, "Method Not Allowed",
+                encode_error(kErrUnknownOp, "POST the command to /api") +
+                    "\n");
+    ::close(fd);
+    return;
+  }
+
+  // Parse before answering so protocol errors get a 400 status; the
+  // session would only see them after the 200 header was on the wire.
+  try {
+    (void)parse_command(request.body, options_.max_body_bytes);
+  } catch (const ProtocolError& error) {
+    send_simple(fd, 400, "Bad Request",
+                encode_error(error.code(), error.what()) + "\n");
+    ::close(fd);
+    return;
+  }
+
+  if (!send_all(fd,
+                "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n")) {
+    ::close(fd);
+    return;
+  }
+
+  std::atomic<bool> broken{false};
+  Session session(
+      scheduler_,
+      [fd, &broken](std::string_view line) {
+        if (broken.load(std::memory_order_relaxed)) return;
+        if (!send_chunk(fd, line)) {
+          broken.store(true, std::memory_order_relaxed);
+        }
+      },
+      Session::Options{options_.max_body_bytes});
+  session.handle_line(request.body);
+  if (broken.load() || stopping_.load()) session.cancel_all();
+  session.drain();
+  if (!broken.load()) send_all(fd, "0\r\n\r\n");
+  ::close(fd);
+}
+
+}  // namespace cspls::serve

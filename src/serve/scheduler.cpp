@@ -1,0 +1,543 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "api/solver.hpp"
+#include "core/stop_token.hpp"
+#include "problems/spec.hpp"
+#include "util/fault.hpp"
+
+namespace cspls::serve {
+
+namespace detail {
+
+/// One admitted job, shared between the lanes, the workers/dispatcher and
+/// any cancel() caller.  Queue membership, phase and the service handle
+/// are guarded by the scheduler mutex; the sample filter has its own lock
+/// because walker threads hit it while the scheduler lock is busy.
+struct ServeJob {
+  std::uint64_t id = 0;
+  SolveCommand command;
+  JobEvents events;
+  bool warm_path = false;
+
+  std::atomic<bool> cancel{false};
+
+  // Guarded by Scheduler::m_.
+  api::JobHandle handle;         ///< service path, once submitted
+  bool in_service = false;
+  bool preempt_pending = false;  ///< cancelled to make room, requeue on reap
+  bool started_recorded = false;
+
+  // Sample/report serialization: on_sample fires under this lock so best
+  // cost is strictly decreasing on the wire and nothing follows on_report.
+  std::mutex sample_m;
+  csp::Cost best_seen = csp::kInfiniteCost;
+  bool reported = false;
+
+  void offer_sample(std::size_t walker, std::uint64_t iteration,
+                    csp::Cost cost) {
+    std::lock_guard lock(sample_m);
+    if (reported || cost >= best_seen) return;
+    best_seen = cost;
+    if (events.on_sample) events.on_sample(id, walker, iteration, cost);
+  }
+
+  void emit_report(std::string_view status, const api::SolveReport& report,
+                   std::string_view error) {
+    std::lock_guard lock(sample_m);
+    if (reported) return;
+    reported = true;
+    if (events.on_report) events.on_report(id, status, report, error);
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::string_view kDone = "done";
+constexpr std::string_view kCancelled = "cancelled";
+constexpr std::string_view kFailed = "failed";
+
+std::size_t lane_of(const detail::ServeJob& job) {
+  return static_cast<std::size_t>(job.command.priority);
+}
+
+/// Walker threads the job would lease — the service's accounting, mirrored
+/// so path selection matches what the budget would actually see.
+std::size_t lease_estimate(const api::SolveRequest& request) {
+  if (request.scheduling != parallel::Scheduling::kThreads) return 1;
+  std::size_t want = std::max<std::size_t>(1, request.walkers);
+  if (request.max_threads != 0) want = std::min(want, request.max_threads);
+  return want;
+}
+
+api::SolveReport cancelled_report(const detail::ServeJob& job) {
+  api::SolveReport report;
+  report.problem = job.command.request.problem;
+  report.cancelled = true;
+  return report;
+}
+
+std::string_view status_of(api::JobStatus status) {
+  switch (status) {
+    case api::JobStatus::kDone:
+      return kDone;
+    case api::JobStatus::kCancelled:
+      return kCancelled;
+    default:
+      return kFailed;
+  }
+}
+
+}  // namespace
+
+util::Json SchedulerStats::to_json() const {
+  util::Json json = util::Json::object();
+  json.set("queued_high", static_cast<std::uint64_t>(queued[0]))
+      .set("queued_normal", static_cast<std::uint64_t>(queued[1]))
+      .set("queued_low", static_cast<std::uint64_t>(queued[2]))
+      .set("inflight", static_cast<std::uint64_t>(inflight))
+      .set("warm_active", static_cast<std::uint64_t>(warm_active))
+      .set("submitted", submitted)
+      .set("completed", completed)
+      .set("cancelled", cancelled)
+      .set("failed", failed)
+      .set("preempted", preempted)
+      .set("givebacks", givebacks)
+      .set("batches", batches)
+      .set("batched_jobs", batched_jobs);
+  return json;
+}
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  if (options_.warm_workers == 0) options_.warm_workers = 1;
+  if (options_.warm_batch_max == 0) options_.warm_batch_max = 1;
+  if (options_.service_inflight == 0) options_.service_inflight = 1;
+  warm_threads_.reserve(options_.warm_workers);
+  for (std::size_t i = 0; i < options_.warm_workers; ++i) {
+    warm_threads_.emplace_back([this] { warm_loop(); });
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+std::uint64_t Scheduler::submit(SolveCommand command, JobEvents events) {
+  // Same submission-site validation as the service: the caller gets the
+  // diagnostic now, not a failed job later.
+  (void)problems::parse_spec(command.request.problem);
+  parallel::validate_options(command.request.to_pool_options());
+
+  auto job = std::make_shared<detail::ServeJob>();
+  {
+    std::lock_guard lock(m_);
+    if (stopping_) {
+      throw std::runtime_error("serve::Scheduler: submit after shutdown");
+    }
+    job->id = next_id_++;
+  }
+  job->command = std::move(command);
+  if (job->command.sample_period == 0) {
+    job->command.sample_period = options_.default_sample_period;
+  }
+  job->events = std::move(events);
+  job->warm_path =
+      lease_estimate(job->command.request) <= options_.warm_lease_threshold;
+
+  // Fired before the job is visible to any worker, with no lock held:
+  // `accepted` always precedes the first `sample`.
+  if (job->events.on_accepted) job->events.on_accepted(job->id);
+
+  bool raced_shutdown = false;
+  {
+    std::lock_guard lock(m_);
+    if (stopping_) {
+      raced_shutdown = true;
+    } else {
+      jobs_.emplace(job->id, job);
+      auto& lanes = job->warm_path ? warm_lanes_ : service_lanes_;
+      lanes[lane_of(*job)].push_back(job);
+      ++submitted_;
+    }
+  }
+  if (raced_shutdown) {
+    // Accepted already went out; close the job's stream honestly.
+    job->emit_report(kCancelled, cancelled_report(*job), {});
+    return job->id;
+  }
+  if (job->warm_path) warm_cv_.notify_one();
+  return job->id;
+}
+
+Scheduler::CancelResult Scheduler::cancel(std::uint64_t id) {
+  JobPtr dequeued;
+  CancelResult result;
+  {
+    std::lock_guard lock(m_);
+    if (id == 0 || id >= next_id_) return CancelResult::kUnknown;
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return CancelResult::kAlreadyTerminal;
+    const JobPtr job = it->second;
+    job->cancel.store(true, std::memory_order_relaxed);
+    if (job->in_service) {
+      // A client cancel outranks a pending preemption requeue.
+      job->preempt_pending = false;
+      (void)job->handle.cancel();
+    } else {
+      auto& lanes = job->warm_path ? warm_lanes_ : service_lanes_;
+      auto& lane = lanes[lane_of(*job)];
+      const auto pos = std::find(lane.begin(), lane.end(), job);
+      if (pos != lane.end()) {
+        // Still queued here: finalize directly, nobody else owns it.
+        lane.erase(pos);
+        jobs_.erase(it);
+        ++cancelled_;
+        dequeued = job;
+      }
+      // Otherwise a warm worker holds it; the flag stops the solve and the
+      // worker finalizes with status "cancelled".
+    }
+    result = CancelResult::kCancelled;
+  }
+  if (dequeued) dequeued->emit_report(kCancelled, cancelled_report(*dequeued), {});
+  return result;
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard lock(m_);
+  SchedulerStats stats;
+  for (std::size_t i = 0; i < kNumLanes; ++i) {
+    stats.queued[i] = warm_lanes_[i].size() + service_lanes_[i].size();
+  }
+  stats.inflight = inflight_.size();
+  stats.warm_active = warm_active_;
+  stats.submitted = submitted_;
+  stats.completed = completed_;
+  stats.cancelled = cancelled_;
+  stats.failed = failed_;
+  stats.preempted = preempted_;
+  stats.givebacks = givebacks_;
+  stats.batches = batches_;
+  stats.batched_jobs = batched_jobs_;
+  return stats;
+}
+
+api::ServiceStats Scheduler::service_stats() const { return service_.stats(); }
+
+std::vector<std::uint64_t> Scheduler::started_order() const {
+  std::lock_guard lock(m_);
+  return started_order_;
+}
+
+bool Scheduler::warm_lanes_empty() const {
+  for (const auto& lane : warm_lanes_) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+void Scheduler::finalize(const Finalization& f) {
+  f.job->emit_report(f.status, f.report, f.error);
+}
+
+std::string Scheduler::run_warm(detail::ServeJob& job) {
+  api::SolveReport report;
+  std::string status{kDone};
+  std::string error;
+  try {
+    // The warm path shares the service path's dispatch failure model: one
+    // `service_dispatch` probe per job, so the same fault plans script
+    // crashes on either path.  No retry here — small jobs rerun cheaply
+    // from the client; self-healing is the service path's job.
+    const util::fault::Schedule schedule =
+        util::fault::kCompiledIn
+            ? util::fault::Schedule::with_env(job.command.request.faults)
+            : util::fault::Schedule{};
+    util::fault::Session dispatch_faults(&schedule, util::fault::kAnyWalker);
+    if (util::fault::probe(&dispatch_faults,
+                           util::fault::Site::kServiceDispatch) ==
+        util::fault::Action::kCorrupt) {
+      throw std::runtime_error("injected fault: corrupt service_dispatch");
+    }
+
+    const core::StopToken token(&job.cancel);
+    api::SolveCallbacks callbacks;
+    if (job.command.stream && job.command.sample_period != 0) {
+      callbacks.sample_sink = [&job](std::size_t walker,
+                                     std::uint64_t iteration, csp::Cost cost) {
+        job.offer_sample(walker, iteration, cost);
+      };
+      callbacks.sample_period = job.command.sample_period;
+    }
+    report = api::Solver::solve(job.command.request, token, callbacks);
+    if (report.cancelled) status = kCancelled;
+  } catch (const std::exception& ex) {
+    status = kFailed;
+    error = ex.what();
+    report = api::SolveReport{};
+    report.problem = job.command.request.problem;
+  }
+  job.emit_report(status, report, error);
+  return status;
+}
+
+void Scheduler::warm_loop() {
+  std::vector<JobPtr> batch;
+  for (;;) {
+    std::size_t lane_idx = 0;
+    {
+      std::unique_lock lock(m_);
+      warm_cv_.wait(lock, [this] { return stopping_ || !warm_lanes_empty(); });
+      if (stopping_ && warm_lanes_empty()) return;
+      while (warm_lanes_[lane_idx].empty()) ++lane_idx;
+      auto& lane = warm_lanes_[lane_idx];
+      const std::size_t take = std::min(options_.warm_batch_max, lane.size());
+      batch.assign(lane.begin(), lane.begin() + static_cast<std::ptrdiff_t>(take));
+      lane.erase(lane.begin(), lane.begin() + static_cast<std::ptrdiff_t>(take));
+      warm_active_ += take;
+      ++batches_;
+      batched_jobs_ += take;
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      {
+        std::unique_lock lock(m_);
+        // Give-back preemption: a stronger lane filled while this batch
+        // was in hand — return the unstarted tail and re-claim from the
+        // top.  Skipped during shutdown (everything is cancelled anyway).
+        bool gave_back = false;
+        if (!stopping_) {
+          for (std::size_t stronger = 0; stronger < lane_idx; ++stronger) {
+            if (!warm_lanes_[stronger].empty()) {
+              for (std::size_t j = batch.size(); j > i; --j) {
+                warm_lanes_[lane_idx].push_front(batch[j - 1]);
+              }
+              const std::size_t returned = batch.size() - i;
+              givebacks_ += returned;
+              warm_active_ -= returned;
+              batch.resize(i);
+              gave_back = true;
+              warm_cv_.notify_one();
+              break;
+            }
+          }
+        }
+        if (gave_back) break;
+        if (!batch[i]->started_recorded) {
+          batch[i]->started_recorded = true;
+          started_order_.push_back(batch[i]->id);
+        }
+      }
+
+      const std::string status = run_warm(*batch[i]);
+
+      {
+        std::lock_guard lock(m_);
+        jobs_.erase(batch[i]->id);
+        --warm_active_;
+        if (status == kDone) {
+          ++completed_;
+        } else if (status == kCancelled) {
+          ++cancelled_;
+        } else {
+          ++failed_;
+        }
+      }
+    }
+    batch.clear();
+  }
+}
+
+void Scheduler::dispatch_loop() {
+  for (;;) {
+    std::vector<Finalization> done;
+    bool exit_after = false;
+    {
+      std::unique_lock lock(m_);
+
+      // Reap: probe every in-flight handle without blocking.
+      std::vector<JobPtr> requeue;  ///< preempted, in original FIFO order
+      for (auto it = inflight_.begin(); it != inflight_.end();) {
+        const JobPtr& job = *it;
+        // Record a start only on an observed kRunning: a preempted job's
+        // handle jumps kQueued -> kCancelled without ever executing.
+        const api::JobStatus status = job->handle.status();
+        if (!job->started_recorded && status == api::JobStatus::kRunning) {
+          job->started_recorded = true;
+          started_order_.push_back(job->id);
+        }
+        if (!job->handle.wait_for(std::chrono::milliseconds(0))) {
+          ++it;
+          continue;
+        }
+        const api::JobStatus terminal = job->handle.status();
+        if (job->preempt_pending &&
+            terminal == api::JobStatus::kCancelled &&
+            !job->cancel.load(std::memory_order_relaxed) && !stopping_) {
+          // Preempted, not client-cancelled: back to the front of its lane
+          // for a fresh submission after the stronger job.
+          job->preempt_pending = false;
+          job->in_service = false;
+          job->handle = api::JobHandle{};
+          requeue.push_back(job);
+          ++preempted_;
+        } else {
+          // A job that reached done/failed necessarily ran, even if it was
+          // too quick for a kRunning probe to catch it in flight.
+          if (!job->started_recorded &&
+              terminal != api::JobStatus::kCancelled) {
+            job->started_recorded = true;
+            started_order_.push_back(job->id);
+          }
+          const std::string_view status_name = status_of(terminal);
+          done.push_back(Finalization{job, std::string(status_name),
+                                      job->handle.report(),
+                                      job->handle.error()});
+          jobs_.erase(job->id);
+          if (terminal == api::JobStatus::kDone) {
+            ++completed_;
+          } else if (terminal == api::JobStatus::kCancelled) {
+            ++cancelled_;
+          } else {
+            ++failed_;
+          }
+        }
+        it = inflight_.erase(it);
+      }
+      // Requeue preempted jobs at the front of their lanes, preserving
+      // their relative FIFO order (reverse iteration + push_front).
+      for (auto rit = requeue.rbegin(); rit != requeue.rend(); ++rit) {
+        service_lanes_[lane_of(**rit)].push_front(*rit);
+      }
+
+      // Preempt: a stronger lane is waiting while weaker in-flight jobs
+      // are still queued inside the service — cancel them to make room.
+      if (!stopping_) {
+        std::size_t strongest_waiting = kNumLanes;
+        for (std::size_t i = 0; i < kNumLanes; ++i) {
+          if (!service_lanes_[i].empty()) {
+            strongest_waiting = i;
+            break;
+          }
+        }
+        if (strongest_waiting < kNumLanes) {
+          for (const JobPtr& job : inflight_) {
+            if (!job->preempt_pending && lane_of(*job) > strongest_waiting &&
+                job->handle.status() == api::JobStatus::kQueued) {
+              if (job->handle.cancel()) job->preempt_pending = true;
+            }
+          }
+        }
+
+        // Submit: fill the service up to the in-flight cap, strongest
+        // lane first.
+        while (inflight_.size() < options_.service_inflight) {
+          JobPtr job;
+          for (auto& lane : service_lanes_) {
+            if (!lane.empty()) {
+              job = lane.front();
+              lane.pop_front();
+              break;
+            }
+          }
+          if (!job) break;
+          if (job->cancel.load(std::memory_order_relaxed)) {
+            done.push_back(
+                Finalization{job, std::string(kCancelled),
+                             cancelled_report(*job), std::string{}});
+            jobs_.erase(job->id);
+            ++cancelled_;
+            continue;
+          }
+          api::JobStream stream;
+          if (job->command.stream && job->command.sample_period != 0) {
+            const JobPtr sink = job;
+            stream.on_sample = [sink](std::size_t walker,
+                                      std::uint64_t iteration,
+                                      csp::Cost cost) {
+              sink->offer_sample(walker, iteration, cost);
+            };
+            stream.sample_period = job->command.sample_period;
+          }
+          try {
+            job->handle = service_.submit(job->command.request,
+                                          std::move(stream));
+          } catch (const std::exception& ex) {
+            done.push_back(Finalization{job, std::string(kFailed),
+                                        api::SolveReport{}, ex.what()});
+            jobs_.erase(job->id);
+            ++failed_;
+            continue;
+          }
+          job->in_service = true;
+          inflight_.push_back(job);
+        }
+      }
+
+      if (stopping_ && inflight_.empty()) {
+        // Drain anything still laned (shutdown raced a requeue).
+        for (auto& lane : service_lanes_) {
+          while (!lane.empty()) {
+            const JobPtr job = lane.front();
+            lane.pop_front();
+            done.push_back(Finalization{job, std::string(kCancelled),
+                                        cancelled_report(*job),
+                                        std::string{}});
+            jobs_.erase(job->id);
+            ++cancelled_;
+          }
+        }
+        exit_after = true;
+      }
+    }
+
+    for (const Finalization& f : done) finalize(f);
+    if (exit_after) return;
+    std::this_thread::sleep_for(options_.poll_period);
+  }
+}
+
+void Scheduler::shutdown() {
+  std::vector<Finalization> done;
+  {
+    std::lock_guard lock(m_);
+    if (joined_) return;
+    stopping_ = true;
+    // Drain the lanes: queued jobs finalize as cancelled right here.
+    for (auto* lanes : {&warm_lanes_, &service_lanes_}) {
+      for (auto& lane : *lanes) {
+        while (!lane.empty()) {
+          const JobPtr job = lane.front();
+          lane.pop_front();
+          done.push_back(Finalization{job, std::string(kCancelled),
+                                      cancelled_report(*job), std::string{}});
+          jobs_.erase(job->id);
+          ++cancelled_;
+        }
+      }
+    }
+    // Anything still live is held by a worker or the service: flag it.
+    for (const auto& [id, job] : jobs_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+      if (job->in_service) (void)job->handle.cancel();
+    }
+  }
+  warm_cv_.notify_all();
+  for (const Finalization& f : done) finalize(f);
+  for (std::thread& thread : warm_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  service_.shutdown();
+  {
+    std::lock_guard lock(m_);
+    joined_ = true;
+  }
+}
+
+}  // namespace cspls::serve

@@ -1,0 +1,184 @@
+// The serving tier's admission scheduler: three priority lanes in front of
+// two execution paths, chosen per job by its thread-lease estimate.
+//
+// Warm path (lease <= warm_lease_threshold): a fixed pool of warm worker
+// threads claims *batches* of small jobs off the strongest non-empty lane
+// and runs them back-to-back in-thread — a thousand one-walker solves cost
+// `warm_workers` long-lived threads plus their walker threads, not a
+// thousand service workers.  Preemption is cooperative give-back: before
+// starting each claimed job a worker re-checks the stronger lanes, and if
+// one filled up it returns its unstarted jobs to the front of their lane
+// and re-claims from the stronger lane.
+//
+// Service path (bigger leases): jobs flow through an api::SolverService —
+// inheriting its thread budget, retry/backoff self-healing and watchdog —
+// kept shallow (at most `service_inflight` submitted at a time) so lane
+// order, not the service's FIFO, decides who runs next.  When a stronger
+// lane has a job waiting, in-flight weaker jobs that are still *queued*
+// inside the service are preempted: cancelled and requeued at the front of
+// their lane, to be resubmitted after the stronger job — they still
+// terminate with their real status once re-run.
+//
+// Streaming: a job submitted with `stream` pushes (walker, iteration, cost)
+// samples through JobEvents::on_sample, filtered to strictly decreasing
+// best cost (the anytime payload) and serialized so no sample follows the
+// terminal report.  Event callbacks are never invoked while the scheduler
+// lock is held, and `on_accepted` fires before the job becomes visible to
+// any worker — `accepted` always precedes the first `sample` on the wire.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/service.hpp"
+#include "serve/protocol.hpp"
+
+namespace cspls::serve {
+
+namespace detail {
+struct ServeJob;
+}  // namespace detail
+
+struct SchedulerOptions {
+  /// Warm worker threads (each runs one job at a time, in-thread).
+  std::size_t warm_workers = 2;
+  /// Jobs whose thread-lease estimate (walkers capped by max_threads;
+  /// 1 for non-threaded scheduling) is <= this run on the warm path.
+  std::size_t warm_lease_threshold = 1;
+  /// Most jobs a warm worker claims per lane visit.
+  std::size_t warm_batch_max = 8;
+  /// Most service-path jobs submitted into the SolverService at once; the
+  /// rest wait in lanes where priority order (and preemption) applies.
+  std::size_t service_inflight = 4;
+  /// Sample period for streaming jobs that did not pick one.
+  std::uint64_t default_sample_period = 256;
+  /// Dispatcher poll period for reaping / preempting / submitting.
+  std::chrono::milliseconds poll_period{2};
+  /// The service path's knobs (thread budget, per-job cap).
+  api::SolverService::Options service;
+};
+
+/// Per-job event sinks; all fired off the submitting thread (workers, the
+/// dispatcher) except on_accepted, which fires synchronously inside
+/// submit() — before the job is visible to any worker.  Must be
+/// thread-safe; must stay valid until on_report has fired.
+struct JobEvents {
+  std::function<void(std::uint64_t id)> on_accepted;
+  /// Strictly decreasing best-cost samples; never fired after on_report.
+  std::function<void(std::uint64_t id, std::size_t walker,
+                     std::uint64_t iteration, csp::Cost cost)>
+      on_sample;
+  /// Exactly once per job; status is "done" | "cancelled" | "failed"
+  /// (error is non-empty only for "failed").
+  std::function<void(std::uint64_t id, std::string_view status,
+                     const api::SolveReport& report, std::string_view error)>
+      on_report;
+};
+
+/// Point-in-time scheduler counters (the service path's own counters live
+/// in api::ServiceStats, reported alongside).
+struct SchedulerStats {
+  std::array<std::size_t, kNumLanes> queued{};  ///< per lane, both paths
+  std::size_t inflight = 0;     ///< submitted into the service, not reaped
+  std::size_t warm_active = 0;  ///< claimed by warm workers, not finalized
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t preempted = 0;      ///< service-queued jobs requeued
+  std::uint64_t givebacks = 0;      ///< warm jobs returned unstarted
+  std::uint64_t batches = 0;        ///< warm batch claims
+  std::uint64_t batched_jobs = 0;   ///< warm jobs claimed across batches
+
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] bool operator==(const SchedulerStats&) const = default;
+};
+
+class Scheduler {
+ public:
+  enum class CancelResult {
+    kCancelled,        ///< the job existed and cancellation will take effect
+    kAlreadyTerminal,  ///< known id, but the job already reported
+    kUnknown,          ///< no such id was ever assigned
+  };
+
+  explicit Scheduler(SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Validate and enqueue.  Throws std::invalid_argument on a malformed
+  /// request (unknown problem, bad pool configuration) and
+  /// std::runtime_error after shutdown().  Returns the job id; by return,
+  /// events.on_accepted has already fired.
+  std::uint64_t submit(SolveCommand command, JobEvents events);
+
+  CancelResult cancel(std::uint64_t id);
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] api::ServiceStats service_stats() const;
+
+  /// Cancel everything outstanding (each job still gets its on_report,
+  /// status "cancelled"), join workers and the dispatcher, shut the
+  /// service down.  Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// Job ids in the order their solve actually started (warm: the worker
+  /// picked it up; service: first observed out of the service's queue) —
+  /// the observable priority/preemption order, for tests.
+  [[nodiscard]] std::vector<std::uint64_t> started_order() const;
+
+ private:
+  using JobPtr = std::shared_ptr<detail::ServeJob>;
+  struct Finalization {
+    JobPtr job;
+    std::string status;
+    api::SolveReport report;
+    std::string error;
+  };
+
+  void warm_loop();
+  void dispatch_loop();
+  std::string run_warm(detail::ServeJob& job);
+  [[nodiscard]] bool warm_lanes_empty() const;  ///< caller holds m_
+  void finalize(const Finalization& f);
+
+  SchedulerOptions options_;
+  api::SolverService service_;
+
+  mutable std::mutex m_;
+  std::condition_variable warm_cv_;
+  std::array<std::deque<JobPtr>, kNumLanes> warm_lanes_;
+  std::array<std::deque<JobPtr>, kNumLanes> service_lanes_;
+  std::unordered_map<std::uint64_t, JobPtr> jobs_;  ///< live (non-terminal)
+  std::vector<JobPtr> inflight_;
+  std::vector<std::uint64_t> started_order_;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  bool joined_ = false;
+
+  std::size_t warm_active_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t preempted_ = 0;
+  std::uint64_t givebacks_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_jobs_ = 0;
+
+  std::vector<std::thread> warm_threads_;
+  std::thread dispatcher_;
+};
+
+}  // namespace cspls::serve

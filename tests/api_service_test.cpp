@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/timer.hpp"
@@ -37,7 +39,7 @@ SolveRequest endless_request(std::uint64_t seed) {
   request.scheduling = parallel::Scheduling::kThreads;
   request.termination = parallel::Termination::kBestAfterBudget;
   core::Params params;
-  params.restart_limit = 100'000'000;
+  params.restart_limit = 1'000'000'000'000;  // ~a day even at 10M it/s
   params.max_restarts = 0;
   request.params = params;
   return request;
@@ -324,6 +326,73 @@ TEST(SolverService, SequentialJobsLeaseOneSlotAndFinish) {
   request.termination = parallel::Termination::kBestAfterBudget;
   const JobHandle job = service.submit(request);
   EXPECT_TRUE(job.wait().solved);
+}
+
+TEST(SolverService, StatsSnapshotTracksLifecycleAndEncodesToJson) {
+  SolverService service(SolverService::Options{2, 0});
+  const ServiceStats fresh = service.stats();
+  EXPECT_EQ(fresh.submitted, 0u);
+  EXPECT_EQ(fresh.thread_budget, 2u);
+  EXPECT_EQ(fresh.free_threads, 2u);
+
+  const JobHandle done = service.submit(quick_request(1));
+  (void)done.wait();
+  JobHandle cancelled = service.submit(endless_request(2));
+  EXPECT_TRUE(cancelled.cancel());
+  ASSERT_TRUE(cancelled.wait_for(milliseconds(30'000)));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.free_threads, stats.thread_budget);
+
+  // The JSON snapshot mirrors the struct, and a quiescent service
+  // snapshots byte-identically twice.
+  const util::Json json = stats.to_json();
+  EXPECT_EQ(json.at("submitted").as_uint64(), 2u);
+  EXPECT_EQ(json.at("completed").as_uint64(), 1u);
+  EXPECT_EQ(json.at("cancelled").as_uint64(), 1u);
+  EXPECT_TRUE(json.contains("retried"));
+  EXPECT_TRUE(json.contains("degraded"));
+  EXPECT_EQ(json.dump(0), service.stats().to_json().dump(0));
+}
+
+TEST(SolverService, StreamedSamplesArriveWhileMultiplexingWithWaitFor) {
+  SolverService service(SolverService::Options{2, 0});
+  SolveRequest request = quick_request(7);
+  request.walkers = 1;
+  request.scheduling = parallel::Scheduling::kSequential;
+
+  std::mutex m;
+  std::vector<std::pair<std::uint64_t, csp::Cost>> samples;
+  JobStream stream;
+  stream.sample_period = 1;
+  stream.on_sample = [&m, &samples](std::size_t walker,
+                                    std::uint64_t iteration, csp::Cost cost) {
+    EXPECT_EQ(walker, 0u);
+    std::lock_guard lock(m);
+    samples.emplace_back(iteration, cost);
+  };
+  const JobHandle job = service.submit(std::move(request), std::move(stream));
+
+  // Multiplex idiom: bounded waits instead of a blocking wait(), leaving
+  // the loop free to service other work between polls.
+  while (!job.wait_for(milliseconds(10))) {
+  }
+  EXPECT_EQ(job.status(), JobStatus::kDone);
+  const SolveReport& report = job.wait();
+
+  std::lock_guard lock(m);
+  ASSERT_GE(samples.size(), 1u);
+  EXPECT_EQ(samples.front().first, 0u);  // the walk samples at iteration 0
+  for (const auto& [iteration, cost] : samples) {
+    // Samples carry the *current* cost, never better than the final best.
+    EXPECT_GE(cost, report.cost);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+// serve::Scheduler: lane priority on the warm path, batch give-back
+// preemption, service-queued preemption with correct terminal statuses,
+// cancellation semantics and shutdown.
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace cspls::serve {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+constexpr milliseconds kTestTimeout{30'000};
+
+bool eventually(const std::function<bool()>& predicate,
+                milliseconds timeout = kTestTimeout) {
+  const auto deadline = steady_clock::now() + timeout;
+  while (steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return predicate();
+}
+
+SolveCommand quick(Priority priority, std::uint64_t seed) {
+  SolveCommand command;
+  command.request.problem = "costas:7";
+  command.request.walkers = 1;
+  command.request.seed = seed;
+  command.request.scheduling = parallel::Scheduling::kSequential;
+  command.priority = priority;
+  return command;
+}
+
+SolveCommand endless(Priority priority, std::uint64_t seed) {
+  // Unsolvable instance with an hours-long budget: only cancel (or
+  // shutdown) ends it in test time.
+  SolveCommand command;
+  command.request.problem = "langford:5";
+  command.request.walkers = 1;
+  command.request.seed = seed;
+  command.request.scheduling = parallel::Scheduling::kSequential;
+  command.request.termination = parallel::Termination::kBestAfterBudget;
+  core::Params params;
+  params.restart_limit = 1'000'000'000'000;  // ~a day even at 10M it/s
+  params.max_restarts = 0;
+  command.request.params = params;
+  command.priority = priority;
+  return command;
+}
+
+/// Collects terminal statuses keyed by job id.
+struct Recorder {
+  std::mutex m;
+  std::map<std::uint64_t, std::string> status;
+
+  JobEvents events() {
+    JobEvents events;
+    events.on_report = [this](std::uint64_t id, std::string_view status_name,
+                              const api::SolveReport&, std::string_view) {
+      std::lock_guard lock(m);
+      status.emplace(id, std::string(status_name));
+    };
+    return events;
+  }
+
+  [[nodiscard]] std::string status_of(std::uint64_t id) {
+    std::lock_guard lock(m);
+    const auto it = status.find(id);
+    return it == status.end() ? std::string{} : it->second;
+  }
+
+  [[nodiscard]] std::size_t reported() {
+    std::lock_guard lock(m);
+    return status.size();
+  }
+};
+
+bool started(Scheduler& scheduler, std::uint64_t id) {
+  const std::vector<std::uint64_t> order = scheduler.started_order();
+  return std::find(order.begin(), order.end(), id) != order.end();
+}
+
+TEST(ServeScheduler, WarmLanesRunStrongestFirst) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  // Occupy the single worker, then queue low jobs and a late high job.
+  const std::uint64_t blocker =
+      scheduler.submit(endless(Priority::kLow, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker); }));
+  const std::uint64_t low1 =
+      scheduler.submit(quick(Priority::kLow, 2), recorder.events());
+  const std::uint64_t low2 =
+      scheduler.submit(quick(Priority::kLow, 3), recorder.events());
+  const std::uint64_t high =
+      scheduler.submit(quick(Priority::kHigh, 4), recorder.events());
+  EXPECT_EQ(scheduler.cancel(blocker), Scheduler::CancelResult::kCancelled);
+
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 4; }));
+  const std::vector<std::uint64_t> order = scheduler.started_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], blocker);
+  EXPECT_EQ(order[1], high);  // jumped both queued lows
+  EXPECT_EQ(order[2], low1);
+  EXPECT_EQ(order[3], low2);
+  EXPECT_EQ(recorder.status_of(blocker), "cancelled");
+  EXPECT_EQ(recorder.status_of(high), "done");
+  EXPECT_EQ(recorder.status_of(low1), "done");
+  EXPECT_EQ(recorder.status_of(low2), "done");
+}
+
+TEST(ServeScheduler, WarmBatchGivesBackUnstartedJobsToAStrongerArrival) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  options.warm_batch_max = 8;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  // Worker busy on blocker0; the low lane then fills so the next claim is
+  // one batch [blocker1, low1, low2].
+  const std::uint64_t blocker0 =
+      scheduler.submit(endless(Priority::kLow, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker0); }));
+  const std::uint64_t blocker1 =
+      scheduler.submit(endless(Priority::kLow, 2), recorder.events());
+  const std::uint64_t low1 =
+      scheduler.submit(quick(Priority::kLow, 3), recorder.events());
+  const std::uint64_t low2 =
+      scheduler.submit(quick(Priority::kLow, 4), recorder.events());
+  EXPECT_EQ(scheduler.cancel(blocker0), Scheduler::CancelResult::kCancelled);
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker1); }));
+
+  // The worker now holds [low1, low2] claimed but unstarted.  A high
+  // arrival must take them back to the lane, not wait behind them.
+  const std::uint64_t high =
+      scheduler.submit(quick(Priority::kHigh, 5), recorder.events());
+  EXPECT_EQ(scheduler.cancel(blocker1), Scheduler::CancelResult::kCancelled);
+
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 5; }));
+  const std::vector<std::uint64_t> order = scheduler.started_order();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], blocker0);
+  EXPECT_EQ(order[1], blocker1);
+  EXPECT_EQ(order[2], high);
+  EXPECT_EQ(order[3], low1);  // give-back preserved lane order
+  EXPECT_EQ(order[4], low2);
+  EXPECT_EQ(scheduler.stats().givebacks, 2u);
+  EXPECT_EQ(recorder.status_of(low1), "done");
+  EXPECT_EQ(recorder.status_of(low2), "done");
+}
+
+TEST(ServeScheduler, ServiceQueuedJobsArePreemptedAndStillFinish) {
+  SchedulerOptions options;
+  options.warm_lease_threshold = 0;  // everything takes the service path
+  options.service_inflight = 3;
+  options.service.thread_budget = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  // One endless job saturates the walker budget; two quick lows queue
+  // inside the service behind it.
+  const std::uint64_t blocker =
+      scheduler.submit(endless(Priority::kLow, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker); }));
+  const std::uint64_t low1 =
+      scheduler.submit(quick(Priority::kLow, 2), recorder.events());
+  const std::uint64_t low2 =
+      scheduler.submit(quick(Priority::kLow, 3), recorder.events());
+  ASSERT_TRUE(eventually(
+      [&] { return scheduler.service_stats().queued == 2; }));
+
+  // A high submit under a saturated budget: the queued lows are preempted
+  // back to their lane so the high job is next in the service.
+  const std::uint64_t high =
+      scheduler.submit(quick(Priority::kHigh, 4), recorder.events());
+  ASSERT_TRUE(eventually([&] { return scheduler.stats().preempted >= 2; }));
+  EXPECT_EQ(scheduler.cancel(blocker), Scheduler::CancelResult::kCancelled);
+
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 4; }));
+  const std::vector<std::uint64_t> order = scheduler.started_order();
+  ASSERT_GE(order.size(), 4u);
+  EXPECT_EQ(order[0], blocker);
+  EXPECT_EQ(order[1], high);  // started before the earlier-queued lows
+  // Preempted jobs still terminate with their real status.
+  EXPECT_EQ(recorder.status_of(low1), "done");
+  EXPECT_EQ(recorder.status_of(low2), "done");
+  EXPECT_EQ(recorder.status_of(high), "done");
+  EXPECT_EQ(recorder.status_of(blocker), "cancelled");
+  EXPECT_EQ(scheduler.stats().preempted, 2u);
+}
+
+TEST(ServeScheduler, CancelSemanticsAndStatsCounters) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  EXPECT_EQ(scheduler.cancel(77), Scheduler::CancelResult::kUnknown);
+
+  const std::uint64_t blocker =
+      scheduler.submit(endless(Priority::kNormal, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker); }));
+  const std::uint64_t queued =
+      scheduler.submit(quick(Priority::kNormal, 2), recorder.events());
+
+  // Cancelling a lane-queued job reports immediately, without running.
+  EXPECT_EQ(scheduler.cancel(queued), Scheduler::CancelResult::kCancelled);
+  EXPECT_EQ(recorder.status_of(queued), "cancelled");
+  EXPECT_EQ(scheduler.cancel(queued), Scheduler::CancelResult::kAlreadyTerminal);
+
+  const std::uint64_t done =
+      scheduler.submit(quick(Priority::kHigh, 3), recorder.events());
+  // Cancelling the running blocker frees the only worker for the high job.
+  EXPECT_EQ(scheduler.cancel(blocker), Scheduler::CancelResult::kCancelled);
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 3; }));
+  EXPECT_EQ(recorder.status_of(done), "done");
+  EXPECT_EQ(recorder.status_of(blocker), "cancelled");
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  // The JSON snapshot mirrors the struct, member for member.
+  const util::Json json = stats.to_json();
+  EXPECT_EQ(json.at("submitted").as_uint64(), 3u);
+  EXPECT_EQ(json.at("completed").as_uint64(), 1u);
+  EXPECT_EQ(json.at("cancelled").as_uint64(), 2u);
+  EXPECT_EQ(json.at("queued_high").as_uint64(), 0u);
+}
+
+TEST(ServeScheduler, AnInvalidRequestIsRejectedAtSubmission) {
+  Scheduler scheduler;
+  Recorder recorder;
+  SolveCommand command = quick(Priority::kNormal, 1);
+  command.request.problem = "no-such-problem:9";
+  EXPECT_THROW((void)scheduler.submit(std::move(command), recorder.events()),
+               std::invalid_argument);
+  EXPECT_EQ(scheduler.stats().submitted, 0u);
+}
+
+TEST(ServeScheduler, ShutdownCancelsQueuedAndRunningJobs) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  const std::uint64_t running =
+      scheduler.submit(endless(Priority::kNormal, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, running); }));
+  const std::uint64_t queued =
+      scheduler.submit(endless(Priority::kNormal, 2), recorder.events());
+
+  scheduler.shutdown();
+  EXPECT_EQ(recorder.status_of(running), "cancelled");
+  EXPECT_EQ(recorder.status_of(queued), "cancelled");
+  EXPECT_THROW(
+      (void)scheduler.submit(quick(Priority::kNormal, 3), recorder.events()),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cspls::serve

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate the bench_serve_loadgen CSV schema (CI serve-load smoke).
+
+Usage: check_serve_load.py SERVE_load.csv [--jobs N]
+
+Checks structure and internal consistency, not absolute numbers (latency
+depends on the host): the expected lane rows exist, counts add up, the
+percentile ladder is ordered, and throughput is positive.  --jobs asserts
+the total job count the smoke step requested.
+"""
+
+import argparse
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "lane", "jobs", "solved", "failed", "cancelled", "p50_ms", "p90_ms",
+    "p99_ms", "max_ms", "wall_seconds", "throughput_per_s", "batches",
+    "batched_jobs", "givebacks", "samples",
+]
+EXPECTED_LANES = ["high", "normal", "low", "all"]
+
+
+def fail(message: str) -> None:
+    sys.exit(f"check_serve_load: FAIL: {message}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="expected total job count (the 'all' row)")
+    args = parser.parse_args()
+
+    with open(args.csv_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != EXPECTED_COLUMNS:
+            fail(f"bad header: {reader.fieldnames}")
+        rows = {row["lane"]: row for row in reader}
+
+    if sorted(rows) != sorted(EXPECTED_LANES):
+        fail(f"bad lane set: {sorted(rows)}")
+
+    lane_total = 0
+    for lane in EXPECTED_LANES:
+        row = rows[lane]
+        jobs = int(row["jobs"])
+        solved = int(row["solved"])
+        failed = int(row["failed"])
+        cancelled = int(row["cancelled"])
+        if solved + failed + cancelled != jobs:
+            fail(f"{lane}: statuses {solved}+{failed}+{cancelled} != {jobs}")
+        if failed != 0:
+            fail(f"{lane}: {failed} failed jobs")
+        ladder = [float(row[c]) for c in ("p50_ms", "p90_ms", "p99_ms",
+                                          "max_ms")]
+        if jobs > 0 and ladder != sorted(ladder):
+            fail(f"{lane}: percentile ladder not ordered: {ladder}")
+        if jobs > 0 and ladder[0] <= 0.0:
+            fail(f"{lane}: nonpositive p50 {ladder[0]}")
+        if float(row["throughput_per_s"]) <= 0.0:
+            fail(f"{lane}: nonpositive throughput")
+        if float(row["wall_seconds"]) <= 0.0:
+            fail(f"{lane}: nonpositive wall time")
+        if lane != "all":
+            lane_total += jobs
+
+    all_jobs = int(rows["all"]["jobs"])
+    if lane_total != all_jobs:
+        fail(f"lane totals {lane_total} != all {all_jobs}")
+    if args.jobs is not None and all_jobs != args.jobs:
+        fail(f"expected {args.jobs} jobs, CSV reports {all_jobs}")
+
+    batches = int(rows["all"]["batches"])
+    batched = int(rows["all"]["batched_jobs"])
+    if batches <= 0 or batched < all_jobs:
+        fail(f"batching counters implausible: {batches} batches, "
+             f"{batched} batched jobs for {all_jobs} jobs")
+    # Batching must actually batch: strictly fewer claims than jobs.
+    if all_jobs >= 100 and batches >= batched:
+        fail(f"no batching observed: {batches} batches for {batched} jobs")
+
+    print(f"check_serve_load: OK: {all_jobs} jobs, "
+          f"p99 {rows['all']['p99_ms']} ms, "
+          f"{rows['all']['throughput_per_s']} jobs/s, "
+          f"{batches} batches")
+
+
+if __name__ == "__main__":
+    main()
