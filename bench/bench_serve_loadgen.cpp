@@ -3,16 +3,25 @@
 // same bytes a stdio/HTTP client would exchange) and reports end-to-end
 // latency percentiles and throughput per priority lane.
 //
+// Runs the identical job set twice — once with warm-batch fusion disabled
+// (every claimed job is a solo launch) and once with it enabled (one fused
+// launch per claimed batch) — so the fusion win is measured in-process under
+// the same load, not across runs.  The fused pass is the primary result;
+// the unfused pass rides along as per-lane comparison columns.
+//
 // Defaults complete 1000 jobs; --quick is the CI smoke budget.  The CSV
-// (SERVE_load.csv) schema is validated by tools/check_serve_load.py.
+// (SERVE_load.csv) schema is validated by tools/check_serve_load.py; the
+// JSON (BENCH_serve.json) is the committed baseline of record.
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/session.hpp"
@@ -24,6 +33,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr std::string_view kPriorities[] = {"high", "normal", "low"};
+
 struct LaneAgg {
   std::vector<double> latencies_ms;
   std::uint64_t solved = 0;
@@ -33,6 +44,26 @@ struct LaneAgg {
   [[nodiscard]] std::uint64_t total() const {
     return solved + failed + cancelled;
   }
+};
+
+struct PassConfig {
+  std::uint64_t jobs = 0;
+  std::string problem;
+  bool stream = false;
+  std::uint64_t seed = 0;
+  std::size_t warm_workers = 0;
+  std::size_t warm_batch_max = 0;
+  std::size_t thread_budget = 0;
+  bool fuse = false;
+  std::size_t fused_threads = 1;
+};
+
+struct PassResult {
+  std::map<std::string, LaneAgg> lanes;  // keyed by priority name, plus "all"
+  double wall_seconds = 0.0;
+  double throughput = 0.0;
+  std::uint64_t samples_seen = 0;
+  cspls::serve::SchedulerStats stats;
 };
 
 double percentile(std::vector<double>& sorted, double q) {
@@ -50,36 +81,15 @@ std::string fmt(double value) {
   return buffer;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// One full pass over the job set on a fresh scheduler.
+PassResult run_pass(const PassConfig& config) {
   using namespace cspls;
-
-  util::ArgParser args("bench_serve_loadgen",
-                       "serving-tier latency/throughput under concurrent "
-                       "small solves");
-  args.add_uint64("jobs", 1000, "solve jobs to push through the wire");
-  args.add_string("problem", "costas:6", "instance spec per job");
-  args.add_uint64("warm-workers", 4, "warm-pool worker threads");
-  args.add_uint64("batch", 8, "warm batch claim size");
-  args.add_uint64("threads", 0, "service-path walker-thread budget");
-  args.add_flag("stream", "request sample streaming on every job");
-  args.add_uint64("seed", 0xC5B15, "base seed (job i uses seed + i)");
-  args.add_string("csv", "SERVE_load.csv", "output CSV path");
-  args.add_flag("quick", "CI smoke budget (250 jobs)");
-  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
-
-  const std::uint64_t jobs =
-      args.flag("quick") ? 250 : args.get_uint64("jobs");
-  const std::string problem = args.get_string("problem");
-  const bool stream = args.flag("stream");
-
   serve::SchedulerOptions options;
-  options.warm_workers =
-      static_cast<std::size_t>(args.get_uint64("warm-workers"));
-  options.warm_batch_max = static_cast<std::size_t>(args.get_uint64("batch"));
-  options.service.thread_budget =
-      static_cast<std::size_t>(args.get_uint64("threads"));
+  options.warm_workers = config.warm_workers;
+  options.warm_batch_max = config.warm_batch_max;
+  options.service.thread_budget = config.thread_budget;
+  options.fuse_warm_batches = config.fuse;
+  options.warm_fused_threads = config.fused_threads;
   serve::Scheduler scheduler(options);
 
   // tag -> submit time; filled before each handle_line, matched against the
@@ -87,10 +97,9 @@ int main(int argc, char** argv) {
   std::mutex m;
   std::condition_variable done_cv;
   std::map<std::string, Clock::time_point> submit_at;
-  std::map<std::string, LaneAgg> lanes;  // keyed by priority name
-  std::uint64_t reported = 0;
-  std::uint64_t samples_seen = 0;
   std::map<std::string, std::string> lane_of_tag;
+  PassResult result;
+  std::uint64_t reported = 0;
 
   serve::Session session(scheduler, [&](std::string_view line) {
     // Parse exactly what a wire client would read.
@@ -100,7 +109,7 @@ int main(int argc, char** argv) {
     const std::string& kind = event->at("event").as_string();
     if (kind == "sample") {
       std::lock_guard lock(m);
-      ++samples_seen;
+      ++result.samples_seen;
       return;
     }
     if (kind != "report") return;
@@ -108,7 +117,7 @@ int main(int argc, char** argv) {
     const std::string& tag = event->at("tag").as_string();
     const std::string& status = event->at("status").as_string();
     std::lock_guard lock(m);
-    LaneAgg& agg = lanes[lane_of_tag[tag]];
+    LaneAgg& agg = result.lanes[lane_of_tag[tag]];
     agg.latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(now - submit_at[tag])
             .count());
@@ -123,22 +132,21 @@ int main(int argc, char** argv) {
     done_cv.notify_all();
   });
 
-  constexpr std::string_view kPriorities[] = {"high", "normal", "low"};
   const Clock::time_point t0 = Clock::now();
-  for (std::uint64_t i = 0; i < jobs; ++i) {
+  for (std::uint64_t i = 0; i < config.jobs; ++i) {
     const std::string tag = "job-" + std::to_string(i);
     const std::string_view priority = kPriorities[i % 3];
     util::Json request = util::Json::object();
-    request.set("problem", problem)
+    request.set("problem", config.problem)
         .set("walkers", std::uint64_t{1})
         .set("scheduling", "sequential")
-        .set("seed", args.get_uint64("seed") + i);
+        .set("seed", config.seed + i);
     util::Json envelope = util::Json::object();
     envelope.set("op", "solve")
         .set("request", std::move(request))
         .set("priority", priority)
         .set("tag", tag);
-    if (stream) {
+    if (config.stream) {
       envelope.set("stream", true).set("sample_period", std::uint64_t{512});
     }
     {
@@ -151,30 +159,120 @@ int main(int argc, char** argv) {
 
   {
     std::unique_lock lock(m);
-    done_cv.wait(lock, [&] { return reported == jobs; });
+    done_cv.wait(lock, [&] { return reported == config.jobs; });
   }
-  const double wall_seconds =
+  result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
+  result.throughput =
+      static_cast<double>(config.jobs) / result.wall_seconds;
   scheduler.shutdown();
+  result.stats = scheduler.stats();
 
-  const serve::SchedulerStats stats = scheduler.stats();
-  util::Table table({"lane", "jobs", "solved", "failed", "cancelled",
-                     "p50_ms", "p90_ms", "p99_ms", "max_ms"});
-  std::vector<std::vector<std::string>> rows;
-  LaneAgg all;
+  LaneAgg& all = result.lanes["all"];
   for (const std::string_view priority : kPriorities) {
-    LaneAgg& agg = lanes[std::string(priority)];
+    LaneAgg& agg = result.lanes[std::string(priority)];
     all.solved += agg.solved;
     all.failed += agg.failed;
     all.cancelled += agg.cancelled;
     all.latencies_ms.insert(all.latencies_ms.end(), agg.latencies_ms.begin(),
                             agg.latencies_ms.end());
   }
-  const auto row_of = [&](std::string_view lane, LaneAgg& agg) {
+  for (auto& [lane, agg] : result.lanes) {
     std::sort(agg.latencies_ms.begin(), agg.latencies_ms.end());
+  }
+  return result;
+}
+
+void append_json_pass(std::string& json, std::string_view name,
+                      PassResult& pass) {
+  json += "    \"" + std::string(name) + "\": {\n";
+  json += "      \"wall_seconds\": " + fmt(pass.wall_seconds) + ",\n";
+  json += "      \"throughput_per_s\": " + fmt(pass.throughput) + ",\n";
+  json += "      \"batches\": " + std::to_string(pass.stats.batches) + ",\n";
+  json += "      \"batched_jobs\": " +
+          std::to_string(pass.stats.batched_jobs) + ",\n";
+  json += "      \"fused_batches\": " +
+          std::to_string(pass.stats.fused_batches) + ",\n";
+  json += "      \"fused_jobs\": " + std::to_string(pass.stats.fused_jobs) +
+          ",\n";
+  json += "      \"givebacks\": " + std::to_string(pass.stats.givebacks) +
+          ",\n";
+  json += "      \"lanes\": {\n";
+  bool first = true;
+  for (const std::string_view priority : kPriorities) {
+    LaneAgg& agg = pass.lanes[std::string(priority)];
+    if (!first) json += ",\n";
+    first = false;
+    json += "        \"" + std::string(priority) + "\": {";
+    json += "\"jobs\": " + std::to_string(agg.total());
+    json += ", \"p50_ms\": " + fmt(percentile(agg.latencies_ms, 0.50));
+    json += ", \"p99_ms\": " + fmt(percentile(agg.latencies_ms, 0.99));
+    json += "}";
+  }
+  json += "\n      }\n    }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cspls;
+
+  util::ArgParser args("bench_serve_loadgen",
+                       "serving-tier latency/throughput under concurrent "
+                       "small solves, fused vs unfused warm batches");
+  args.add_uint64("jobs", 1000, "solve jobs to push through the wire");
+  args.add_string("problem", "costas:6", "instance spec per job");
+  args.add_uint64("warm-workers", 4, "warm-pool worker threads");
+  args.add_uint64("batch", 8, "warm batch claim size");
+  args.add_uint64("threads", 0, "service-path walker-thread budget");
+  args.add_uint64("fused-threads", 1,
+                  "fused launch team size (0 = cores/warm-workers)");
+  args.add_flag("stream", "request sample streaming on every job");
+  args.add_uint64("repeats", 3,
+                  "passes per mode (alternating); best throughput kept");
+  args.add_uint64("seed", 0xC5B15, "base seed (job i uses seed + i)");
+  args.add_string("csv", "SERVE_load.csv", "output CSV path");
+  args.add_string("json", "BENCH_serve.json", "output JSON baseline path");
+  args.add_flag("quick", "CI smoke budget (250 jobs)");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  PassConfig config;
+  config.jobs = args.flag("quick") ? 250 : args.get_uint64("jobs");
+  config.problem = args.get_string("problem");
+  config.stream = args.flag("stream");
+  config.seed = args.get_uint64("seed");
+  config.warm_workers =
+      static_cast<std::size_t>(args.get_uint64("warm-workers"));
+  config.warm_batch_max = static_cast<std::size_t>(args.get_uint64("batch"));
+  config.thread_budget = static_cast<std::size_t>(args.get_uint64("threads"));
+  config.fused_threads =
+      static_cast<std::size_t>(args.get_uint64("fused-threads"));
+
+  // Same jobs, same seeds, fresh scheduler each time: the only variable is
+  // whether a claimed warm batch becomes one fused launch or a solo loop.
+  // Both modes run `repeats` times, alternating so ambient drift hits them
+  // symmetrically; the best pass per mode is kept — a small solve finishes
+  // in milliseconds, so one descheduling blip otherwise dominates the wall.
+  const std::uint64_t repeats =
+      std::max<std::uint64_t>(1, args.get_uint64("repeats"));
+  PassResult unfused, fused;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    config.fuse = false;
+    PassResult u = run_pass(config);
+    if (r == 0 || u.throughput > unfused.throughput) unfused = std::move(u);
+    config.fuse = true;
+    PassResult f = run_pass(config);
+    if (r == 0 || f.throughput > fused.throughput) fused = std::move(f);
+  }
+
+  util::Table table({"mode", "lane", "jobs", "solved", "failed", "cancelled",
+                     "p50_ms", "p90_ms", "p99_ms", "max_ms"});
+  const auto row_of = [&](std::string_view mode, std::string_view lane,
+                          LaneAgg& agg) {
     const double max_ms =
         agg.latencies_ms.empty() ? 0.0 : agg.latencies_ms.back();
     return std::vector<std::string>{
+        std::string(mode),
         std::string(lane),
         std::to_string(agg.total()),
         std::to_string(agg.solved),
@@ -185,38 +283,99 @@ int main(int argc, char** argv) {
         fmt(percentile(agg.latencies_ms, 0.99)),
         fmt(max_ms)};
   };
-  for (const std::string_view priority : kPriorities) {
-    rows.push_back(row_of(priority, lanes[std::string(priority)]));
+  for (const std::string_view priority :
+       {std::string_view("high"), std::string_view("normal"),
+        std::string_view("low"), std::string_view("all")}) {
+    table.add_row(row_of("unfused", priority,
+                         unfused.lanes[std::string(priority)]));
   }
-  rows.push_back(row_of("all", all));
+  for (const std::string_view priority :
+       {std::string_view("high"), std::string_view("normal"),
+        std::string_view("low"), std::string_view("all")}) {
+    table.add_row(row_of("fused", priority,
+                         fused.lanes[std::string(priority)]));
+  }
 
-  for (const auto& row : rows) table.add_row(row);
-  std::cout << "bench_serve_loadgen: " << jobs << " x " << problem
-            << " through the wire (" << options.warm_workers
-            << " warm workers)\n\n"
+  std::cout << "bench_serve_loadgen: " << config.jobs << " x "
+            << config.problem << " through the wire, twice ("
+            << config.warm_workers << " warm workers; unfused then fused)\n\n"
             << table.render();
-  const double throughput = static_cast<double>(jobs) / wall_seconds;
-  std::cout << "\nwall: " << fmt(wall_seconds * 1000.0) << " ms, throughput: "
-            << fmt(throughput) << " jobs/s, batches: " << stats.batches
-            << " (" << stats.batched_jobs << " jobs), givebacks: "
-            << stats.givebacks << ", samples: " << samples_seen << "\n";
+  const auto pass_line = [&](std::string_view mode, const PassResult& pass) {
+    std::cout << mode << ": wall " << fmt(pass.wall_seconds * 1000.0)
+              << " ms, throughput " << fmt(pass.throughput)
+              << " jobs/s, batches " << pass.stats.batches << " ("
+              << pass.stats.batched_jobs << " jobs), fused "
+              << pass.stats.fused_batches << " ("
+              << pass.stats.fused_jobs << " jobs), givebacks "
+              << pass.stats.givebacks << "\n";
+  };
+  std::cout << "\n";
+  pass_line("unfused", unfused);
+  pass_line("fused  ", fused);
+  const double speedup =
+      unfused.throughput > 0.0 ? fused.throughput / unfused.throughput : 0.0;
+  std::cout << "fused/unfused throughput: " << fmt(speedup) << "x\n";
 
+  // CSV: the fused pass is the primary row set; the unfused pass rides
+  // along as per-lane comparison columns.
   util::CsvWriter csv(args.get_string("csv"));
   std::vector<std::vector<std::string>> csv_rows;
-  for (auto& row : rows) {
-    row.push_back(fmt(wall_seconds));
-    row.push_back(fmt(throughput));
-    row.push_back(std::to_string(stats.batches));
-    row.push_back(std::to_string(stats.batched_jobs));
-    row.push_back(std::to_string(stats.givebacks));
-    row.push_back(std::to_string(samples_seen));
+  for (const std::string_view priority :
+       {std::string_view("high"), std::string_view("normal"),
+        std::string_view("low"), std::string_view("all")}) {
+    LaneAgg& agg = fused.lanes[std::string(priority)];
+    LaneAgg& base = unfused.lanes[std::string(priority)];
+    std::vector<std::string> row = row_of("fused", priority, agg);
+    row.erase(row.begin());  // the CSV has no mode column
+    row.push_back(fmt(fused.wall_seconds));
+    row.push_back(fmt(fused.throughput));
+    row.push_back(std::to_string(fused.stats.batches));
+    row.push_back(std::to_string(fused.stats.batched_jobs));
+    row.push_back(std::to_string(fused.stats.givebacks));
+    row.push_back(std::to_string(fused.samples_seen));
+    row.push_back(std::to_string(fused.stats.fused_batches));
+    row.push_back(std::to_string(fused.stats.fused_jobs));
+    row.push_back(fmt(percentile(base.latencies_ms, 0.50)));
+    row.push_back(fmt(percentile(base.latencies_ms, 0.99)));
+    row.push_back(fmt(unfused.throughput));
     csv_rows.push_back(row);
   }
   csv.write_all({"lane", "jobs", "solved", "failed", "cancelled", "p50_ms",
                  "p90_ms", "p99_ms", "max_ms", "wall_seconds",
                  "throughput_per_s", "batches", "batched_jobs", "givebacks",
-                 "samples"},
+                 "samples", "fused_batches", "fused_jobs", "unfused_p50_ms",
+                 "unfused_p99_ms", "unfused_throughput_per_s"},
                 csv_rows);
   std::cout << "CSV: " << csv.path() << "\n";
-  return all.failed == 0 ? 0 : 1;
+
+  std::string json = "{\n  \"schema\": \"cspls-bench-serve/1\",\n";
+  json += "  \"quick\": " +
+          std::string(args.flag("quick") ? "true" : "false") + ",\n";
+  json += "  \"jobs\": " + std::to_string(config.jobs) + ",\n";
+  json += "  \"problem\": \"" + config.problem + "\",\n";
+  json += "  \"warm_workers\": " + std::to_string(config.warm_workers) +
+          ",\n";
+  json += "  \"warm_batch_max\": " +
+          std::to_string(config.warm_batch_max) + ",\n";
+  json += "  \"host_cores\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"passes\": {\n";
+  append_json_pass(json, "unfused", unfused);
+  json += ",\n";
+  append_json_pass(json, "fused", fused);
+  json += "\n  },\n";
+  json += "  \"fused_speedup\": " + fmt(speedup) + "\n}\n";
+  const std::string& json_path = args.get_string("json");
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "ERROR: cannot write " << json_path << "\n";
+    return 3;
+  }
+  out << json;
+  out.close();
+  std::cout << "JSON: " << json_path << "\n";
+
+  const std::uint64_t failed =
+      unfused.lanes["all"].failed + fused.lanes["all"].failed;
+  return failed == 0 ? 0 : 1;
 }

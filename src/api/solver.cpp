@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/stop_token.hpp"
+#include "parallel/fused.hpp"
 #include "problems/spec.hpp"
 
 namespace cspls::api {
@@ -28,6 +29,38 @@ WalkerReport walker_report_of(const parallel::WalkerOutcome& outcome) {
   report.seconds = outcome.result.stats.seconds;
   report.failed = outcome.failed();
   report.error = outcome.result.error;
+  return report;
+}
+
+/// MultiWalkReport -> SolveReport conversion shared by the solo and fused
+/// paths (identical interpretation is what makes the fused byte-identity
+/// guarantee meaningful at this layer).
+SolveReport report_of(const problems::ProblemSpec& spec,
+                      const parallel::MultiWalkReport& pool_report) {
+  SolveReport report;
+  report.problem = problems::format_spec(spec);
+  report.solved = pool_report.solved;
+  // Exactly one termination cause per run, taken from what the walkers'
+  // polls actually observed — not from re-reading the flag or the clock
+  // here, which would misreport a run that completed normally just before
+  // a late cancel / deadline crossing.
+  report.cancelled = pool_report.interrupt_cause == core::StopCause::kCancel;
+  report.deadline_expired =
+      pool_report.interrupt_cause == core::StopCause::kDeadline;
+  report.winner = pool_report.winner;
+  report.cost = pool_report.best.cost;
+  report.wall_seconds = pool_report.wall_seconds;
+  report.time_to_solution_seconds = pool_report.time_to_solution_seconds;
+  report.total_iterations = pool_report.total_iterations();
+  report.comm_publishes = pool_report.comm_publishes;
+  report.elite_accepted = pool_report.elite_accepted;
+  report.comm_adoptions = pool_report.comm_adoptions;
+  report.failed_walkers = pool_report.failed_walkers;
+  report.solution = pool_report.best.solution;
+  report.walkers.reserve(pool_report.walkers.size());
+  for (const parallel::WalkerOutcome& outcome : pool_report.walkers) {
+    report.walkers.push_back(walker_report_of(outcome));
+  }
   return report;
 }
 
@@ -70,32 +103,53 @@ SolveReport Solver::solve(const SolveRequest& request, core::StopToken token,
   }
   const parallel::WalkerPool pool(std::move(options));
   const parallel::MultiWalkReport pool_report = pool.run(*problem, token);
+  return report_of(spec, pool_report);
+}
 
-  SolveReport report;
-  report.problem = problems::format_spec(spec);
-  report.solved = pool_report.solved;
-  // Exactly one termination cause per run, taken from what the walkers'
-  // polls actually observed — not from re-reading the flag or the clock
-  // here, which would misreport a run that completed normally just before
-  // a late cancel / deadline crossing.
-  report.cancelled = pool_report.interrupt_cause == core::StopCause::kCancel;
-  report.deadline_expired =
-      pool_report.interrupt_cause == core::StopCause::kDeadline;
-  report.winner = pool_report.winner;
-  report.cost = pool_report.best.cost;
-  report.wall_seconds = pool_report.wall_seconds;
-  report.time_to_solution_seconds = pool_report.time_to_solution_seconds;
-  report.total_iterations = pool_report.total_iterations();
-  report.comm_publishes = pool_report.comm_publishes;
-  report.elite_accepted = pool_report.elite_accepted;
-  report.comm_adoptions = pool_report.comm_adoptions;
-  report.failed_walkers = pool_report.failed_walkers;
-  report.solution = pool_report.best.solution;
-  report.walkers.reserve(pool_report.walkers.size());
-  for (const parallel::WalkerOutcome& outcome : pool_report.walkers) {
-    report.walkers.push_back(walker_report_of(outcome));
+std::vector<std::size_t> Solver::solve_fused(
+    std::span<const FusedSolveJob> jobs, const FusedSolveOptions& options,
+    const FusedSolveSink& sink) {
+  // Validate and instantiate the whole batch before any member runs: a
+  // malformed request throws here, with no sibling half-solved.  The
+  // instances must outlive the fused run (prototypes are borrowed).
+  std::vector<problems::ProblemSpec> specs;
+  std::vector<std::unique_ptr<csp::Problem>> problems;
+  std::vector<parallel::FusedJob> fused;
+  specs.reserve(jobs.size());
+  problems.reserve(jobs.size());
+  fused.reserve(jobs.size());
+  const auto launch = core::StopToken::Clock::now();
+  for (const FusedSolveJob& job : jobs) {
+    validate_retry(job.request.retry);
+    specs.push_back(problems::parse_spec(job.request.problem));
+    problems.push_back(problems::instantiate(specs.back()));
+
+    parallel::FusedJob member;
+    member.prototype = problems.back().get();
+    member.options = job.request.to_pool_options();
+    member.options.heartbeat = job.callbacks.heartbeat;
+    if (job.callbacks.sample_sink && job.callbacks.sample_period != 0) {
+      member.options.sample_sink = job.callbacks.sample_sink;
+      member.options.sample_sink_period = job.callbacks.sample_period;
+    }
+    // Each member's time budget runs from the batch launch — the fused
+    // analogue of the solo path stamping the deadline at solve() entry.
+    member.stop = job.request.deadline_ms != 0
+                      ? job.token.expiring_at(
+                            launch + std::chrono::milliseconds(
+                                         job.request.deadline_ms))
+                      : job.token;
+    fused.push_back(std::move(member));
   }
-  return report;
+
+  parallel::FusedOptions fused_options;
+  fused_options.num_threads = options.num_threads;
+  fused_options.admit = options.admit;
+  const parallel::FusedRun runner(std::move(fused_options));
+  return runner.run(
+      fused, [&](std::size_t member, parallel::MultiWalkReport pool_report) {
+        if (sink) sink(member, report_of(specs[member], pool_report));
+      });
 }
 
 }  // namespace cspls::api

@@ -1,0 +1,313 @@
+#include "parallel/job_execution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace cspls::parallel {
+
+namespace {
+
+core::Params params_for(const csp::Problem& prototype,
+                        const std::optional<core::Params>& params) {
+  return params.has_value() ? *params
+                            : core::Params::from_hints(
+                                  prototype.tuning(),
+                                  prototype.num_variables());
+}
+
+/// Best-cost selection over completed walks (Termination::kBestAfterBudget
+/// and the no-winner fallback of the threaded race): prefer any solved
+/// result, then any survivor over a crashed walker, then the lowest cost,
+/// first index breaking ties.  On an all-failed pool this still selects a
+/// (failed) result so the report stays structured.
+void select_best_after_budget(MultiWalkReport& report) {
+  const auto best_it = std::min_element(
+      report.walkers.begin(), report.walkers.end(),
+      [](const WalkerOutcome& a, const WalkerOutcome& b) {
+        if (a.result.solved != b.result.solved) return a.result.solved;
+        if (a.failed() != b.failed()) return !a.failed();
+        return a.result.cost < b.result.cost;
+      });
+  if (best_it != report.walkers.end()) {
+    report.best = best_it->result;
+    report.solved = best_it->result.solved;
+    report.winner = report.solved ? static_cast<std::size_t>(
+                                        best_it - report.walkers.begin())
+                                  : kNoWinner;
+  }
+}
+
+/// Crash-containment roll-up shared by every return path.
+void tally_failures(MultiWalkReport& report) {
+  report.failed_walkers = 0;
+  report.faults_injected = 0;
+  for (const auto& w : report.walkers) {
+    if (w.failed()) ++report.failed_walkers;
+    report.faults_injected += w.injected_faults;
+  }
+}
+
+}  // namespace
+
+MultiWalkReport resolve_emulated_race(std::vector<WalkerOutcome> walkers) {
+  MultiWalkReport report;
+  report.walkers = std::move(walkers);
+  std::uint64_t best_iters = UINT64_MAX;
+  csp::Cost best_cost = csp::kInfiniteCost;
+  std::size_t best_id = kNoWinner;
+  double wall = 0.0;
+  for (const auto& w : report.walkers) {
+    wall = std::max(wall, w.result.stats.seconds);
+    if (w.result.solved) {
+      if (w.result.stats.iterations < best_iters) {
+        best_iters = w.result.stats.iterations;
+        best_id = w.walker_id;
+      }
+    } else if (best_id == kNoWinner && w.result.cost < best_cost) {
+      best_cost = w.result.cost;
+    }
+  }
+  report.wall_seconds = wall;
+  if (best_id != kNoWinner) {
+    report.solved = true;
+    report.winner = best_id;
+    for (const auto& w : report.walkers) {
+      if (w.walker_id == best_id) {
+        report.best = w.result;
+        report.time_to_solution_seconds = w.result.stats.seconds;
+        break;
+      }
+    }
+  } else {
+    for (const auto& w : report.walkers) {
+      if (w.result.cost <= best_cost) {
+        report.best = w.result;
+        break;
+      }
+    }
+    report.time_to_solution_seconds = wall;
+  }
+  tally_failures(report);
+  return report;
+}
+
+namespace detail {
+
+JobExecution::JobExecution(const csp::Problem& prototype,
+                           const WalkerPoolOptions& options,
+                           core::StopToken external)
+    : prototype_(prototype),
+      options_(options),
+      external_(external),
+      k_(options.num_walkers),
+      engine_((validate_options(options), params_for(prototype,
+                                                     options.params))),
+      streams_(options.master_seed),
+      comm_(options.communication, options.num_walkers),
+      // The effective fault schedule: request plans + the CSPLS_FAULTS env
+      // spec.  Production builds never arm it — sessions stay disarmed and
+      // the sites compile to no-ops.
+      fault_schedule_(util::fault::kCompiledIn
+                          ? util::fault::Schedule::with_env(options.faults)
+                          : util::fault::Schedule{}),
+      threaded_(options.scheduling == Scheduling::kThreads),
+      race_(threaded_ && options.termination == Termination::kFirstFinisher) {
+  if (options_.warm_start.has_value() &&
+      options_.warm_start->size() != prototype.num_variables()) {
+    throw std::invalid_argument(
+        "WalkerPoolOptions: warm_start has " +
+        std::to_string(options_.warm_start->size()) + " values but \"" +
+        std::string(prototype.name()) + "\" has " +
+        std::to_string(prototype.num_variables()) + " variables");
+  }
+  report_.walkers.resize(k_);
+}
+
+std::size_t JobExecution::preferred_threads() const noexcept {
+  if (!threaded_) return 1;
+  const std::size_t hw = std::thread::hardware_concurrency() == 0
+                             ? 2
+                             : std::thread::hardware_concurrency();
+  const std::size_t thread_cap =
+      options_.max_threads == 0 ? k_ : std::min(options_.max_threads, k_);
+  return std::min({k_, thread_cap, hw * 16});
+}
+
+void JobExecution::run_walker(std::size_t id) {
+  WalkerOutcome& out = report_.walkers[id];
+  out.walker_id = id;
+  // Each walker owns its fault session, exactly like its RNG stream, so
+  // probe counts are deterministic under every scheduling mode.
+  util::fault::Session session(&fault_schedule_, id);
+  // Crash containment: no exception may escape a walker body — an escape
+  // under kThreads would std::terminate the process.  A throwing walker
+  // (injected or genuine) is recorded as StopCause::kFailed with its
+  // message; survivors keep walking and the termination policies
+  // aggregate over them.
+  try {
+    auto problem = prototype_.clone();
+    util::Xoshiro256 rng = streams_.stream(id);
+    core::Hooks hooks = comm_hooks(options_.communication, comm_, id, k_,
+                                   session.armed() ? &session : nullptr);
+    if (options_.trace.enabled) {
+      out.trace.walker_id = id;
+      hooks.trace = &out.trace;
+      hooks.trace_sample_period = options_.trace.sample_period;
+    }
+    if (session.armed()) hooks.fault = &session;
+    hooks.heartbeat = options_.heartbeat;
+    if (options_.sample_sink && options_.sample_sink_period != 0) {
+      hooks.sample = [this, id](std::uint64_t iteration, csp::Cost cost) {
+        options_.sample_sink(id, iteration, cost);
+      };
+      hooks.sample_period = options_.sample_sink_period;
+    }
+    if (options_.warm_start.has_value()) {
+      hooks.warm_start = &*options_.warm_start;
+    }
+    // Each walker polls its own token copy: the caller's cancel/deadline,
+    // chained with the pool's completion flag when racing.
+    const core::StopToken token =
+        race_ ? external_.also_cancelled_by(&stop_) : external_;
+    core::Result result = engine_.solve(*problem, rng, token, hooks);
+    if (result.stop_cause == core::StopCause::kCancel) {
+      external_cancel_hit_.store(true, std::memory_order_relaxed);
+    } else if (result.stop_cause == core::StopCause::kDeadline) {
+      external_deadline_hit_.store(true, std::memory_order_relaxed);
+    }
+    if (race_ && result.solved && !result.interrupted) {
+      // First walker to flip the flag is the winner; latecomers keep
+      // their result but lose the race (exactly the paper's completion
+      // protocol).
+      bool expected = false;
+      if (stop_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+        winner_.store(id, std::memory_order_release);
+        solution_time_us_.store(watch_.elapsed_us(),
+                                std::memory_order_release);
+      }
+    }
+    out.result = std::move(result);
+  } catch (const std::exception& e) {
+    out.result = core::Result{};
+    out.result.stop_cause = core::StopCause::kFailed;
+    out.result.error = e.what();
+  } catch (...) {
+    out.result = core::Result{};
+    out.result.stop_cause = core::StopCause::kFailed;
+    out.result.error = "unknown exception";
+  }
+  out.injected_faults = session.fired();
+}
+
+// Between-walker short-circuit for any path that runs walkers one after
+// another (sequential/emulated scheduling, and the threaded scheduler
+// collapsed to a single thread): once a stop source has fired, the
+// not-yet-started walkers are marked interrupted with zero iterations
+// instead of each paying a full clone + initial cost evaluation.
+void JobExecution::mark_rest_interrupted(std::size_t from,
+                                         core::StopCause cause) {
+  for (std::size_t rest = from; rest < k_; ++rest) {
+    report_.walkers[rest].walker_id = rest;
+    report_.walkers[rest].result.interrupted = true;
+    report_.walkers[rest].result.stop_cause = cause;
+  }
+}
+
+void JobExecution::run_walkers_one_by_one() {
+  for (std::size_t id = 0; id < k_; ++id) {
+    // Unthrottled check on purpose: the engine-rate throttle inside the
+    // token's poll would let each walker start and run a stride of
+    // iterations before noticing an already-expired deadline.
+    const bool ext_cancelled = external_.cancelled();
+    if (ext_cancelled || external_.deadline_expired()) {
+      const core::StopCause cause = ext_cancelled
+                                        ? core::StopCause::kCancel
+                                        : core::StopCause::kDeadline;
+      (ext_cancelled ? external_cancel_hit_ : external_deadline_hit_)
+          .store(true, std::memory_order_relaxed);
+      mark_rest_interrupted(id, cause);
+      break;
+    }
+    // A collapsed threaded race already decided: the remaining walkers
+    // would only run to their first poll and report kChained anyway —
+    // record exactly that outcome without paying their start-up cost.
+    if (race_ && stop_.load(std::memory_order_acquire)) {
+      mark_rest_interrupted(id, core::StopCause::kChained);
+      break;
+    }
+    run_walker(id);
+  }
+}
+
+MultiWalkReport JobExecution::finalize() {
+  // Cancellation wins the attribution tie when walkers observed both.
+  const core::StopCause interrupt_cause =
+      external_cancel_hit_.load(std::memory_order_relaxed)
+          ? core::StopCause::kCancel
+      : external_deadline_hit_.load(std::memory_order_relaxed)
+          ? core::StopCause::kDeadline
+          : core::StopCause::kNone;
+
+  if (!threaded_ && options_.termination == Termination::kFirstFinisher) {
+    MultiWalkReport resolved =
+        resolve_emulated_race(std::move(report_.walkers));
+    resolved.comm_publishes = comm_.publishes();
+    resolved.elite_accepted = comm_.accepted();
+    resolved.comm_adoptions = comm_.adoptions();
+    resolved.interrupt_cause = interrupt_cause;
+    resolved.interrupted = interrupt_cause != core::StopCause::kNone;
+    return resolved;
+  }
+
+  MultiWalkReport report = std::move(report_);
+  if (!threaded_) {
+    // Emulated machine's wall clock: all walkers start together and the
+    // pool stops when the slowest one exhausts its budget.
+    double wall = 0.0;
+    for (const auto& w : report.walkers) {
+      wall = std::max(wall, w.result.stats.seconds);
+    }
+    report.wall_seconds = wall;
+  } else {
+    report.wall_seconds = watch_.elapsed_seconds();
+  }
+
+  if (race_) {
+    const std::size_t win = winner_.load(std::memory_order_acquire);
+    report.winner = win;
+    report.solved = win != kNoWinner;
+    if (report.solved) {
+      report.best = report.walkers[win].result;
+      report.time_to_solution_seconds =
+          static_cast<double>(
+              solution_time_us_.load(std::memory_order_acquire)) /
+          1e6;
+    } else {
+      // Nobody flipped the flag: report the best configuration reached.  (A
+      // walker may still have solved after losing the race; prefer any
+      // solved result.)
+      select_best_after_budget(report);
+      report.time_to_solution_seconds = report.wall_seconds;
+    }
+  } else {
+    // kBestAfterBudget (and the non-racing threaded case): the pool's wall
+    // clock doubles as the time-to-result — also on cancelled or
+    // deadline-expired runs, where `best` is the anytime answer and the
+    // times say how long the pool actually had.
+    select_best_after_budget(report);
+    report.time_to_solution_seconds = report.wall_seconds;
+  }
+  report.comm_publishes = comm_.publishes();
+  report.elite_accepted = comm_.accepted();
+  report.comm_adoptions = comm_.adoptions();
+  report.interrupt_cause = interrupt_cause;
+  report.interrupted = interrupt_cause != core::StopCause::kNone;
+  tally_failures(report);
+  return report;
+}
+
+}  // namespace detail
+}  // namespace cspls::parallel

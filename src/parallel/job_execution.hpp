@@ -1,0 +1,112 @@
+// JobExecution — the per-job half of the parallel runtime, factored out of
+// WalkerPool::run so one walker population can execute on *any* thread
+// supply: the pool's own wave scheduler (the solo path), the caller's
+// thread (sequential/emulated scheduling), or a shared resident team fusing
+// many jobs into one launch (parallel/fused.hpp).
+//
+// The class owns everything one run needs — engine, RNG stream factory,
+// communication channels, fault schedule, the report under construction and
+// the shared race state — and exposes exactly the two execution primitives
+// WalkerPool::run was built from:
+//
+//   * run_walker(id)            body of walker `id`; thread-safe across
+//                               distinct ids (walkers share nothing but the
+//                               race flag), so a team may run them
+//                               concurrently under Scheduling::kThreads;
+//   * run_walkers_one_by_one()  the strictly-ordered path (sequential /
+//                               emulated scheduling and the collapsed
+//                               threaded pool), with the between-walker
+//                               external/race short-circuits.
+//
+// finalize() then applies the termination policy and returns the
+// MultiWalkReport.  Byte-identity invariant: for a fixed master seed every
+// walker's trajectory depends only on (options, prototype, stream id) —
+// never on which thread or team ran it — so a fused member's report is
+// byte-for-byte the solo WalkerPool::run report (timing fields excepted).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/adaptive_search.hpp"
+#include "core/stop_token.hpp"
+#include "parallel/walker_pool.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace cspls::parallel::detail {
+
+class JobExecution {
+ public:
+  /// Validates `options` (validate_options + warm-start arity) and
+  /// preallocates every per-run structure; throws std::invalid_argument
+  /// before any walker work on a degenerate configuration.  `prototype` and
+  /// `options` are borrowed and must outlive the execution.
+  JobExecution(const csp::Problem& prototype, const WalkerPoolOptions& options,
+               core::StopToken external);
+
+  JobExecution(const JobExecution&) = delete;
+  JobExecution& operator=(const JobExecution&) = delete;
+
+  [[nodiscard]] std::size_t num_walkers() const noexcept { return k_; }
+  [[nodiscard]] bool threaded() const noexcept { return threaded_; }
+  [[nodiscard]] bool race() const noexcept { return race_; }
+
+  /// Thread count the solo pool would use under Scheduling::kThreads: the
+  /// walker count clamped by max_threads and a hardware-derived ceiling.
+  /// 1 when the threaded pool collapses to the ordered path.
+  [[nodiscard]] std::size_t preferred_threads() const noexcept;
+
+  /// True when this job's walkers may execute as independent tasks on a
+  /// shared team: genuinely threaded scheduling (any interleaving is a
+  /// valid schedule of the solo pool).  False for the ordered modes, where
+  /// trajectories under communication depend on the publish/adopt order
+  /// that one-by-one execution defines.
+  [[nodiscard]] bool walkers_independent() const noexcept {
+    return threaded_ && preferred_threads() > 1;
+  }
+
+  /// Body of walker `id`: clone, stream(id), hooks, solve, crash
+  /// containment.  Callable concurrently for distinct ids.
+  void run_walker(std::size_t id);
+
+  /// Ordered execution with the external/race between-walker short-circuits
+  /// (not-yet-started walkers are marked interrupted instead of paying a
+  /// clone + initial evaluation).
+  void run_walkers_one_by_one();
+
+  /// Apply the termination policy and hand over the report.  Call exactly
+  /// once, after every walker task has returned.
+  [[nodiscard]] MultiWalkReport finalize();
+
+ private:
+  void mark_rest_interrupted(std::size_t from, core::StopCause cause);
+
+  const csp::Problem& prototype_;
+  const WalkerPoolOptions& options_;
+  const core::StopToken external_;
+  const std::size_t k_;
+  const core::AdaptiveSearch engine_;
+  const util::RngStreamFactory streams_;
+  CommChannels comm_;
+  const util::fault::Schedule fault_schedule_;
+  const bool threaded_;
+  const bool race_;
+
+  // The *only* shared state among racing walkers: the completion flag, the
+  // winner slot and the time-to-solution stamp.
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> winner_{kNoWinner};
+  std::atomic<std::uint64_t> solution_time_us_{0};
+  // Walkers stopped by the *external* token latch their cause here (the
+  // engine records which source its poll observed, so a race loser cut by
+  // the pool's internal completion flag — StopCause::kChained — is never
+  // misattributed to a deadline that happened to pass during the joins).
+  std::atomic<bool> external_cancel_hit_{false};
+  std::atomic<bool> external_deadline_hit_{false};
+
+  MultiWalkReport report_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace cspls::parallel::detail

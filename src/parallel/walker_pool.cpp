@@ -1,13 +1,11 @@
 #include "parallel/walker_pool.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
-#include "core/adaptive_search.hpp"
-#include "util/rng.hpp"
-#include "util/timer.hpp"
+#include "parallel/job_execution.hpp"
 
 namespace cspls::parallel {
 
@@ -57,339 +55,41 @@ void validate_options(const WalkerPoolOptions& options) {
   }
 }
 
-namespace {
-
-core::Params params_for(const csp::Problem& prototype,
-                        const std::optional<core::Params>& params) {
-  return params.has_value() ? *params
-                            : core::Params::from_hints(
-                                  prototype.tuning(),
-                                  prototype.num_variables());
-}
-
-/// Best-cost selection over completed walks (Termination::kBestAfterBudget
-/// and the no-winner fallback of the threaded race): prefer any solved
-/// result, then any survivor over a crashed walker, then the lowest cost,
-/// first index breaking ties.  On an all-failed pool this still selects a
-/// (failed) result so the report stays structured.
-void select_best_after_budget(MultiWalkReport& report) {
-  const auto best_it = std::min_element(
-      report.walkers.begin(), report.walkers.end(),
-      [](const WalkerOutcome& a, const WalkerOutcome& b) {
-        if (a.result.solved != b.result.solved) return a.result.solved;
-        if (a.failed() != b.failed()) return !a.failed();
-        return a.result.cost < b.result.cost;
-      });
-  if (best_it != report.walkers.end()) {
-    report.best = best_it->result;
-    report.solved = best_it->result.solved;
-    report.winner = report.solved ? static_cast<std::size_t>(
-                                        best_it - report.walkers.begin())
-                                  : kNoWinner;
-  }
-}
-
-/// Crash-containment roll-up shared by every return path.
-void tally_failures(MultiWalkReport& report) {
-  report.failed_walkers = 0;
-  report.faults_injected = 0;
-  for (const auto& w : report.walkers) {
-    if (w.failed()) ++report.failed_walkers;
-    report.faults_injected += w.injected_faults;
-  }
-}
-
-}  // namespace
-
-MultiWalkReport resolve_emulated_race(std::vector<WalkerOutcome> walkers) {
-  MultiWalkReport report;
-  report.walkers = std::move(walkers);
-  std::uint64_t best_iters = UINT64_MAX;
-  csp::Cost best_cost = csp::kInfiniteCost;
-  std::size_t best_id = kNoWinner;
-  double wall = 0.0;
-  for (const auto& w : report.walkers) {
-    wall = std::max(wall, w.result.stats.seconds);
-    if (w.result.solved) {
-      if (w.result.stats.iterations < best_iters) {
-        best_iters = w.result.stats.iterations;
-        best_id = w.walker_id;
-      }
-    } else if (best_id == kNoWinner && w.result.cost < best_cost) {
-      best_cost = w.result.cost;
-    }
-  }
-  report.wall_seconds = wall;
-  if (best_id != kNoWinner) {
-    report.solved = true;
-    report.winner = best_id;
-    for (const auto& w : report.walkers) {
-      if (w.walker_id == best_id) {
-        report.best = w.result;
-        report.time_to_solution_seconds = w.result.stats.seconds;
-        break;
-      }
-    }
-  } else {
-    for (const auto& w : report.walkers) {
-      if (w.result.cost <= best_cost) {
-        report.best = w.result;
-        break;
-      }
-    }
-    report.time_to_solution_seconds = wall;
-  }
-  tally_failures(report);
-  return report;
-}
-
 MultiWalkReport WalkerPool::run(const csp::Problem& prototype) const {
   return run(prototype, core::StopToken{});
 }
 
 MultiWalkReport WalkerPool::run(const csp::Problem& prototype,
                                 const core::StopToken& external) const {
-  validate_options(options_);
-  const std::size_t k = options_.num_walkers;
-  if (options_.warm_start.has_value() &&
-      options_.warm_start->size() != prototype.num_variables()) {
-    throw std::invalid_argument(
-        "WalkerPoolOptions: warm_start has " +
-        std::to_string(options_.warm_start->size()) + " values but \"" +
-        std::string(prototype.name()) + "\" has " +
-        std::to_string(prototype.num_variables()) + " variables");
-  }
-  const core::Params params = params_for(prototype, options_.params);
-  const core::AdaptiveSearch engine(params);
-  const util::RngStreamFactory streams(options_.master_seed);
-  CommChannels comm(options_.communication, k);
-  // The effective fault schedule: request plans + the CSPLS_FAULTS env spec.
-  // Production builds never arm it — sessions stay disarmed and the sites
-  // compile to no-ops.
-  const util::fault::Schedule fault_schedule =
-      util::fault::kCompiledIn ? util::fault::Schedule::with_env(options_.faults)
-                               : util::fault::Schedule{};
+  detail::JobExecution job(prototype, options_, external);
 
-  const bool threaded = options_.scheduling == Scheduling::kThreads;
-  const bool race =
-      threaded && options_.termination == Termination::kFirstFinisher;
-
-  // The *only* shared state among racing walkers: the completion flag, the
-  // winner slot and the time-to-solution stamp.
-  std::atomic<bool> stop{false};
-  std::atomic<std::size_t> winner{kNoWinner};
-  std::atomic<std::uint64_t> solution_time_us{0};
-  // Walkers stopped by the *external* token latch their cause here (the
-  // engine records which source its poll observed, so a race loser cut by
-  // the pool's internal completion flag — StopCause::kChained — is never
-  // misattributed to a deadline that happened to pass during the joins).
-  std::atomic<bool> external_cancel_hit{false};
-  std::atomic<bool> external_deadline_hit{false};
-
-  MultiWalkReport report;
-  report.walkers.resize(k);
-  util::Stopwatch watch;
-
-  const auto run_walker = [&](std::size_t id) {
-    WalkerOutcome& out = report.walkers[id];
-    out.walker_id = id;
-    // Each walker owns its fault session, exactly like its RNG stream, so
-    // probe counts are deterministic under every scheduling mode.
-    util::fault::Session session(&fault_schedule, id);
-    // Crash containment: no exception may escape a walker body — an escape
-    // under kThreads would std::terminate the process.  A throwing walker
-    // (injected or genuine) is recorded as StopCause::kFailed with its
-    // message; survivors keep walking and the termination policies
-    // aggregate over them.
-    try {
-      auto problem = prototype.clone();
-      util::Xoshiro256 rng = streams.stream(id);
-      core::Hooks hooks = comm_hooks(options_.communication, comm, id, k,
-                                     session.armed() ? &session : nullptr);
-      if (options_.trace.enabled) {
-        out.trace.walker_id = id;
-        hooks.trace = &out.trace;
-        hooks.trace_sample_period = options_.trace.sample_period;
-      }
-      if (session.armed()) hooks.fault = &session;
-      hooks.heartbeat = options_.heartbeat;
-      if (options_.sample_sink && options_.sample_sink_period != 0) {
-        hooks.sample = [this, id](std::uint64_t iteration, csp::Cost cost) {
-          options_.sample_sink(id, iteration, cost);
-        };
-        hooks.sample_period = options_.sample_sink_period;
-      }
-      if (options_.warm_start.has_value()) {
-        hooks.warm_start = &*options_.warm_start;
-      }
-      // Each walker polls its own token copy: the caller's cancel/deadline,
-      // chained with the pool's completion flag when racing.
-      const core::StopToken token =
-          race ? external.also_cancelled_by(&stop) : external;
-      core::Result result = engine.solve(*problem, rng, token, hooks);
-      if (result.stop_cause == core::StopCause::kCancel) {
-        external_cancel_hit.store(true, std::memory_order_relaxed);
-      } else if (result.stop_cause == core::StopCause::kDeadline) {
-        external_deadline_hit.store(true, std::memory_order_relaxed);
-      }
-      if (race && result.solved && !result.interrupted) {
-        // First walker to flip the flag is the winner; latecomers keep
-        // their result but lose the race (exactly the paper's completion
-        // protocol).
-        bool expected = false;
-        if (stop.compare_exchange_strong(expected, true,
-                                         std::memory_order_acq_rel)) {
-          winner.store(id, std::memory_order_release);
-          solution_time_us.store(watch.elapsed_us(),
-                                 std::memory_order_release);
-        }
-      }
-      out.result = std::move(result);
-    } catch (const std::exception& e) {
-      out.result = core::Result{};
-      out.result.stop_cause = core::StopCause::kFailed;
-      out.result.error = e.what();
-    } catch (...) {
-      out.result = core::Result{};
-      out.result.stop_cause = core::StopCause::kFailed;
-      out.result.error = "unknown exception";
-    }
-    out.injected_faults = session.fired();
-  };
-
-  // Between-walker short-circuit for any path that runs walkers one after
-  // another (sequential/emulated scheduling, and the threaded scheduler
-  // collapsed to a single thread): once a stop source has fired, the
-  // not-yet-started walkers are marked interrupted with zero iterations
-  // instead of each paying a full clone + initial cost evaluation.
-  const auto mark_rest_interrupted = [&](std::size_t from,
-                                         core::StopCause cause) {
-    for (std::size_t rest = from; rest < k; ++rest) {
-      report.walkers[rest].walker_id = rest;
-      report.walkers[rest].result.interrupted = true;
-      report.walkers[rest].result.stop_cause = cause;
-    }
-  };
-  const auto run_walkers_one_by_one = [&] {
-    for (std::size_t id = 0; id < k; ++id) {
-      // Unthrottled check on purpose: the engine-rate throttle inside the
-      // token's poll would let each walker start and run a stride of
-      // iterations before noticing an already-expired deadline.
-      const bool ext_cancelled = external.cancelled();
-      if (ext_cancelled || external.deadline_expired()) {
-        const core::StopCause cause = ext_cancelled
-                                          ? core::StopCause::kCancel
-                                          : core::StopCause::kDeadline;
-        (ext_cancelled ? external_cancel_hit : external_deadline_hit)
-            .store(true, std::memory_order_relaxed);
-        mark_rest_interrupted(id, cause);
-        break;
-      }
-      // A collapsed threaded race already decided: the remaining walkers
-      // would only run to their first poll and report kChained anyway —
-      // record exactly that outcome without paying their start-up cost.
-      if (race && stop.load(std::memory_order_acquire)) {
-        mark_rest_interrupted(id, core::StopCause::kChained);
-        break;
-      }
-      run_walker(id);
-    }
-  };
-
-  if (threaded) {
-    const std::size_t hw = std::thread::hardware_concurrency() == 0
-                               ? 2
-                               : std::thread::hardware_concurrency();
-    const std::size_t thread_cap =
-        options_.max_threads == 0 ? k : std::min(options_.max_threads, k);
-    const std::size_t num_threads = std::min({k, thread_cap, hw * 16});
-
+  if (job.threaded()) {
+    const std::size_t num_threads = job.preferred_threads();
     if (num_threads <= 1) {
-      run_walkers_one_by_one();
+      job.run_walkers_one_by_one();
     } else {
       // Wave execution: an atomic ticket dispenser hands walker ids to a
       // bounded pool of OS threads.
+      const std::size_t k = job.num_walkers();
       std::atomic<std::size_t> next{0};
       std::vector<std::jthread> pool;
       pool.reserve(num_threads);
       for (std::size_t t = 0; t < num_threads; ++t) {
         pool.emplace_back([&] {
           for (;;) {
-            const std::size_t id =
-                next.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
             if (id >= k) return;
-            run_walker(id);
+            job.run_walker(id);
           }
         });
       }
       pool.clear();  // join
     }
   } else {
-    run_walkers_one_by_one();
+    job.run_walkers_one_by_one();
   }
 
-  // Cancellation wins the attribution tie when walkers observed both.
-  const core::StopCause interrupt_cause =
-      external_cancel_hit.load(std::memory_order_relaxed)
-          ? core::StopCause::kCancel
-      : external_deadline_hit.load(std::memory_order_relaxed)
-          ? core::StopCause::kDeadline
-          : core::StopCause::kNone;
-
-  if (!threaded && options_.termination == Termination::kFirstFinisher) {
-    MultiWalkReport resolved = resolve_emulated_race(std::move(report.walkers));
-    resolved.comm_publishes = comm.publishes();
-    resolved.elite_accepted = comm.accepted();
-    resolved.comm_adoptions = comm.adoptions();
-    resolved.interrupt_cause = interrupt_cause;
-    resolved.interrupted = interrupt_cause != core::StopCause::kNone;
-    return resolved;
-  }
-
-  if (!threaded) {
-    // Emulated machine's wall clock: all walkers start together and the
-    // pool stops when the slowest one exhausts its budget.
-    double wall = 0.0;
-    for (const auto& w : report.walkers) {
-      wall = std::max(wall, w.result.stats.seconds);
-    }
-    report.wall_seconds = wall;
-  } else {
-    report.wall_seconds = watch.elapsed_seconds();
-  }
-
-  if (race) {
-    const std::size_t win = winner.load(std::memory_order_acquire);
-    report.winner = win;
-    report.solved = win != kNoWinner;
-    if (report.solved) {
-      report.best = report.walkers[win].result;
-      report.time_to_solution_seconds =
-          static_cast<double>(
-              solution_time_us.load(std::memory_order_acquire)) /
-          1e6;
-    } else {
-      // Nobody flipped the flag: report the best configuration reached.  (A
-      // walker may still have solved after losing the race; prefer any
-      // solved result.)
-      select_best_after_budget(report);
-      report.time_to_solution_seconds = report.wall_seconds;
-    }
-  } else {
-    // kBestAfterBudget (and the non-racing threaded case): the pool's wall
-    // clock doubles as the time-to-result — also on cancelled or
-    // deadline-expired runs, where `best` is the anytime answer and the
-    // times say how long the pool actually had.
-    select_best_after_budget(report);
-    report.time_to_solution_seconds = report.wall_seconds;
-  }
-  report.comm_publishes = comm.publishes();
-  report.elite_accepted = comm.accepted();
-  report.comm_adoptions = comm.adoptions();
-  report.interrupt_cause = interrupt_cause;
-  report.interrupted = interrupt_cause != core::StopCause::kNone;
-  tally_failures(report);
-  return report;
+  return job.finalize();
 }
 
 }  // namespace cspls::parallel

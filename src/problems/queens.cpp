@@ -23,8 +23,7 @@ Queens::Queens(std::size_t n)
     : PermutationProblem(canonical_values(n)),
       n_(n),
       up_(2 * n - 1, 0),
-      down_(2 * n - 1, 0),
-      cand_(n, 0) {
+      down_(2 * n - 1, 0) {
   if (n < 1) {
     throw std::invalid_argument("Queens: n must be >= 1");
   }
@@ -199,9 +198,14 @@ std::uint64_t Queens::best_swap_for(std::size_t x, util::Xoshiro256& rng,
   // coincidence (the a == b cases above) collapses to one vector equality
   // mask and a select; the x-side occupation reads are lane-constant, so
   // their contributions are hoisted to scalar broadcasts and each lane block
-  // performs six occupation gathers total.  The lane holding j == x computes
-  // a garbage cost that is overwritten with the sentinel before the
-  // reservoir runs.
+  // performs six occupation gathers total.  The reservoir is fused into the
+  // compute loop: each half-block of costs is tested against the incumbent
+  // best while still in registers, and only a half that could improve or tie
+  // replays the scalar cascade — draw-for-draw what SwapScan::feed_lanes
+  // does, without staging candidates through a side buffer first.  The lane
+  // holding j == x computes a garbage cost; the replay skips it, and a
+  // garbage lane can at worst trigger a replay whose real lanes are all
+  // strictly worse, which consumes no RNG either way.
   constexpr std::size_t kL = simd::i32x8::kLanes;
   const int u_x = up_[ux];
   const int d_x = down_[dx];
@@ -220,7 +224,24 @@ std::uint64_t Queens::best_swap_for(std::size_t x, util::Xoshiro256& rng,
   const auto rxb = simd::i32x8::broadcast(rx);
   const auto n1b = simd::i32x8::broadcast(static_cast<int>(n_) - 1);
   const auto totalb = simd::i64x4::broadcast(total);
-  Cost* const cand = cand_.data();
+  csp::SwapScan scan(n_);
+  Cost incumbent = scan.best_cost;
+  auto bestv = simd::i64x4::broadcast(incumbent);
+  constexpr std::size_t kHalf = simd::i64x4::kLanes;
+  const auto feed_half = [&](const simd::i64x4 costs, std::size_t base) {
+    if (!simd::any(simd::cmp_le(costs, bestv))) return;
+    Cost block[kHalf];
+    costs.store(block);
+    for (std::size_t t = 0; t < kHalf; ++t) {
+      const std::size_t cj = base + t;
+      if (cj == x) continue;
+      scan.consider(cj, block[t], rng);
+    }
+    if (scan.best_cost != incumbent) {
+      incumbent = scan.best_cost;
+      bestv = simd::i64x4::broadcast(incumbent);
+    }
+  };
   std::size_t j = 0;
   for (; j + kL <= n_; j += kL) {
     const auto rj = simd::i32x8::load(vals.data() + j);
@@ -255,20 +276,19 @@ std::uint64_t Queens::best_swap_for(std::size_t x, util::Xoshiro256& rng,
     const auto delta = ((rem_u + add_u) + (rem_d + add_d));
     simd::i64x4 dlo, dhi;
     simd::widen(delta, dlo, dhi);
-    (totalb + dlo).store(cand + j);
-    (totalb + dhi).store(cand + j + simd::i64x4::kLanes);
+    feed_half(totalb + dlo, j);
+    feed_half(totalb + dhi, j + kHalf);
   }
   for (; j < n_; ++j) {
     if (j == x) continue;
     const int rj = vals[j];
-    cand[j] = total + remove_two(up_, ux, up_slot(j, rj)) +
-              add_two(up_, up_slot(x, rj), up_slot(j, rx)) +
-              remove_two(down_, dx, down_slot(j, rj)) +
-              add_two(down_, down_slot(x, rj), down_slot(j, rx));
+    scan.consider(j,
+                  total + remove_two(up_, ux, up_slot(j, rj)) +
+                      add_two(up_, up_slot(x, rj), up_slot(j, rx)) +
+                      remove_two(down_, dx, down_slot(j, rj)) +
+                      add_two(down_, down_slot(x, rj), down_slot(j, rx)),
+                  rng);
   }
-  cand[x] = csp::kInfiniteCost;
-  csp::SwapScan scan(n_);
-  scan.feed_lanes(0, std::span<const Cost>(cand, n_), x, rng);
   best_j = scan.best_j;
   best_cost = scan.best_cost;
   ties = scan.ties;

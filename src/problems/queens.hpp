@@ -54,8 +54,6 @@ class Queens final : public csp::PermutationProblem {
   std::string name_ = "queens";
   mutable std::vector<int> up_;    ///< occupation of / diagonals
   mutable std::vector<int> down_;  ///< occupation of \ diagonals
-  /// SIMD-path candidate costs consumed by SwapScan::feed_lanes.
-  mutable std::vector<csp::Cost> cand_;
 };
 
 }  // namespace cspls::problems

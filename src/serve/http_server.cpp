@@ -44,12 +44,14 @@ bool send_chunk(int fd, std::string_view line) {
 }
 
 bool send_simple(int fd, int code, std::string_view reason,
-                 std::string_view body) {
+                 std::string_view body, bool keep_alive) {
   std::string response = "HTTP/1.1 " + std::to_string(code) + " ";
   response.append(reason);
   response +=
       "\r\nContent-Type: application/x-ndjson\r\nContent-Length: " +
-      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+      std::to_string(body.size()) + "\r\nConnection: ";
+  response += keep_alive ? "keep-alive" : "close";
+  response += "\r\n\r\n";
   response.append(body);
   return send_all(fd, response);
 }
@@ -58,26 +60,37 @@ struct Request {
   std::string method;
   std::string path;
   std::string body;
+  bool keep_alive = true;
 };
 
-/// Read one request (start line, headers, Content-Length body).  Returns
-/// false on a connection-level failure; protocol-level problems come back
-/// as `error_code`/`error_message` with ok == true.
-bool read_request(int fd, std::size_t max_body, Request& request,
-                  std::string_view& error_code, std::string& error_message) {
-  std::string buffer;
+std::string lowercased(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+/// Read one request (start line, headers, Content-Length body) from the
+/// socket, consuming it from `buffer` — which persists across requests on
+/// a keep-alive connection, so bytes of a pipelined next request are kept,
+/// not dropped.  Returns false on a connection-level failure (peer gone);
+/// protocol-level problems come back as `error_code`/`error_message` with
+/// ok == true.
+bool read_request(int fd, std::size_t max_body, std::string& buffer,
+                  Request& request, std::string_view& error_code,
+                  std::string& error_message) {
   char io[4096];
-  std::size_t header_end = std::string::npos;
+  std::size_t header_end = buffer.find("\r\n\r\n");
   while (header_end == std::string::npos) {
-    const ssize_t got = ::recv(fd, io, sizeof io, 0);
-    if (got <= 0) return false;
-    buffer.append(io, static_cast<std::size_t>(got));
-    header_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > max_body + 8192 && header_end == std::string::npos) {
+    if (buffer.size() > max_body + 8192) {
       error_code = kErrOversized;
       error_message = "request headers exceed the size limit";
       return true;
     }
+    const ssize_t got = ::recv(fd, io, sizeof io, 0);
+    if (got <= 0) return false;
+    buffer.append(io, static_cast<std::size_t>(got));
+    header_end = buffer.find("\r\n\r\n");
   }
 
   const std::string head = buffer.substr(0, header_end);
@@ -95,6 +108,9 @@ bool read_request(int fd, std::size_t max_body, Request& request,
   }
   request.method = start_line.substr(0, sp1);
   request.path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Persistence default by version: 1.1 keeps alive unless told otherwise,
+  // 1.0 closes unless the client opts in.
+  request.keep_alive = start_line.substr(sp2 + 1) != "HTTP/1.0";
 
   std::size_t content_length = 0;
   std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
@@ -104,18 +120,23 @@ bool read_request(int fd, std::size_t max_body, Request& request,
     const std::string line = head.substr(pos, next - pos);
     const std::size_t colon = line.find(':');
     if (colon != std::string::npos) {
-      std::string name = line.substr(0, colon);
-      for (char& c : name) c = static_cast<char>(std::tolower(
-                               static_cast<unsigned char>(c)));
+      const std::string name = lowercased(line.substr(0, colon));
+      std::size_t value_at = colon + 1;
+      while (value_at < line.size() && line[value_at] == ' ') ++value_at;
       if (name == "content-length") {
-        std::size_t value_at = colon + 1;
-        while (value_at < line.size() && line[value_at] == ' ') ++value_at;
         try {
           content_length = std::stoul(line.substr(value_at));
         } catch (const std::exception&) {
           error_code = kErrBadEnvelope;
           error_message = "unparsable Content-Length";
           return true;
+        }
+      } else if (name == "connection") {
+        const std::string value = lowercased(line.substr(value_at));
+        if (value.find("close") != std::string::npos) {
+          request.keep_alive = false;
+        } else if (value.find("keep-alive") != std::string::npos) {
+          request.keep_alive = true;
         }
       }
     }
@@ -129,13 +150,14 @@ bool read_request(int fd, std::size_t max_body, Request& request,
     return true;
   }
 
-  request.body = buffer.substr(header_end + 4);
-  while (request.body.size() < content_length) {
+  const std::size_t total = header_end + 4 + content_length;
+  while (buffer.size() < total) {
     const ssize_t got = ::recv(fd, io, sizeof io, 0);
     if (got <= 0) return false;
-    request.body.append(io, static_cast<std::size_t>(got));
+    buffer.append(io, static_cast<std::size_t>(got));
   }
-  request.body.resize(content_length);
+  request.body = buffer.substr(header_end + 4, content_length);
+  buffer.erase(0, total);
   return true;
 }
 
@@ -181,6 +203,10 @@ void HttpServer::stop() {
   {
     std::lock_guard lock(conn_m_);
     connections.swap(connections_);
+    // Break connections parked in a keep-alive recv(): shutdown wakes the
+    // read with EOF and the handler loop exits.  The handler owns close();
+    // fds leave this set before closing, so no reused descriptor is hit.
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& connection : connections) {
     if (connection.joinable()) connection.join();
@@ -201,82 +227,104 @@ void HttpServer::accept_loop() {
       ::close(fd);
       return;
     }
+    live_fds_.insert(fd);
     connections_.emplace_back([this, fd] { handle_connection(fd); });
   }
 }
 
 void HttpServer::handle_connection(int fd) {
-  Request request;
-  std::string_view error_code;
-  std::string error_message;
-  if (!read_request(fd, options_.max_body_bytes, request, error_code,
-                    error_message)) {
-    ::close(fd);
-    return;
-  }
-  if (!error_code.empty()) {
-    send_simple(fd, 400, "Bad Request",
-                encode_error(error_code, error_message) + "\n");
-    ::close(fd);
-    return;
-  }
+  std::string buffer;  ///< unconsumed bytes, carried across requests
+  bool keep_open = true;
+  while (keep_open && !stopping_.load()) {
+    Request request;
+    std::string_view error_code;
+    std::string error_message;
+    if (!read_request(fd, options_.max_body_bytes, buffer, request,
+                      error_code, error_message)) {
+      break;
+    }
+    if (!error_code.empty()) {
+      // The HTTP framing itself is broken: after answering, the byte
+      // stream is unsynchronized, so the connection cannot persist.
+      send_simple(fd, 400, "Bad Request",
+                  encode_error(error_code, error_message) + "\n",
+                  /*keep_alive=*/false);
+      break;
+    }
+    keep_open = request.keep_alive;
 
-  if (request.method == "GET" && request.path == "/stats") {
-    send_simple(fd, 200, "OK",
-                encode_stats(scheduler_.stats().to_json(),
-                             scheduler_.service_stats().to_json()) +
-                    "\n");
-    ::close(fd);
-    return;
-  }
-  if (request.path != "/api") {
-    send_simple(fd, 404, "Not Found",
-                encode_error(kErrUnknownOp,
-                             "no such path (POST /api, GET /stats)") +
-                    "\n");
-    ::close(fd);
-    return;
-  }
-  if (request.method != "POST") {
-    send_simple(fd, 405, "Method Not Allowed",
-                encode_error(kErrUnknownOp, "POST the command to /api") +
-                    "\n");
-    ::close(fd);
-    return;
-  }
+    if (request.method == "GET" && request.path == "/stats") {
+      if (!send_simple(fd, 200, "OK",
+                       encode_stats(scheduler_.stats().to_json(),
+                                    scheduler_.service_stats().to_json()) +
+                           "\n",
+                       keep_open)) {
+        break;
+      }
+      continue;
+    }
+    if (request.path != "/api") {
+      if (!send_simple(fd, 404, "Not Found",
+                       encode_error(kErrUnknownOp,
+                                    "no such path (POST /api, GET /stats)") +
+                           "\n",
+                       keep_open)) {
+        break;
+      }
+      continue;
+    }
+    if (request.method != "POST") {
+      if (!send_simple(fd, 405, "Method Not Allowed",
+                       encode_error(kErrUnknownOp,
+                                    "POST the command to /api") +
+                           "\n",
+                       keep_open)) {
+        break;
+      }
+      continue;
+    }
 
-  // Parse before answering so protocol errors get a 400 status; the
-  // session would only see them after the 200 header was on the wire.
-  try {
-    (void)parse_command(request.body, options_.max_body_bytes);
-  } catch (const ProtocolError& error) {
-    send_simple(fd, 400, "Bad Request",
-                encode_error(error.code(), error.what()) + "\n");
-    ::close(fd);
-    return;
-  }
+    // Parse before answering so protocol errors get a 400 status; the
+    // session would only see them after the 200 header was on the wire.
+    try {
+      (void)parse_command(request.body, options_.max_body_bytes);
+    } catch (const ProtocolError& error) {
+      if (!send_simple(fd, 400, "Bad Request",
+                       encode_error(error.code(), error.what()) + "\n",
+                       keep_open)) {
+        break;
+      }
+      continue;
+    }
 
-  if (!send_all(fd,
-                "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n"
-                "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n")) {
-    ::close(fd);
-    return;
-  }
+    std::string header =
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n"
+        "Transfer-Encoding: chunked\r\nConnection: ";
+    header += keep_open ? "keep-alive" : "close";
+    header += "\r\n\r\n";
+    if (!send_all(fd, header)) break;
 
-  std::atomic<bool> broken{false};
-  Session session(
-      scheduler_,
-      [fd, &broken](std::string_view line) {
-        if (broken.load(std::memory_order_relaxed)) return;
-        if (!send_chunk(fd, line)) {
-          broken.store(true, std::memory_order_relaxed);
-        }
-      },
-      Session::Options{options_.max_body_bytes});
-  session.handle_line(request.body);
-  if (broken.load() || stopping_.load()) session.cancel_all();
-  session.drain();
-  if (!broken.load()) send_all(fd, "0\r\n\r\n");
+    std::atomic<bool> broken{false};
+    Session session(
+        scheduler_,
+        [fd, &broken](std::string_view line) {
+          if (broken.load(std::memory_order_relaxed)) return;
+          if (!send_chunk(fd, line)) {
+            broken.store(true, std::memory_order_relaxed);
+          }
+        },
+        Session::Options{options_.max_body_bytes});
+    session.handle_line(request.body);
+    if (broken.load() || stopping_.load()) session.cancel_all();
+    session.drain();
+    // The zero-length chunk delimits the stream; the next request may
+    // follow on the same socket.
+    if (broken.load() || !send_all(fd, "0\r\n\r\n")) break;
+  }
+  {
+    std::lock_guard lock(conn_m_);
+    live_fds_.erase(fd);
+  }
   ::close(fd);
 }
 

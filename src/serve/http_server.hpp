@@ -13,10 +13,15 @@
 //   GET /stats                    -> 200, one `stats` event line.
 //
 // Protocol errors (bad JSON, unknown op, oversized body) answer 400 with
-// one `error` event line; unknown paths/methods answer 404/405.  Every
-// response closes the connection (Connection: close) — the streaming
-// grammar, not keep-alive throughput, is what this listener is for; bulk
-// load runs over stdio.
+// one `error` event line; unknown paths/methods answer 404/405.
+//
+// Connections are persistent (HTTP/1.1 keep-alive): after a response —
+// including a chunked stream, whose 0-length terminator delimits it — the
+// handler loops for the next request on the same socket, so a client can
+// POST many commands and poll /stats without paying a TCP handshake per
+// call.  `Connection: close` (or HTTP/1.0 without keep-alive) closes
+// after the response; a request whose HTTP framing itself is malformed
+// always closes, since the byte stream is no longer synchronized.
 //
 // A client that disconnects mid-stream cancels its jobs: the write
 // failure flips the connection's broken flag and the handler cancels
@@ -26,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "serve/session.hpp"
@@ -70,6 +76,8 @@ class HttpServer {
   std::thread acceptor_;
   std::mutex conn_m_;
   std::vector<std::thread> connections_;
+  std::unordered_set<int> live_fds_;  ///< open sockets, for stop() to break
+                                      ///< idle keep-alive reads
 };
 
 }  // namespace cspls::serve

@@ -300,5 +300,41 @@ TEST(SelfHealingJson, FailureDetailsRoundTripThroughTheReport) {
   EXPECT_EQ(decoded.to_json_string(), encoded);
 }
 
+TEST(SelfHealing, FusedMemberDispatchCrashFailsOnlyThatJob) {
+  if (!util::fault::kCompiledIn) {
+    GTEST_SKIP() << "build without CSPLS_FAULT_INJECTION";
+  }
+  // The fused path keeps the solo path's failure model: each member gets
+  // its own service_dispatch probe, so an injected dispatch crash fails
+  // exactly the member that carries the plan while its fused siblings
+  // solve normally.
+  SolverService service(SolverService::Options{4, 0});
+  std::vector<SolveRequest> batch;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SolveRequest request = quick_request(seed);
+    request.scheduling = parallel::Scheduling::kSequential;  // fusible
+    batch.push_back(request);
+  }
+  batch[1].faults = {dispatch_crash(1)};
+
+  const std::vector<JobHandle> jobs = service.submit_batch(batch);
+  ASSERT_TRUE(jobs[1].wait_for(milliseconds(30'000)));
+  EXPECT_EQ(jobs[1].status(), JobStatus::kFailed);
+  EXPECT_NE(jobs[1].error().find("injected fault"), std::string::npos);
+  EXPECT_EQ(jobs[1].report().attempts, 1u);
+
+  for (const std::size_t sibling : {std::size_t{0}, std::size_t{2}}) {
+    ASSERT_TRUE(jobs[sibling].wait_for(milliseconds(30'000)));
+    EXPECT_EQ(jobs[sibling].status(), JobStatus::kDone);
+    EXPECT_TRUE(jobs[sibling].report().solved);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_batches, 1u);
+  EXPECT_EQ(stats.fused_jobs, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
 }  // namespace
 }  // namespace cspls::api

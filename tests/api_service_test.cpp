@@ -395,5 +395,116 @@ TEST(SolverService, StreamedSamplesArriveWhileMultiplexingWithWaitFor) {
   }
 }
 
+SolveRequest fusible_request(std::uint64_t seed) {
+  // Single-lease (sequential), no retry, no watchdog: exactly what the
+  // dispatcher's fusion scan admits into one fused launch.
+  SolveRequest request;
+  request.problem = "costas:9";
+  request.walkers = 2;
+  request.seed = seed;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  return request;
+}
+
+TEST(SolverService, SubmitBatchFusesSmallJobsWithSoloIdenticalReports) {
+  SolverService service(SolverService::Options{4, 0});
+  std::vector<SolveRequest> batch;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    batch.push_back(fusible_request(seed));
+  }
+  const std::vector<JobHandle> jobs = service.submit_batch(batch);
+  ASSERT_EQ(jobs.size(), batch.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SolveReport& fused = jobs[i].wait();
+    EXPECT_EQ(jobs[i].status(), JobStatus::kDone);
+    EXPECT_EQ(fused.attempts, 1u);
+    // Trajectory-identical to the same request solved directly.
+    const SolveReport solo = Solver::solve(batch[i]);
+    EXPECT_EQ(fused.solved, solo.solved);
+    EXPECT_EQ(fused.winner, solo.winner);
+    EXPECT_EQ(fused.cost, solo.cost);
+    EXPECT_EQ(fused.solution, solo.solution);
+    EXPECT_EQ(fused.total_iterations, solo.total_iterations);
+  }
+
+  // The whole batch was enqueued under one lock with the budget free, so
+  // the dispatcher saw all four at the FIFO head and fused them as one.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_batches, 1u);
+  EXPECT_EQ(stats.fused_jobs, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.submitted, 4u);
+  const util::Json json = stats.to_json();
+  EXPECT_EQ(json.at("fused_batches").as_uint64(), 1u);
+  EXPECT_EQ(json.at("fused_jobs").as_uint64(), 4u);
+}
+
+TEST(SolverService, SubmitBatchValidationIsAllOrNothing) {
+  SolverService service(SolverService::Options{2, 0});
+  std::vector<SolveRequest> batch;
+  batch.push_back(fusible_request(1));
+  batch.push_back(fusible_request(2));
+  batch[1].problem = "no-such-problem:9";
+  EXPECT_THROW((void)service.submit_batch(batch), std::invalid_argument);
+  EXPECT_EQ(service.stats().submitted, 0u);
+  EXPECT_EQ(service.pending_jobs(), 0u);
+
+  service.shutdown();
+  batch[1] = fusible_request(2);
+  EXPECT_THROW((void)service.submit_batch(batch), std::runtime_error);
+}
+
+TEST(SolverService, NonFusibleJobsStayOnTheSoloPath) {
+  // Multi-thread leases never fuse: the scan stops at the first job whose
+  // desired lease exceeds one, so kThreads jobs keep their solo workers.
+  SolverService service(SolverService::Options{4, 0});
+  std::vector<SolveRequest> batch;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    batch.push_back(quick_request(seed));  // kThreads, walkers = 2
+  }
+  const std::vector<JobHandle> jobs = service.submit_batch(batch);
+  for (const JobHandle& job : jobs) {
+    EXPECT_TRUE(job.wait().solved);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_batches, 0u);
+  EXPECT_EQ(stats.fused_jobs, 0u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(SolverService, CancelCutsAFusedMemberAndSparesItsSiblings) {
+  // A fused member's cancel flag is its own stop token: cancelling one
+  // member of a fused launch reports that member cancelled while siblings
+  // run to completion.
+  SolverService service(SolverService::Options{4, 0});
+  std::vector<SolveRequest> batch;
+  batch.push_back(fusible_request(1));
+  SolveRequest endless = endless_request(2);
+  endless.scheduling = parallel::Scheduling::kSequential;
+  endless.walkers = 1;
+  batch.push_back(endless);
+  batch.push_back(fusible_request(3));
+
+  const std::vector<JobHandle> jobs = service.submit_batch(batch);
+  ASSERT_TRUE(jobs[0].wait_for(milliseconds(30'000)));
+  ASSERT_TRUE(jobs[2].wait_for(milliseconds(30'000)));
+  EXPECT_TRUE(jobs[0].report().solved);
+  EXPECT_TRUE(jobs[2].report().solved);
+  EXPECT_FALSE(jobs[1].wait_for(milliseconds(0)));  // still walking
+
+  EXPECT_TRUE(jobs[1].cancel());
+  ASSERT_TRUE(jobs[1].wait_for(milliseconds(30'000)));
+  EXPECT_EQ(jobs[1].status(), JobStatus::kCancelled);
+  EXPECT_TRUE(jobs[1].report().cancelled);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_batches, 1u);
+  EXPECT_EQ(stats.fused_jobs, 3u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
 }  // namespace
 }  // namespace cspls::api

@@ -245,6 +245,85 @@ TEST(ServeScheduler, CancelSemanticsAndStatsCounters) {
   EXPECT_EQ(json.at("queued_high").as_uint64(), 0u);
 }
 
+TEST(ServeScheduler, FusedBatchCountersTrackFusedLaunches) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  // Fill the lane while the single worker is pinned, so the next claim is
+  // one batch of four — which the default configuration runs as one fused
+  // launch.
+  const std::uint64_t blocker =
+      scheduler.submit(endless(Priority::kNormal, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker); }));
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seed = 2; seed <= 5; ++seed) {
+    ids.push_back(
+        scheduler.submit(quick(Priority::kNormal, seed), recorder.events()));
+  }
+  EXPECT_EQ(scheduler.cancel(blocker), Scheduler::CancelResult::kCancelled);
+
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 5; }));
+  for (const std::uint64_t id : ids) {
+    EXPECT_EQ(recorder.status_of(id), "done");
+  }
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.fused_batches, 1u);
+  EXPECT_EQ(stats.fused_jobs, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  const util::Json json = stats.to_json();
+  EXPECT_EQ(json.at("fused_batches").as_uint64(), 1u);
+  EXPECT_EQ(json.at("fused_jobs").as_uint64(), 4u);
+}
+
+/// Shutdown racing a claimed warm batch: the member already running stops
+/// and reports "cancelled"; claimed-but-unstarted members get a terminal
+/// cancel event WITHOUT running — no start record, no walker start-up.
+void shutdown_while_batch_claimed(bool fuse) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  options.warm_batch_max = 8;
+  options.fuse_warm_batches = fuse;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  const std::uint64_t blocker0 =
+      scheduler.submit(endless(Priority::kNormal, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker0); }));
+  const std::uint64_t blocker1 =
+      scheduler.submit(endless(Priority::kNormal, 2), recorder.events());
+  const std::uint64_t q1 =
+      scheduler.submit(quick(Priority::kNormal, 3), recorder.events());
+  const std::uint64_t q2 =
+      scheduler.submit(quick(Priority::kNormal, 4), recorder.events());
+  EXPECT_EQ(scheduler.cancel(blocker0), Scheduler::CancelResult::kCancelled);
+  // The worker now holds the claimed batch [blocker1, q1, q2] and is
+  // running blocker1; q1 and q2 are claimed but unstarted.
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker1); }));
+
+  scheduler.shutdown();
+
+  EXPECT_EQ(recorder.status_of(blocker0), "cancelled");
+  EXPECT_EQ(recorder.status_of(blocker1), "cancelled");
+  EXPECT_EQ(recorder.status_of(q1), "cancelled");
+  EXPECT_EQ(recorder.status_of(q2), "cancelled");
+  EXPECT_EQ(recorder.reported(), 4u);
+  // The unstarted claims were returned, not run.
+  const std::vector<std::uint64_t> order = scheduler.started_order();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{blocker0, blocker1}));
+  EXPECT_EQ(scheduler.stats().cancelled, 4u);
+}
+
+TEST(ServeScheduler, ShutdownWhileBatchClaimedCancelsUnstartedWithoutRunning) {
+  shutdown_while_batch_claimed(/*fuse=*/true);
+}
+
+TEST(ServeScheduler,
+     ShutdownWhileBatchClaimedCancelsUnstartedWithoutRunningUnfused) {
+  shutdown_while_batch_claimed(/*fuse=*/false);
+}
+
 TEST(ServeScheduler, AnInvalidRequestIsRejectedAtSubmission) {
   Scheduler scheduler;
   Recorder recorder;

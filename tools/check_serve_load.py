@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Validate the bench_serve_loadgen CSV schema (CI serve-load smoke).
 
-Usage: check_serve_load.py SERVE_load.csv [--jobs N]
+Usage: check_serve_load.py SERVE_load.csv [--jobs N] [--fused-min-ratio R]
 
 Checks structure and internal consistency, not absolute numbers (latency
 depends on the host): the expected lane rows exist, counts add up, the
-percentile ladder is ordered, and throughput is positive.  --jobs asserts
-the total job count the smoke step requested.
+percentile ladder is ordered, throughput is positive, and the warm path
+actually fused (fused_batches/fused_jobs counters are live).  --jobs
+asserts the total job count the smoke step requested.  --fused-min-ratio
+gates fused vs unfused throughput (e.g. 1.0 = fused must not lose); leave
+it off on hosts without idle cores, where fused launches run inline and
+the two modes are expected to tie.
 """
 
 import argparse
@@ -16,7 +20,8 @@ import sys
 EXPECTED_COLUMNS = [
     "lane", "jobs", "solved", "failed", "cancelled", "p50_ms", "p90_ms",
     "p99_ms", "max_ms", "wall_seconds", "throughput_per_s", "batches",
-    "batched_jobs", "givebacks", "samples",
+    "batched_jobs", "givebacks", "samples", "fused_batches", "fused_jobs",
+    "unfused_p50_ms", "unfused_p99_ms", "unfused_throughput_per_s",
 ]
 EXPECTED_LANES = ["high", "normal", "low", "all"]
 
@@ -30,6 +35,8 @@ def main() -> None:
     parser.add_argument("csv_path")
     parser.add_argument("--jobs", type=int, default=None,
                         help="expected total job count (the 'all' row)")
+    parser.add_argument("--fused-min-ratio", type=float, default=None,
+                        help="minimum fused/unfused throughput ratio")
     args = parser.parse_args()
 
     with open(args.csv_path, newline="") as handle:
@@ -62,6 +69,11 @@ def main() -> None:
             fail(f"{lane}: nonpositive throughput")
         if float(row["wall_seconds"]) <= 0.0:
             fail(f"{lane}: nonpositive wall time")
+        if float(row["unfused_throughput_per_s"]) <= 0.0:
+            fail(f"{lane}: nonpositive unfused throughput")
+        if jobs > 0 and float(row["unfused_p50_ms"]) > float(
+                row["unfused_p99_ms"]):
+            fail(f"{lane}: unfused p50 above p99")
         if lane != "all":
             lane_total += jobs
 
@@ -80,10 +92,33 @@ def main() -> None:
     if all_jobs >= 100 and batches >= batched:
         fail(f"no batching observed: {batches} batches for {batched} jobs")
 
+    # The fused warm path must be live: multi-job claims become fused
+    # launches, so the counters are non-zero and mutually consistent.
+    fused_batches = int(rows["all"]["fused_batches"])
+    fused_jobs = int(rows["all"]["fused_jobs"])
+    if fused_batches <= 0:
+        fail("no fused batches: the fused warm path never ran")
+    if fused_jobs < 2 * fused_batches:
+        fail(f"fused batches not fused: {fused_jobs} jobs in "
+             f"{fused_batches} batches (minimum 2 per batch)")
+    if fused_jobs > batched:
+        fail(f"fused jobs {fused_jobs} exceed batched jobs {batched}")
+    # Coverage: with a real load most claims hold >= 2 jobs, so most jobs
+    # must have gone through a fused launch (solo claims stay unfused).
+    if all_jobs >= 100 and fused_jobs < all_jobs // 2:
+        fail(f"fused coverage too low: {fused_jobs} of {all_jobs} jobs")
+
+    ratio = (float(rows["all"]["throughput_per_s"]) /
+             float(rows["all"]["unfused_throughput_per_s"]))
+    if args.fused_min_ratio is not None and ratio < args.fused_min_ratio:
+        fail(f"fused/unfused throughput {ratio:.3f} below "
+             f"{args.fused_min_ratio:.3f}")
+
     print(f"check_serve_load: OK: {all_jobs} jobs, "
           f"p99 {rows['all']['p99_ms']} ms, "
           f"{rows['all']['throughput_per_s']} jobs/s, "
-          f"{batches} batches")
+          f"{batches} batches, {fused_batches} fused "
+          f"({fused_jobs} jobs), fused/unfused {ratio:.3f}x")
 
 
 if __name__ == "__main__":
