@@ -183,6 +183,106 @@ PassResult run_pass(const PassConfig& config) {
   return result;
 }
 
+/// Mixed-priority preemption profile: one service slot, long low jobs
+/// already running when short high jobs arrive, so every high arrival can
+/// only displace the *running* low.  Run once with running preemption
+/// (suspend to checkpoint, resume later) and once without (the high waits
+/// the walk out): the low-lane completion latencies of the two runs bound
+/// the price of being preempted, the high-lane latencies the price of not
+/// preempting.
+struct PreemptProfile {
+  std::vector<double> low_ms;   // sorted low-lane completion latencies
+  std::vector<double> high_ms;  // sorted high-lane completion latencies
+  cspls::serve::SchedulerStats stats;
+};
+
+PreemptProfile run_preempt_profile(bool with_resume, std::uint64_t lows,
+                                   std::uint64_t highs, std::uint64_t seed) {
+  using namespace cspls;
+  serve::SchedulerOptions options;
+  options.warm_workers = 1;
+  options.warm_lease_threshold = 0;  // every job takes the service path
+  options.service_inflight = 1;      // one slot: arrivals must displace it
+  options.service.thread_budget = 1;
+  options.preempt_running = with_resume;
+  serve::Scheduler scheduler(options);
+
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::map<std::string, Clock::time_point> submit_at;
+  std::map<std::string, bool> is_low;
+  PreemptProfile profile;
+  std::uint64_t reported = 0;
+
+  serve::Session session(scheduler, [&](std::string_view line) {
+    const std::optional<util::Json> event = util::Json::parse(
+        std::string_view(line.data(), line.size() - 1));
+    if (!event || event->at("event").as_string() != "report") return;
+    const Clock::time_point now = Clock::now();
+    const std::string& tag = event->at("tag").as_string();
+    std::lock_guard lock(m);
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - submit_at[tag])
+            .count();
+    (is_low[tag] ? profile.low_ms : profile.high_ms).push_back(ms);
+    ++reported;
+    done_cv.notify_all();
+  });
+
+  const auto submit = [&](std::string_view priority, const std::string& tag,
+                          std::string_view problem, std::uint64_t job_seed,
+                          std::uint64_t restart_limit) {
+    util::Json request = util::Json::object();
+    request.set("problem", std::string(problem))
+        .set("walkers", std::uint64_t{1})
+        .set("scheduling", "sequential")
+        .set("seed", job_seed);
+    if (restart_limit != 0) {
+      // A fixed iteration budget on an unsolvable instance: the job's
+      // length is the budget, not luck, so the highs land mid-walk.
+      util::Json params = util::Json::object();
+      params.set("restart_limit", restart_limit)
+          .set("max_restarts", std::uint64_t{0});
+      request.set("params", std::move(params));
+    }
+    util::Json envelope = util::Json::object();
+    envelope.set("op", "solve")
+        .set("request", std::move(request))
+        .set("priority", priority)
+        .set("tag", tag);
+    {
+      std::lock_guard lock(m);
+      submit_at[tag] = Clock::now();
+      is_low[tag] = priority == "low";
+    }
+    session.handle_line(envelope.dump(0));
+  };
+
+  // All low jobs up front: one runs, the rest wait in the low lane (the
+  // single service slot leaves no queued-in-service victim).
+  for (std::uint64_t i = 0; i < lows; ++i) {
+    submit("low", "low-" + std::to_string(i), "langford:5", seed + i,
+           400'000);
+  }
+  // High arrivals paced a few ms apart so several land while a low walk
+  // (tens of ms) is mid-run.
+  for (std::uint64_t i = 0; i < highs; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    submit("high", "high-" + std::to_string(i), "costas:7",
+           seed + 1000 + i, 0);
+  }
+
+  {
+    std::unique_lock lock(m);
+    done_cv.wait(lock, [&] { return reported == lows + highs; });
+  }
+  scheduler.shutdown();
+  profile.stats = scheduler.stats();
+  std::sort(profile.low_ms.begin(), profile.low_ms.end());
+  std::sort(profile.high_ms.begin(), profile.high_ms.end());
+  return profile;
+}
+
 void append_json_pass(std::string& json, std::string_view name,
                       PassResult& pass) {
   json += "    \"" + std::string(name) + "\": {\n";
@@ -197,6 +297,13 @@ void append_json_pass(std::string& json, std::string_view name,
           ",\n";
   json += "      \"givebacks\": " + std::to_string(pass.stats.givebacks) +
           ",\n";
+  json += "      \"preempted_queued\": " +
+          std::to_string(pass.stats.preempted_queued) + ",\n";
+  json += "      \"preempted_running\": " +
+          std::to_string(pass.stats.preempted_running) + ",\n";
+  json += "      \"resumed\": " + std::to_string(pass.stats.resumed) + ",\n";
+  json += "      \"rejected_overload\": " +
+          std::to_string(pass.stats.rejected_overload) + ",\n";
   json += "      \"lanes\": {\n";
   bool first = true;
   for (const std::string_view priority : kPriorities) {
@@ -316,6 +423,25 @@ int main(int argc, char** argv) {
       unfused.throughput > 0.0 ? fused.throughput / unfused.throughput : 0.0;
   std::cout << "fused/unfused throughput: " << fmt(speedup) << "x\n";
 
+  // Mixed-priority preemption profile: the same arrival pattern with and
+  // without running preemption (suspend-to-checkpoint + resume).
+  const std::uint64_t profile_lows = 6, profile_highs = 6;
+  PreemptProfile preempt = run_preempt_profile(
+      /*with_resume=*/true, profile_lows, profile_highs, config.seed);
+  PreemptProfile noresume = run_preempt_profile(
+      /*with_resume=*/false, profile_lows, profile_highs, config.seed);
+  const auto profile_line = [&](std::string_view mode, PreemptProfile& p) {
+    std::cout << mode << ": high p50 " << fmt(percentile(p.high_ms, 0.50))
+              << " ms, low p50 " << fmt(percentile(p.low_ms, 0.50))
+              << " ms, low p99 " << fmt(percentile(p.low_ms, 0.99))
+              << " ms, preempted_running " << p.stats.preempted_running
+              << ", resumed " << p.stats.resumed << "\n";
+  };
+  std::cout << "\npreemption profile (" << profile_lows << " low x ~33 ms + "
+            << profile_highs << " high arrivals, one service slot):\n";
+  profile_line("resume  ", preempt);
+  profile_line("noresume", noresume);
+
   // CSV: the fused pass is the primary row set; the unfused pass rides
   // along as per-lane comparison columns.
   util::CsvWriter csv(args.get_string("csv"));
@@ -338,13 +464,31 @@ int main(int argc, char** argv) {
     row.push_back(fmt(percentile(base.latencies_ms, 0.50)));
     row.push_back(fmt(percentile(base.latencies_ms, 0.99)));
     row.push_back(fmt(unfused.throughput));
+    row.push_back(std::to_string(fused.stats.preempted_queued));
+    row.push_back(std::to_string(fused.stats.preempted_running));
+    row.push_back(std::to_string(fused.stats.resumed));
+    row.push_back(std::to_string(fused.stats.rejected_overload));
+    row.push_back(fmt(percentile(preempt.high_ms, 0.50)));
+    row.push_back(fmt(percentile(preempt.low_ms, 0.50)));
+    row.push_back(fmt(percentile(preempt.low_ms, 0.99)));
+    row.push_back(std::to_string(preempt.stats.preempted_running));
+    row.push_back(std::to_string(preempt.stats.resumed));
+    row.push_back(fmt(percentile(noresume.high_ms, 0.50)));
+    row.push_back(fmt(percentile(noresume.low_ms, 0.50)));
+    row.push_back(fmt(percentile(noresume.low_ms, 0.99)));
     csv_rows.push_back(row);
   }
   csv.write_all({"lane", "jobs", "solved", "failed", "cancelled", "p50_ms",
                  "p90_ms", "p99_ms", "max_ms", "wall_seconds",
                  "throughput_per_s", "batches", "batched_jobs", "givebacks",
                  "samples", "fused_batches", "fused_jobs", "unfused_p50_ms",
-                 "unfused_p99_ms", "unfused_throughput_per_s"},
+                 "unfused_p99_ms", "unfused_throughput_per_s",
+                 "preempted_queued", "preempted_running", "resumed",
+                 "rejected_overload", "preempt_high_p50_ms",
+                 "preempt_low_p50_ms", "preempt_low_p99_ms",
+                 "preempt_preempted_running", "preempt_resumed",
+                 "noresume_high_p50_ms", "noresume_low_p50_ms",
+                 "noresume_low_p99_ms"},
                 csv_rows);
   std::cout << "CSV: " << csv.path() << "\n";
 
@@ -364,6 +508,20 @@ int main(int argc, char** argv) {
   json += ",\n";
   append_json_pass(json, "fused", fused);
   json += "\n  },\n";
+  const auto profile_json = [&](std::string_view name, PreemptProfile& p) {
+    std::string out = "    \"" + std::string(name) + "\": {";
+    out += "\"high_p50_ms\": " + fmt(percentile(p.high_ms, 0.50));
+    out += ", \"low_p50_ms\": " + fmt(percentile(p.low_ms, 0.50));
+    out += ", \"low_p99_ms\": " + fmt(percentile(p.low_ms, 0.99));
+    out += ", \"preempted_running\": " +
+           std::to_string(p.stats.preempted_running);
+    out += ", \"resumed\": " + std::to_string(p.stats.resumed);
+    out += "}";
+    return out;
+  };
+  json += "  \"preemption\": {\n";
+  json += profile_json("resume", preempt) + ",\n";
+  json += profile_json("noresume", noresume) + "\n  },\n";
   json += "  \"fused_speedup\": " + fmt(speedup) + "\n}\n";
   const std::string& json_path = args.get_string("json");
   std::ofstream out(json_path);

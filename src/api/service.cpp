@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/stop_token.hpp"
@@ -22,6 +23,7 @@ util::Json ServiceStats::to_json() const {
   json.set("submitted", submitted);
   json.set("completed", completed);
   json.set("cancelled", cancelled);
+  json.set("preempted", preempted);
   json.set("failed", failed);
   json.set("retried", retried);
   json.set("degraded", degraded);
@@ -46,6 +48,8 @@ std::string_view name_of(JobStatus status) {
       return "done";
     case JobStatus::kCancelled:
       return "cancelled";
+    case JobStatus::kPreempted:
+      return "preempted";
     case JobStatus::kFailed:
       return "failed";
   }
@@ -64,12 +68,19 @@ struct JobState {
   /// after the service object is gone (the core outlives both).
   std::shared_ptr<ServiceCore> core;
   std::atomic<bool> cancel{false};
+  /// Suspend-to-checkpoint request (JobHandle::suspend); observed by the
+  /// engine's stop poll via SolveCallbacks::preempt.
+  std::atomic<bool> preempt{false};
 
   mutable std::mutex m;
   mutable std::condition_variable cv;
   JobStatus status = JobStatus::kQueued;  // guarded by m
   SolveReport report;                     // immutable once terminal
   std::string error;
+  /// The captured PoolCheckpoint of a kPreempted job; guarded by m, written
+  /// (before the terminal transition) only by the worker that ran the job,
+  /// moved out by JobHandle::take_checkpoint.
+  std::optional<parallel::PoolCheckpoint> checkpoint;
 };
 
 /// A worker thread exists only for *running* jobs (admitted by the
@@ -96,6 +107,7 @@ struct ServiceCore {
   std::atomic<std::uint64_t> submitted{0};
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> preempted{0};
   std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> retried{0};
   std::atomic<std::uint64_t> degraded{0};
@@ -125,6 +137,9 @@ void finish(const std::shared_ptr<JobState>& job, JobStatus status,
         break;
       case JobStatus::kCancelled:
         job->core->cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case JobStatus::kPreempted:
+        job->core->preempted.fetch_add(1, std::memory_order_relaxed);
         break;
       case JobStatus::kFailed:
         job->core->failed.fetch_add(1, std::memory_order_relaxed);
@@ -214,6 +229,30 @@ bool JobHandle::cancel() const {
   return true;
 }
 
+bool JobHandle::suspend() const {
+  detail::JobState& job = state();
+  {
+    std::lock_guard<std::mutex> guard(job.m);
+    if (is_terminal(job.status)) return false;
+  }
+  job.preempt.store(true, std::memory_order_relaxed);
+  // Wake the dispatcher so a still-queued job resolves promptly (a running
+  // job observes the flag through its engine polls instead).
+  if (job.core != nullptr) job.core->cv.notify_all();
+  return true;
+}
+
+std::optional<parallel::PoolCheckpoint> JobHandle::take_checkpoint() const {
+  detail::JobState& job = state();
+  std::lock_guard<std::mutex> guard(job.m);
+  if (!is_terminal(job.status)) {
+    throw std::logic_error("JobHandle::take_checkpoint: job " +
+                           std::to_string(job.id) + " is still " +
+                           std::string(name_of(job.status)));
+  }
+  return std::exchange(job.checkpoint, std::nullopt);
+}
+
 // ---------------------------------------------------------------------------
 // SolverService
 // ---------------------------------------------------------------------------
@@ -282,6 +321,9 @@ struct AttemptOutcome {
   std::string error;   ///< non-empty when the dispatch path threw
   bool threw = false;  ///< the dispatch path threw (error holds the message)
   bool stalled = false;  ///< the watchdog cut this attempt short
+  /// The PoolCheckpoint a preempted attempt surrendered (empty when the
+  /// capture failed — the preemption then degrades to a plain cancel).
+  std::optional<parallel::PoolCheckpoint> checkpoint;
 
   [[nodiscard]] bool all_failed() const noexcept {
     return !report.walkers.empty() &&
@@ -322,6 +364,8 @@ AttemptOutcome run_attempt(const std::shared_ptr<detail::JobState>& job,
       callbacks.sample_sink = job->stream.on_sample;
       callbacks.sample_period = job->stream.sample_period;
     }
+    callbacks.preempt = &job->preempt;
+    callbacks.checkpoint_out = &outcome.checkpoint;
     {
       std::jthread watchdog;
       if (attempt_request.watchdog_stall_ms != 0) {
@@ -374,6 +418,7 @@ void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
   JobStatus status = JobStatus::kFailed;
   SolveReport report;
   std::string error;
+  std::optional<parallel::PoolCheckpoint> checkpoint;
   try {
     // One session across all attempts, counting `service_dispatch` probes:
     // a plan with at_count=n fires on the n-th attempt, which is what
@@ -450,6 +495,18 @@ void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
       // completion must not produce a kCancelled status around a solved,
       // uncancelled report.
       status = JobStatus::kCancelled;
+    } else if (report.preempted) {
+      if (outcome.checkpoint.has_value()) {
+        status = JobStatus::kPreempted;
+        checkpoint = std::move(outcome.checkpoint);
+      } else {
+        // Degradation contract: a preemption whose capture failed (torn
+        // write, injected checkpoint_capture fault) is a plain cancel —
+        // the caller requeues the original request instead of resuming.
+        report.preempted = false;
+        report.cancelled = true;
+        status = JobStatus::kCancelled;
+      }
     } else if (last_attempt_all_failed) {
       // Structured failure: the report (with each walker's error) stays
       // readable via JobHandle::report(); wait() rethrows this summary.
@@ -481,6 +538,12 @@ void run_admitted_job(const std::shared_ptr<detail::ServiceCore>& core,
   }
   core->cv.notify_all();
 
+  if (checkpoint.has_value()) {
+    // Stash before the terminal transition: take_checkpoint() only reads
+    // after observing a terminal status under the same lock.
+    std::lock_guard<std::mutex> guard(job->m);
+    job->checkpoint = std::move(checkpoint);
+  }
   detail::finish(job, status, std::move(report), std::move(error));
 }
 
@@ -552,6 +615,16 @@ void run_fused_jobs(const std::shared_ptr<detail::ServiceCore>& core,
       live.push_back(job);
     }
 
+    // Per-member preemption channels: slot addresses must stay stable
+    // through the launch, so wire them only after the build loop is done
+    // growing `members`.
+    std::vector<std::optional<parallel::PoolCheckpoint>> checkpoints(
+        members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      members[i].callbacks.preempt = &live[i]->preempt;
+      members[i].callbacks.checkpoint_out = &checkpoints[i];
+    }
+
     Solver::FusedSolveOptions options;
     options.num_threads = jobs.size();  // one team thread per leased slot
     (void)Solver::solve_fused(
@@ -565,6 +638,18 @@ void run_fused_jobs(const std::shared_ptr<detail::ServiceCore>& core,
               report.failed_walkers == report.walkers.size();
           if (report.cancelled) {
             status = JobStatus::kCancelled;
+          } else if (report.preempted) {
+            if (checkpoints[i].has_value()) {
+              status = JobStatus::kPreempted;
+              std::lock_guard<std::mutex> guard(job->m);
+              job->checkpoint = std::move(checkpoints[i]);
+            } else {
+              // Failed capture degrades to a plain cancel (see
+              // run_admitted_job).
+              report.preempted = false;
+              report.cancelled = true;
+              status = JobStatus::kCancelled;
+            }
           } else if (all_failed) {
             status = JobStatus::kFailed;
             error = "all " + std::to_string(report.walkers.size()) +
@@ -730,6 +815,7 @@ ServiceStats SolverService::stats() const {
   snapshot.submitted = core_->submitted.load(std::memory_order_relaxed);
   snapshot.completed = core_->completed.load(std::memory_order_relaxed);
   snapshot.cancelled = core_->cancelled.load(std::memory_order_relaxed);
+  snapshot.preempted = core_->preempted.load(std::memory_order_relaxed);
   snapshot.failed = core_->failed.load(std::memory_order_relaxed);
   snapshot.retried = core_->retried.load(std::memory_order_relaxed);
   snapshot.degraded = core_->degraded.load(std::memory_order_relaxed);
@@ -759,21 +845,32 @@ void SolverService::dispatch_loop() {
       if (core.shutdown) return true;
       if (core.fifo.empty()) return false;
       if (core.free_threads > 0) return true;
-      // No budget: still wake to drain cancelled queued jobs promptly.
-      return std::any_of(core.fifo.begin(), core.fifo.end(),
-                         [](const auto& job) {
-                           return job->cancel.load(std::memory_order_relaxed);
-                         });
+      // No budget: still wake to drain cancelled/suspended queued jobs
+      // promptly.
+      return std::any_of(
+          core.fifo.begin(), core.fifo.end(), [](const auto& job) {
+            return job->cancel.load(std::memory_order_relaxed) ||
+                   job->preempt.load(std::memory_order_relaxed);
+          });
     });
     if (core.shutdown) return;
 
-    // Drain cancellations anywhere in the queue first: a cancelled queued
-    // job must become terminal without waiting for budget.
+    // Drain cancellations and suspensions anywhere in the queue first: a
+    // cancelled or suspended queued job must become terminal without
+    // waiting for budget.  A suspended queued job never ran, so it resolves
+    // kPreempted with *no* checkpoint — resubmitting the original request
+    // verbatim is its exact resume (cancel wins when both flags are up).
     for (auto it = core.fifo.begin(); it != core.fifo.end();) {
       if ((*it)->cancel.load(std::memory_order_relaxed)) {
         const auto job = *it;
         it = core.fifo.erase(it);
         detail::finish_cancelled(job);
+      } else if ((*it)->preempt.load(std::memory_order_relaxed)) {
+        const auto job = *it;
+        it = core.fifo.erase(it);
+        SolveReport report;
+        report.preempted = true;
+        detail::finish(job, JobStatus::kPreempted, std::move(report), {});
       } else {
         ++it;
       }

@@ -52,6 +52,7 @@ struct ServiceStats {
   std::uint64_t submitted = 0;   ///< successful submit() calls
   std::uint64_t completed = 0;   ///< jobs finished kDone
   std::uint64_t cancelled = 0;   ///< jobs finished kCancelled
+  std::uint64_t preempted = 0;   ///< jobs finished kPreempted (checkpoint held)
   std::uint64_t failed = 0;      ///< jobs finished kFailed
   std::uint64_t retried = 0;     ///< retry backoffs entered (kRetrying)
   std::uint64_t degraded = 0;    ///< jobs the watchdog degraded at least once
@@ -86,6 +87,9 @@ enum class JobStatus {
   kDegraded,   ///< running again after the watchdog shrank the walker pool
   kDone,       ///< finished on its own (solved or budget exhausted)
   kCancelled,  ///< stopped by cancel() or service shutdown
+  kPreempted,  ///< suspended at a safe point by suspend(); the captured
+               ///< PoolCheckpoint is waiting in JobHandle::take_checkpoint()
+               ///< and the report carries the best configuration reached
   kFailed,     ///< every attempt crashed wholesale (or an internal error);
                ///< JobHandle::wait() rethrows it, report() still returns
                ///< the structured last-attempt report
@@ -93,7 +97,7 @@ enum class JobStatus {
 
 [[nodiscard]] constexpr bool is_terminal(JobStatus status) noexcept {
   return status == JobStatus::kDone || status == JobStatus::kCancelled ||
-         status == JobStatus::kFailed;
+         status == JobStatus::kPreempted || status == JobStatus::kFailed;
 }
 
 [[nodiscard]] std::string_view name_of(JobStatus status);
@@ -134,6 +138,21 @@ class JobHandle {
   /// Request cancellation.  Returns true when the job was still queued or
   /// running (the request will take effect), false when already terminal.
   bool cancel() const;
+
+  /// Request suspension to a checkpoint.  A running job stops at its next
+  /// safe point and — when the capture succeeds — finishes kPreempted with
+  /// the PoolCheckpoint retrievable via take_checkpoint(); a failed capture
+  /// degrades the job to a plain kCancelled.  A still-queued job finishes
+  /// kPreempted immediately with *no* checkpoint (nothing ran, so the
+  /// original request resubmitted verbatim is the exact resume).  Returns
+  /// true when the job was still live, false when already terminal.
+  bool suspend() const;
+
+  /// Move the captured checkpoint out of a terminal job (empties the slot:
+  /// a second call returns nullopt).  nullopt for any job that is not
+  /// kPreempted, and for a kPreempted job that never started running.
+  /// Throws std::logic_error while the job is still live.
+  [[nodiscard]] std::optional<parallel::PoolCheckpoint> take_checkpoint() const;
 
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
 

@@ -209,6 +209,7 @@ parallel::WalkerPoolOptions SolveRequest::to_pool_options() const {
   options.trace.sample_period = trace_sample_period;
   options.faults = faults;
   options.warm_start = warm_start;
+  options.resume = resume_from;
   return options;
 }
 
@@ -243,6 +244,9 @@ util::Json SolveRequest::to_json() const {
     }
     json.set("faults", std::move(plans));
   }
+  if (resume_from.has_value()) {
+    json.set("resume_from", resume_from->to_json());
+  }
   return json;
 }
 
@@ -260,7 +264,7 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
        "comm_mode", "topology", "termination", "comm_period",
        "comm_adopt_probability", "comm_decay", "max_threads", "deadline_ms",
        "params", "trace", "trace_sample_period", "retry", "watchdog_stall_ms",
-       "warm_start", "faults"},
+       "warm_start", "faults", "resume_from"},
       "SolveRequest");
   SolveRequest request;
   request.problem = get_string(json, "problem", "");
@@ -339,6 +343,19 @@ SolveRequest SolveRequest::from_json(const util::Json& json) {
       }
     }
   }
+  if (const util::Json* resume = json.find("resume_from");
+      resume != nullptr) {
+    try {
+      request.resume_from = parallel::PoolCheckpoint::from_json(*resume);
+    } catch (const std::exception& e) {
+      bad_member("resume_from", e.what());
+    }
+    if (request.warm_start.has_value()) {
+      bad_member("resume_from",
+                 "mutually exclusive with warm_start (a checkpoint already "
+                 "fixes every walker's configuration)");
+    }
+  }
   return request;
 }
 
@@ -361,6 +378,7 @@ util::Json SolveReport::to_json() const {
       .set("solved", solved)
       .set("cancelled", cancelled)
       .set("deadline_expired", deadline_expired)
+      .set("preempted", preempted)
       // kNoWinner crosses the wire as -1 (size_t max would not survive
       // readers that parse winners as signed integers).
       .set("winner", has_winner() ? static_cast<std::int64_t>(winner)
@@ -411,7 +429,8 @@ SolveReport SolveReport::from_json(const util::Json& json) {
   }
   require_known_members(
       json,
-      {"problem", "solved", "cancelled", "deadline_expired", "winner", "cost",
+      {"problem", "solved", "cancelled", "deadline_expired", "preempted",
+       "winner", "cost",
        "wall_seconds", "time_to_solution_seconds", "total_iterations",
        "comm_publishes", "elite_accepted", "comm_adoptions", "failed_walkers",
        "attempts", "degraded", "solution", "walkers"},
@@ -421,6 +440,7 @@ SolveReport SolveReport::from_json(const util::Json& json) {
   report.solved = get_bool(json, "solved", false);
   report.cancelled = get_bool(json, "cancelled", false);
   report.deadline_expired = get_bool(json, "deadline_expired", false);
+  report.preempted = get_bool(json, "preempted", false);
   try {
     const std::int64_t winner = json.at("winner").as_int64();
     report.winner = winner < 0 ? parallel::kNoWinner

@@ -23,6 +23,7 @@
 
 #include "core/params.hpp"
 #include "csp/cost.hpp"
+#include "parallel/checkpoint.hpp"
 #include "parallel/policy_names.hpp"
 #include "parallel/walker_pool.hpp"
 #include "util/json.hpp"
@@ -133,6 +134,15 @@ struct SolveRequest {
   /// the binary was compiled with CSPLS_FAULT_INJECTION.
   std::vector<util::fault::FaultPlan> faults;
 
+  /// Resume a previously preempted run from its PoolCheckpoint
+  /// ("resume_from" on the wire, the strict "cspls-pool-checkpoint/1"
+  /// document).  The request's problem/walkers/seed/policies must match the
+  /// preempted run's — the checkpoint carries *state*, not configuration —
+  /// and the resumed run then reproduces the uninterrupted run byte-for-byte
+  /// (trajectories, RNG positions, counters).  Mutually exclusive with
+  /// warm_start.
+  std::optional<parallel::PoolCheckpoint> resume_from;
+
   /// The equivalent WalkerPool configuration.
   [[nodiscard]] parallel::WalkerPoolOptions to_pool_options() const;
 
@@ -184,6 +194,12 @@ struct SolveReport {
   /// deadline_expired; the latter two still carry the best configuration
   /// reached (the anytime contract).
   bool deadline_expired = false;
+  /// The run was suspended at a safe point by a preemption request and a
+  /// PoolCheckpoint was captured (handed out-of-band — via
+  /// SolveCallbacks::checkpoint_out or the service job handle — never
+  /// embedded here).  A preemption whose capture failed degrades to a plain
+  /// cancel: `cancelled` is set instead and no checkpoint exists.
+  bool preempted = false;
 
   /// Winning walker id, or parallel::kNoWinner.
   std::size_t winner = parallel::kNoWinner;

@@ -47,6 +47,8 @@ SolveReport report_of(const problems::ProblemSpec& spec,
   report.cancelled = pool_report.interrupt_cause == core::StopCause::kCancel;
   report.deadline_expired =
       pool_report.interrupt_cause == core::StopCause::kDeadline;
+  report.preempted =
+      pool_report.interrupt_cause == core::StopCause::kPreempted;
   report.winner = pool_report.winner;
   report.cost = pool_report.best.cost;
   report.wall_seconds = pool_report.wall_seconds;
@@ -101,6 +103,8 @@ SolveReport Solver::solve(const SolveRequest& request, core::StopToken token,
     options.sample_sink = callbacks.sample_sink;
     options.sample_sink_period = callbacks.sample_period;
   }
+  options.preempt = callbacks.preempt;
+  options.checkpoint_out = callbacks.checkpoint_out;
   const parallel::WalkerPool pool(std::move(options));
   const parallel::MultiWalkReport pool_report = pool.run(*problem, token);
   return report_of(spec, pool_report);
@@ -132,6 +136,8 @@ std::vector<std::size_t> Solver::solve_fused(
       member.options.sample_sink = job.callbacks.sample_sink;
       member.options.sample_sink_period = job.callbacks.sample_period;
     }
+    member.options.preempt = job.callbacks.preempt;
+    member.options.checkpoint_out = job.callbacks.checkpoint_out;
     // Each member's time budget runs from the batch launch — the fused
     // analogue of the solo path stamping the deadline at solve() entry.
     member.stop = job.request.deadline_ms != 0

@@ -26,6 +26,15 @@ struct SolveCallbacks {
   /// so it must be thread-safe.  Empty disables.
   std::function<void(std::size_t, std::uint64_t, csp::Cost)> sample_sink;
   std::uint64_t sample_period = 0;
+  /// Cooperative preemption: flip `*preempt` to true and every walker stops
+  /// at its next safe point; when `checkpoint_out` is also wired the run
+  /// surrenders a PoolCheckpoint there (SolveReport::preempted set) that a
+  /// later request can hand back via SolveRequest::resume_from.  A capture
+  /// failure leaves *checkpoint_out empty and the run reports a plain
+  /// cancel.  Unlike the observation channels these do affect the outcome —
+  /// but only the stopping point, never the trajectory up to it.
+  const std::atomic<bool>* preempt = nullptr;
+  std::optional<parallel::PoolCheckpoint>* checkpoint_out = nullptr;
 };
 
 class Solver {

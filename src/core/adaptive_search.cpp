@@ -1,6 +1,8 @@
 #include "core/adaptive_search.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/fault.hpp"
@@ -42,25 +44,64 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
   Result result;
   WalkState state(n);
 
-  Cost cost = problem.randomize(rng);
-  if (hooks.warm_start != nullptr && hooks.warm_start->size() == n) {
-    // Retry checkpoint: adopt the supplied configuration.  The randomize
-    // above already consumed its draws, so the RNG stream position — and
-    // every subsequent draw — is identical to a cold start.
-    problem.assign(*hooks.warm_start);
+  const Checkpoint* resume = hooks.resume;
+  if (resume != nullptr && (resume->values.size() != n ||
+                            resume->best.size() != n ||
+                            resume->tabu_until.size() != n)) {
+    throw std::invalid_argument(
+        "AdaptiveSearch: checkpoint does not match the problem size");
+  }
+
+  Cost cost;
+  if (resume != nullptr) {
+    // Exact resume: restore the configuration and the RNG stream position
+    // captured at the safe point; the initial randomize never happens (its
+    // draws were consumed by the original run before capture).
+    problem.assign(resume->values);
     cost = problem.total_cost();
+    if (cost != resume->cost) {
+      throw std::invalid_argument(
+          "AdaptiveSearch: checkpoint cost does not match its configuration");
+    }
+    rng = util::Xoshiro256::from_state(resume->rng_state);
+  } else {
+    cost = problem.randomize(rng);
+    if (hooks.warm_start != nullptr && hooks.warm_start->size() == n) {
+      // Retry checkpoint: adopt the supplied configuration.  The randomize
+      // above already consumed its draws, so the RNG stream position — and
+      // every subsequent draw — is identical to a cold start.
+      problem.assign(*hooks.warm_start);
+      cost = problem.total_cost();
+    }
   }
 
   WalkerTrace* trace = hooks.trace;
-  if (trace != nullptr && hooks.trace_sample_period != 0) {
-    trace->cost_samples.push_back(TraceSample{0, cost});
+  if (resume != nullptr) {
+    // The iteration-0 sample was recorded (and streamed) by the original
+    // run; carry the accumulated series forward so the resumed trace reads
+    // as one uninterrupted walk.
+    if (trace != nullptr && hooks.trace_sample_period != 0) {
+      trace->cost_samples = resume->trace_samples;
+    }
+  } else {
+    if (trace != nullptr && hooks.trace_sample_period != 0) {
+      trace->cost_samples.push_back(TraceSample{0, cost});
+    }
+    if (hooks.sample && hooks.sample_period != 0) hooks.sample(0, cost);
   }
-  if (hooks.sample && hooks.sample_period != 0) hooks.sample(0, cost);
 
   // Track the best configuration ever seen (across restarts) so the run
   // reports something useful even when it fails.
   Cost best_cost = cost;
   std::vector<int> best(problem.values().begin(), problem.values().end());
+  if (resume != nullptr) {
+    best_cost = resume->best_cost;
+    best = resume->best;
+    state.tabu_until = resume->tabu_until;
+    state.marks_since_reset = resume->marks_since_reset;
+    result.stats = resume->stats;
+  }
+  const double resumed_seconds = resume != nullptr ? resume->stats.seconds : 0.0;
   const auto note_best = [&](Cost c) {
     if (c < best_cost) {
       best_cost = c;
@@ -90,19 +131,57 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
     note_best(cost);
   };
 
-  std::uint32_t restarts_done = 0;
+  std::uint32_t restarts_done = resume != nullptr ? resume->restarts_done : 0;
+  // Consumed by the first outer iteration only: the resumed walk re-enters
+  // mid-walk at the captured iteration; later walks start at zero as usual.
+  std::uint64_t resume_iter_in_walk =
+      resume != nullptr ? resume->iter_in_walk : 0;
   bool done = false;
   while (!done) {
     if (hooks.heartbeat != nullptr) {
       hooks.heartbeat->fetch_add(1, std::memory_order_relaxed);
     }
     note_best(cost);
-    std::uint64_t iter_in_walk = 0;
+    std::uint64_t iter_in_walk = std::exchange(resume_iter_in_walk, 0);
     const std::uint64_t budget = walk_budget(
         params_.restart_schedule, params_.restart_limit, restarts_done);
 
     while (cost > params_.target_cost) {
       if (const StopCause cause = stop.poll(); cause != StopCause::kNone) {
+        if (cause == StopCause::kPreempted &&
+            hooks.checkpoint_out != nullptr) {
+          // Safe-point capture: no draw of the pending iteration has
+          // happened, so the checkpoint is a consistent between-iterations
+          // snapshot.  A capture failure (the `checkpoint_capture` fault
+          // site, or any allocation failure while copying state) degrades
+          // to a plain interrupt with no checkpoint — never a torn one.
+          try {
+            const bool corrupt =
+                util::fault::probe(hooks.fault,
+                                   util::fault::Site::kCheckpointCapture) ==
+                util::fault::Action::kCorrupt;
+            Checkpoint cp;
+            const auto vals = problem.values();
+            cp.values.assign(vals.begin(), vals.end());
+            cp.cost = cost;
+            cp.best = best;
+            cp.best_cost = best_cost;
+            cp.tabu_until = state.tabu_until;
+            cp.marks_since_reset = state.marks_since_reset;
+            cp.rng_state = rng.state();
+            cp.stats = result.stats;
+            cp.stats.seconds = resumed_seconds + watch.elapsed_seconds();
+            cp.iter_in_walk = iter_in_walk;
+            cp.restarts_done = restarts_done;
+            if (trace != nullptr && hooks.trace_sample_period != 0) {
+              cp.trace_samples = trace->cost_samples;
+            }
+            if (corrupt) cp.cost += 1;  // torn capture: fails validation
+            hooks.checkpoint_out->emplace(std::move(cp));
+          } catch (...) {
+            hooks.checkpoint_out->reset();
+          }
+        }
         result.interrupted = true;
         result.stop_cause = cause;
         done = true;
@@ -251,7 +330,7 @@ Result AdaptiveSearch::solve(csp::Problem& problem, util::Xoshiro256& rng,
   if (cost != best_cost) {
     problem.assign(result.solution);
   }
-  result.stats.seconds = watch.elapsed_seconds();
+  result.stats.seconds = resumed_seconds + watch.elapsed_seconds();
   if (trace != nullptr) {
     trace->solved = result.solved;
     trace->interrupted = result.interrupted;

@@ -28,8 +28,10 @@
 
 #include <atomic>
 #include <functional>
+#include <optional>
 #include <span>
 
+#include "core/checkpoint.hpp"
 #include "core/params.hpp"
 #include "core/result.hpp"
 #include "core/stop_token.hpp"
@@ -108,6 +110,21 @@ struct Hooks {
   /// position — and therefore every later draw — is unchanged by warm
   /// starting.  Restarts (step 6) randomize as usual.
   const std::vector<int>* warm_start = nullptr;
+
+  /// When non-null, the walk *resumes* from this checkpoint instead of
+  /// starting fresh: the initial randomize is skipped, the configuration,
+  /// best-so-far, tabu state, counters and RNG position are restored, and
+  /// the walk continues byte-identically to the run that was never
+  /// interrupted.  Overrides warm_start (exact resume subsumes reseeding).
+  const Checkpoint* resume = nullptr;
+
+  /// When non-null and the stop poll fires with StopCause::kPreempted, the
+  /// engine captures its state at that safe point (before any draw of the
+  /// pending iteration) and emplaces it here before returning the
+  /// interrupted result.  Left untouched for every other stop cause, and
+  /// on a capture failure (the `checkpoint_capture` fault site) — callers
+  /// treat a missing checkpoint as a plain cancel.
+  std::optional<Checkpoint>* checkpoint_out = nullptr;
 };
 
 class AdaptiveSearch {

@@ -25,6 +25,7 @@ struct RunStats {
   double seconds = 0.0;              ///< wall-clock of the walk
 
   [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool operator==(const RunStats&) const = default;
 };
 
 /// Result of a (possibly restarted) walk.
@@ -46,6 +47,8 @@ struct Result {
   /// Non-empty iff stop_cause == StopCause::kFailed: the message of the
   /// exception that killed the walk (captured by the pool's containment).
   std::string error;
+
+  [[nodiscard]] bool operator==(const Result&) const = default;
 };
 
 inline std::string RunStats::to_string() const {

@@ -33,6 +33,8 @@ enum class StopCause : std::uint8_t {
   kCancel,     ///< the token's own (primary) cancel flag
   kChained,    ///< a flag chained via also_cancelled_by (the pool's
                ///< internal first-finisher completion flag)
+  kPreempted,  ///< a cooperative preemption flag chained via with_preempt:
+               ///< drain to the next safe point and hand back a checkpoint
   kDeadline,   ///< the steady-clock deadline passed
   kFailed,     ///< the walk died on an exception; never produced by poll(),
                ///< recorded by the pool's crash containment with the
@@ -93,10 +95,24 @@ class StopToken {
     return combined;
   }
 
+  /// This token plus a cooperative preemption flag.  A raised flag is a
+  /// *request to pause*, not a cancel: the engine drains to its next safe
+  /// point, captures a checkpoint when asked for one, and stops with
+  /// StopCause::kPreempted.  Cancel flags outrank it; the deadline does
+  /// not (a preempted walk should surrender its checkpoint even when its
+  /// deadline fires on the same poll).  One slot — a second call replaces
+  /// the flag.
+  [[nodiscard]] StopToken with_preempt(
+      const std::atomic<bool>* flag) const noexcept {
+    StopToken combined = *this;
+    combined.preempt_ = flag;
+    return combined;
+  }
+
   /// True when any stop source exists (fast-path gate for pollers).
   [[nodiscard]] bool can_stop() const noexcept {
     return flags_[0] != nullptr || flags_[1] != nullptr ||
-           flags_[2] != nullptr || has_deadline_;
+           flags_[2] != nullptr || preempt_ != nullptr || has_deadline_;
   }
 
   /// True when any cancel flag has been raised (never consults the clock).
@@ -124,7 +140,8 @@ class StopToken {
   /// kDeadlinePollStride calls (the first call always checks).  The stride
   /// bounds how far past its deadline a walk can run: stride iterations.
   /// Returns the source that fired (kNone = keep walking); the primary
-  /// cancel flag wins over the chained one, which wins over the deadline.
+  /// cancel flag wins over the chained ones, which win over the preempt
+  /// flag, which wins over the deadline.
   [[nodiscard]] StopCause poll() const noexcept {
     if (flags_[0] != nullptr && flags_[0]->load(std::memory_order_relaxed)) {
       return StopCause::kCancel;
@@ -134,6 +151,9 @@ class StopToken {
     }
     if (flags_[2] != nullptr && flags_[2]->load(std::memory_order_relaxed)) {
       return StopCause::kChained;
+    }
+    if (preempt_ != nullptr && preempt_->load(std::memory_order_relaxed)) {
+      return StopCause::kPreempted;
     }
     if (!has_deadline_) return StopCause::kNone;
     if (polls_until_clock_ != 0) {
@@ -153,6 +173,7 @@ class StopToken {
 
  private:
   const std::atomic<bool>* flags_[3] = {nullptr, nullptr, nullptr};
+  const std::atomic<bool>* preempt_ = nullptr;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   /// Per-copy clock-read throttle; mutable so polling stays const.  Tokens

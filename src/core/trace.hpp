@@ -25,6 +25,8 @@ namespace cspls::core {
 struct TraceSample {
   std::uint64_t iteration = 0;
   csp::Cost cost = 0;
+
+  [[nodiscard]] bool operator==(const TraceSample&) const = default;
 };
 
 /// Instrumentation record of one walk (one walker of a pool).
@@ -50,6 +52,8 @@ struct WalkerTrace {
   [[nodiscard]] bool recorded() const noexcept {
     return iterations > 0 || !cost_samples.empty();
   }
+
+  [[nodiscard]] bool operator==(const WalkerTrace&) const = default;
 };
 
 }  // namespace cspls::core

@@ -1,0 +1,81 @@
+// PoolCheckpoint — a whole WalkerPool run suspended at safe points, as one
+// serializable value.
+//
+// When a run is cooperatively preempted (WalkerPoolOptions::preempt), every
+// walker drains to its next safe point and the pool assembles:
+//
+//   * one entry per walker — mid-run walkers carry a core::Checkpoint
+//     (exact-resume state), already-finished walkers carry their final
+//     Result/trace verbatim, and never-started walkers are pending (they
+//     run from their untouched RNG stream on resume);
+//   * the communication state — every ElitePool slot's entry and counters,
+//     the pool-wide exchange clock and the adoption counter — so a resumed
+//     run's exchange traffic and counters continue exactly where they
+//     stopped.
+//
+// Resuming a pool from its checkpoint (WalkerPoolOptions::resume) then
+// produces a MultiWalkReport byte-identical (timing fields excepted) to the
+// run that was never preempted — the property the serving tier's
+// running-job preemption and the distributed pool's walker migration both
+// build on.  The JSON schema is strict and versioned
+// ("cspls-pool-checkpoint/1"): unknown members reject.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/result.hpp"
+#include "core/trace.hpp"
+#include "csp/cost.hpp"
+#include "util/json.hpp"
+
+namespace cspls::parallel {
+
+struct PoolCheckpoint {
+  static constexpr std::string_view kSchema = "cspls-pool-checkpoint/1";
+
+  enum class WalkerStage : std::uint8_t {
+    kPending,  ///< never started; resume runs it from its stream's start
+    kRunning,  ///< suspended mid-run; `checkpoint` is its exact-resume state
+    kDone,     ///< finished before the preemption; `result`/`trace` are final
+  };
+
+  struct WalkerEntry {
+    WalkerStage stage = WalkerStage::kPending;
+    core::Checkpoint checkpoint;  ///< kRunning only
+    core::Result result;          ///< kDone only
+    core::WalkerTrace trace;      ///< kDone only (empty when untraced)
+    std::uint64_t injected_faults = 0;  ///< kDone only
+
+    [[nodiscard]] bool operator==(const WalkerEntry&) const = default;
+  };
+
+  /// One ElitePool slot, verbatim (see ElitePool::Snapshot).
+  struct EliteSlot {
+    bool has_entry = false;
+    csp::Cost cost = 0;
+    std::vector<int> values;
+    std::uint64_t tick = 0;
+    std::uint64_t publisher = 0;  ///< ElitePool::kNoPublisher when none
+    std::uint64_t publishes = 0;
+    std::uint64_t accepted = 0;
+
+    [[nodiscard]] bool operator==(const EliteSlot&) const = default;
+  };
+
+  std::vector<WalkerEntry> walkers;  ///< indexed by walker id
+  std::vector<EliteSlot> elite;      ///< empty when communication is off
+  std::uint64_t comm_clock = 0;
+  std::uint64_t comm_adoptions = 0;
+
+  [[nodiscard]] util::Json to_json() const;
+  /// Strict decode: rejects a wrong/missing schema tag, unknown members,
+  /// missing members and malformed walker entries.
+  [[nodiscard]] static PoolCheckpoint from_json(const util::Json& json);
+
+  [[nodiscard]] bool operator==(const PoolCheckpoint&) const = default;
+};
+
+}  // namespace cspls::parallel

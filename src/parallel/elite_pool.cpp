@@ -58,4 +58,28 @@ std::uint64_t ElitePool::accepted_offers() const {
   return accepted_;
 }
 
+ElitePool::Snapshot ElitePool::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.has_entry = has_entry_;
+  snap.cost = best_cost_;
+  snap.values = best_values_;
+  snap.tick = entry_tick_;
+  snap.publisher = entry_publisher_;
+  snap.publishes = publishes_;
+  snap.accepted = accepted_;
+  return snap;
+}
+
+void ElitePool::restore(const Snapshot& snapshot) {
+  const std::scoped_lock lock(mutex_);
+  has_entry_ = snapshot.has_entry;
+  best_cost_ = snapshot.cost;
+  best_values_ = snapshot.values;
+  entry_tick_ = snapshot.tick;
+  entry_publisher_ = snapshot.publisher;
+  publishes_ = snapshot.publishes;
+  accepted_ = snapshot.accepted;
+}
+
 }  // namespace cspls::parallel

@@ -120,7 +120,17 @@ class CommChannels {
   /// True when the policy allocated any slots (i.e. communication is on).
   [[nodiscard]] bool active() const noexcept { return !slots_.empty(); }
 
+  [[nodiscard]] std::size_t num_slots() const noexcept { return slots_.size(); }
+
   [[nodiscard]] ElitePool& slot(std::size_t index) { return *slots_[index]; }
+
+  /// Checkpoint restore: rewind the exchange clock and the adoption counter
+  /// to a captured position (slots restore individually via
+  /// ElitePool::restore).  Call before any walker runs.
+  void restore_counters(std::uint64_t clock, std::uint64_t adoptions) noexcept {
+    clock_.store(clock, std::memory_order_relaxed);
+    adoptions_.store(adoptions, std::memory_order_relaxed);
+  }
 
   /// Advance the exchange clock by one publish event and return its time.
   std::uint64_t next_tick() noexcept {

@@ -122,7 +122,40 @@ JobExecution::JobExecution(const csp::Problem& prototype,
         std::string(prototype.name()) + "\" has " +
         std::to_string(prototype.num_variables()) + " variables");
   }
+  if (options_.resume.has_value()) {
+    const PoolCheckpoint& resume = *options_.resume;
+    if (resume.walkers.size() != k_) {
+      throw std::invalid_argument(
+          "WalkerPoolOptions: resume checkpoint has " +
+          std::to_string(resume.walkers.size()) + " walkers but the pool has " +
+          std::to_string(k_));
+    }
+    if (resume.elite.size() != comm_.num_slots()) {
+      throw std::invalid_argument(
+          "WalkerPoolOptions: resume checkpoint has " +
+          std::to_string(resume.elite.size()) + " elite slots but the "
+          "communication policy allocates " +
+          std::to_string(comm_.num_slots()));
+    }
+    // Restore the communication state before any walker runs, so the first
+    // publish/adopt of the resumed run sees exactly the preempted state.
+    comm_.restore_counters(resume.comm_clock, resume.comm_adoptions);
+    for (std::size_t i = 0; i < resume.elite.size(); ++i) {
+      const PoolCheckpoint::EliteSlot& slot = resume.elite[i];
+      ElitePool::Snapshot snap;
+      snap.has_entry = slot.has_entry;
+      snap.cost = slot.cost;
+      snap.values = slot.values;
+      snap.tick = slot.tick;
+      snap.publisher = static_cast<std::size_t>(slot.publisher);
+      snap.publishes = slot.publishes;
+      snap.accepted = slot.accepted;
+      comm_.slot(i).restore(snap);
+    }
+  }
   report_.walkers.resize(k_);
+  walker_checkpoints_.resize(k_);
+  walker_started_.assign(k_, 0);
 }
 
 std::size_t JobExecution::preferred_threads() const noexcept {
@@ -135,9 +168,45 @@ std::size_t JobExecution::preferred_threads() const noexcept {
   return std::min({k_, thread_cap, hw * 16});
 }
 
+void JobExecution::note_completion(std::size_t id, const core::Result& result) {
+  if (result.stop_cause == core::StopCause::kCancel) {
+    external_cancel_hit_.store(true, std::memory_order_relaxed);
+  } else if (result.stop_cause == core::StopCause::kDeadline) {
+    external_deadline_hit_.store(true, std::memory_order_relaxed);
+  } else if (result.stop_cause == core::StopCause::kPreempted) {
+    preempt_hit_.store(true, std::memory_order_relaxed);
+  }
+  if (race_ && result.solved && !result.interrupted) {
+    // First walker to flip the flag is the winner; latecomers keep
+    // their result but lose the race (exactly the paper's completion
+    // protocol).  A replayed kDone walker competes like a live one so a
+    // resumed race reaches the same winner as the uninterrupted run.
+    bool expected = false;
+    if (stop_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+      winner_.store(id, std::memory_order_release);
+      solution_time_us_.store(watch_.elapsed_us(), std::memory_order_release);
+    }
+  }
+}
+
 void JobExecution::run_walker(std::size_t id) {
   WalkerOutcome& out = report_.walkers[id];
   out.walker_id = id;
+  // A walker that already finished before the pool was preempted replays
+  // its recorded outcome verbatim — no clone, no RNG draws, no fault
+  // probes beyond those its original run already burned.
+  const PoolCheckpoint::WalkerEntry* resume_entry =
+      options_.resume.has_value() ? &options_.resume->walkers[id] : nullptr;
+  if (resume_entry != nullptr &&
+      resume_entry->stage == PoolCheckpoint::WalkerStage::kDone) {
+    out.result = resume_entry->result;
+    out.trace = resume_entry->trace;
+    out.injected_faults = resume_entry->injected_faults;
+    note_completion(id, out.result);
+    return;
+  }
+  walker_started_[id] = 1;
   // Each walker owns its fault session, exactly like its RNG stream, so
   // probe counts are deterministic under every scheduling mode.
   util::fault::Session session(&fault_schedule_, id);
@@ -167,28 +236,26 @@ void JobExecution::run_walker(std::size_t id) {
     if (options_.warm_start.has_value()) {
       hooks.warm_start = &*options_.warm_start;
     }
+    // Exact resume overrides the warm start: the checkpoint carries the
+    // full mid-walk state (values, bests, tabu marks, RNG position), not
+    // just a seed configuration.
+    if (resume_entry != nullptr &&
+        resume_entry->stage == PoolCheckpoint::WalkerStage::kRunning) {
+      hooks.resume = &resume_entry->checkpoint;
+    }
+    if (options_.checkpoint_out != nullptr) {
+      hooks.checkpoint_out = &walker_checkpoints_[id];
+    }
     // Each walker polls its own token copy: the caller's cancel/deadline,
-    // chained with the pool's completion flag when racing.
-    const core::StopToken token =
+    // chained with the pool's completion flag when racing, plus the pool
+    // preemption flag when the caller may suspend the job.
+    core::StopToken token =
         race_ ? external_.also_cancelled_by(&stop_) : external_;
+    if (options_.preempt != nullptr) {
+      token = token.with_preempt(options_.preempt);
+    }
     core::Result result = engine_.solve(*problem, rng, token, hooks);
-    if (result.stop_cause == core::StopCause::kCancel) {
-      external_cancel_hit_.store(true, std::memory_order_relaxed);
-    } else if (result.stop_cause == core::StopCause::kDeadline) {
-      external_deadline_hit_.store(true, std::memory_order_relaxed);
-    }
-    if (race_ && result.solved && !result.interrupted) {
-      // First walker to flip the flag is the winner; latecomers keep
-      // their result but lose the race (exactly the paper's completion
-      // protocol).
-      bool expected = false;
-      if (stop_.compare_exchange_strong(expected, true,
-                                        std::memory_order_acq_rel)) {
-        winner_.store(id, std::memory_order_release);
-        solution_time_us_.store(watch_.elapsed_us(),
-                                std::memory_order_release);
-      }
-    }
+    note_completion(id, result);
     out.result = std::move(result);
   } catch (const std::exception& e) {
     out.result = core::Result{};
@@ -207,105 +274,193 @@ void JobExecution::run_walker(std::size_t id) {
 // collapsed to a single thread): once a stop source has fired, the
 // not-yet-started walkers are marked interrupted with zero iterations
 // instead of each paying a full clone + initial cost evaluation.
-void JobExecution::mark_rest_interrupted(std::size_t from,
-                                         core::StopCause cause) {
-  for (std::size_t rest = from; rest < k_; ++rest) {
-    report_.walkers[rest].walker_id = rest;
-    report_.walkers[rest].result.interrupted = true;
-    report_.walkers[rest].result.stop_cause = cause;
-  }
-}
-
 void JobExecution::run_walkers_one_by_one() {
+  core::StopCause cut = core::StopCause::kNone;
   for (std::size_t id = 0; id < k_; ++id) {
-    // Unthrottled check on purpose: the engine-rate throttle inside the
-    // token's poll would let each walker start and run a stride of
-    // iterations before noticing an already-expired deadline.
-    const bool ext_cancelled = external_.cancelled();
-    if (ext_cancelled || external_.deadline_expired()) {
-      const core::StopCause cause = ext_cancelled
-                                        ? core::StopCause::kCancel
-                                        : core::StopCause::kDeadline;
-      (ext_cancelled ? external_cancel_hit_ : external_deadline_hit_)
-          .store(true, std::memory_order_relaxed);
-      mark_rest_interrupted(id, cause);
-      break;
+    // A walker the resume checkpoint records as finished replays its
+    // outcome even after a stop source fired: the replay is free (no
+    // clone, no draws) and under sequential communication the restored
+    // elite state already contains its publishes — skipping or re-running
+    // it would break the byte-identity of a later resume.
+    if (options_.resume.has_value() &&
+        options_.resume->walkers[id].stage ==
+            PoolCheckpoint::WalkerStage::kDone) {
+      run_walker(id);
+      continue;
     }
-    // A collapsed threaded race already decided: the remaining walkers
-    // would only run to their first poll and report kChained anyway —
-    // record exactly that outcome without paying their start-up cost.
-    if (race_ && stop_.load(std::memory_order_acquire)) {
-      mark_rest_interrupted(id, core::StopCause::kChained);
-      break;
+    if (cut == core::StopCause::kNone) {
+      // Unthrottled check on purpose: the engine-rate throttle inside the
+      // token's poll would let each walker start and run a stride of
+      // iterations before noticing an already-expired deadline.
+      const bool ext_cancelled = external_.cancelled();
+      // Same precedence as StopToken::poll: cancel > preempt > deadline.
+      // A preempted not-yet-started walker never starts — it stays
+      // kPending in the checkpoint and resumes from its untouched stream.
+      const bool preempt_raised =
+          !ext_cancelled && options_.preempt != nullptr &&
+          options_.preempt->load(std::memory_order_relaxed);
+      if (ext_cancelled || preempt_raised || external_.deadline_expired()) {
+        cut = ext_cancelled    ? core::StopCause::kCancel
+              : preempt_raised ? core::StopCause::kPreempted
+                               : core::StopCause::kDeadline;
+        (ext_cancelled    ? external_cancel_hit_
+         : preempt_raised ? preempt_hit_
+                          : external_deadline_hit_)
+            .store(true, std::memory_order_relaxed);
+      } else if (race_ && stop_.load(std::memory_order_acquire)) {
+        // A collapsed threaded race already decided: the remaining walkers
+        // would only run to their first poll and report kChained anyway —
+        // record exactly that outcome without paying their start-up cost.
+        cut = core::StopCause::kChained;
+      }
+    }
+    if (cut != core::StopCause::kNone) {
+      report_.walkers[id].walker_id = id;
+      report_.walkers[id].result.interrupted = true;
+      report_.walkers[id].result.stop_cause = cut;
+      continue;
     }
     run_walker(id);
   }
 }
 
+bool JobExecution::assemble_checkpoint(const MultiWalkReport& report) {
+  PoolCheckpoint cp;
+  cp.walkers.resize(k_);
+  const std::size_t n = prototype_.num_variables();
+  for (std::size_t id = 0; id < k_; ++id) {
+    const WalkerOutcome& out = report.walkers[id];
+    PoolCheckpoint::WalkerEntry& entry = cp.walkers[id];
+    std::optional<core::Checkpoint>& captured = walker_checkpoints_[id];
+    if (captured.has_value()) {
+      // Validate the capture before trusting it with a future resume: the
+      // sizes and the configuration/cost invariant the resume constructor
+      // checks.  A torn capture (the checkpoint_capture corrupt fault, or
+      // any bug producing inconsistent state) fails here and degrades the
+      // whole preemption instead of planting a time bomb in the requeue.
+      const core::Checkpoint& c = *captured;
+      if (c.values.size() != n || c.best.size() != n ||
+          c.tabu_until.size() != n) {
+        return false;
+      }
+      const auto probe = prototype_.clone();
+      probe->assign(c.values);
+      if (probe->total_cost() != c.cost) return false;
+      entry.stage = PoolCheckpoint::WalkerStage::kRunning;
+      entry.checkpoint = std::move(*captured);
+    } else if (out.result.stop_cause == core::StopCause::kPreempted) {
+      if (walker_started_[id] != 0) {
+        // Started, preempted, but produced no checkpoint: the capture
+        // itself failed (the checkpoint_capture throw fault, or an
+        // allocation failure mid-copy).
+        return false;
+      }
+      entry.stage = PoolCheckpoint::WalkerStage::kPending;
+    } else if (walker_started_[id] != 0 ||
+               (options_.resume.has_value() &&
+                options_.resume->walkers[id].stage ==
+                    PoolCheckpoint::WalkerStage::kDone)) {
+      if (out.result.interrupted) {
+        // Mixed external interruption (this walker observed the deadline
+        // or a chained flag while others were preempted): no consistent
+        // resumable state exists.
+        return false;
+      }
+      entry.stage = PoolCheckpoint::WalkerStage::kDone;
+      entry.result = out.result;
+      entry.trace = out.trace;
+      entry.injected_faults = out.injected_faults;
+    } else {
+      entry.stage = PoolCheckpoint::WalkerStage::kPending;
+    }
+  }
+  for (std::size_t i = 0; i < comm_.num_slots(); ++i) {
+    const ElitePool::Snapshot snap = comm_.slot(i).snapshot();
+    PoolCheckpoint::EliteSlot slot;
+    slot.has_entry = snap.has_entry;
+    slot.cost = snap.cost;
+    slot.values = snap.values;
+    slot.tick = snap.tick;
+    slot.publisher = static_cast<std::uint64_t>(snap.publisher);
+    slot.publishes = snap.publishes;
+    slot.accepted = snap.accepted;
+    cp.elite.push_back(std::move(slot));
+  }
+  cp.comm_clock = comm_.now();
+  cp.comm_adoptions = comm_.adoptions();
+  options_.checkpoint_out->emplace(std::move(cp));
+  return true;
+}
+
 MultiWalkReport JobExecution::finalize() {
-  // Cancellation wins the attribution tie when walkers observed both.
+  // Cancellation wins the attribution tie when walkers observed several
+  // sources; preemption outranks the deadline (the preempted run must
+  // surrender its checkpoint even when its deadline fired on the same
+  // poll).
   const core::StopCause interrupt_cause =
       external_cancel_hit_.load(std::memory_order_relaxed)
           ? core::StopCause::kCancel
+      : preempt_hit_.load(std::memory_order_relaxed)
+          ? core::StopCause::kPreempted
       : external_deadline_hit_.load(std::memory_order_relaxed)
           ? core::StopCause::kDeadline
           : core::StopCause::kNone;
 
+  MultiWalkReport report;
   if (!threaded_ && options_.termination == Termination::kFirstFinisher) {
-    MultiWalkReport resolved =
-        resolve_emulated_race(std::move(report_.walkers));
-    resolved.comm_publishes = comm_.publishes();
-    resolved.elite_accepted = comm_.accepted();
-    resolved.comm_adoptions = comm_.adoptions();
-    resolved.interrupt_cause = interrupt_cause;
-    resolved.interrupted = interrupt_cause != core::StopCause::kNone;
-    return resolved;
-  }
-
-  MultiWalkReport report = std::move(report_);
-  if (!threaded_) {
-    // Emulated machine's wall clock: all walkers start together and the
-    // pool stops when the slowest one exhausts its budget.
-    double wall = 0.0;
-    for (const auto& w : report.walkers) {
-      wall = std::max(wall, w.result.stats.seconds);
-    }
-    report.wall_seconds = wall;
+    report = resolve_emulated_race(std::move(report_.walkers));
   } else {
-    report.wall_seconds = watch_.elapsed_seconds();
-  }
-
-  if (race_) {
-    const std::size_t win = winner_.load(std::memory_order_acquire);
-    report.winner = win;
-    report.solved = win != kNoWinner;
-    if (report.solved) {
-      report.best = report.walkers[win].result;
-      report.time_to_solution_seconds =
-          static_cast<double>(
-              solution_time_us_.load(std::memory_order_acquire)) /
-          1e6;
+    report = std::move(report_);
+    if (!threaded_) {
+      // Emulated machine's wall clock: all walkers start together and the
+      // pool stops when the slowest one exhausts its budget.
+      double wall = 0.0;
+      for (const auto& w : report.walkers) {
+        wall = std::max(wall, w.result.stats.seconds);
+      }
+      report.wall_seconds = wall;
     } else {
-      // Nobody flipped the flag: report the best configuration reached.  (A
-      // walker may still have solved after losing the race; prefer any
-      // solved result.)
+      report.wall_seconds = watch_.elapsed_seconds();
+    }
+
+    if (race_) {
+      const std::size_t win = winner_.load(std::memory_order_acquire);
+      report.winner = win;
+      report.solved = win != kNoWinner;
+      if (report.solved) {
+        report.best = report.walkers[win].result;
+        report.time_to_solution_seconds =
+            static_cast<double>(
+                solution_time_us_.load(std::memory_order_acquire)) /
+            1e6;
+      } else {
+        // Nobody flipped the flag: report the best configuration reached.
+        // (A walker may still have solved after losing the race; prefer
+        // any solved result.)
+        select_best_after_budget(report);
+        report.time_to_solution_seconds = report.wall_seconds;
+      }
+    } else {
+      // kBestAfterBudget (and the non-racing threaded case): the pool's
+      // wall clock doubles as the time-to-result — also on cancelled or
+      // deadline-expired runs, where `best` is the anytime answer and the
+      // times say how long the pool actually had.
       select_best_after_budget(report);
       report.time_to_solution_seconds = report.wall_seconds;
     }
-  } else {
-    // kBestAfterBudget (and the non-racing threaded case): the pool's wall
-    // clock doubles as the time-to-result — also on cancelled or
-    // deadline-expired runs, where `best` is the anytime answer and the
-    // times say how long the pool actually had.
-    select_best_after_budget(report);
-    report.time_to_solution_seconds = report.wall_seconds;
+    tally_failures(report);
   }
   report.comm_publishes = comm_.publishes();
   report.elite_accepted = comm_.accepted();
   report.comm_adoptions = comm_.adoptions();
   report.interrupt_cause = interrupt_cause;
   report.interrupted = interrupt_cause != core::StopCause::kNone;
-  tally_failures(report);
+  if (interrupt_cause == core::StopCause::kPreempted &&
+      options_.checkpoint_out != nullptr && !report.solved) {
+    // A failed assembly leaves *checkpoint_out empty: the preemption
+    // degrades to a plain interrupt and the caller requeues cold.
+    (void)assemble_checkpoint(report);
+  }
   return report;
 }
 

@@ -27,9 +27,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/adaptive_search.hpp"
+#include "core/checkpoint.hpp"
 #include "core/stop_token.hpp"
+#include "parallel/checkpoint.hpp"
 #include "parallel/walker_pool.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -80,7 +84,18 @@ class JobExecution {
   [[nodiscard]] MultiWalkReport finalize();
 
  private:
-  void mark_rest_interrupted(std::size_t from, core::StopCause cause);
+  /// Cause latches + first-finisher CAS, shared by live runs and checkpoint
+  /// replays of already-finished walkers.
+  void note_completion(std::size_t id, const core::Result& result);
+
+  /// Assemble the PoolCheckpoint after a preempted run (finalize helper;
+  /// `report` is the finalized report whose walker outcomes become the
+  /// kDone entries).  Returns false — and leaves *options_.checkpoint_out
+  /// empty — when any started walker was preempted without a valid
+  /// checkpoint (torn or failed capture) or walkers observed mixed
+  /// external interruptions: the whole preemption then degrades to a plain
+  /// interrupt, which callers treat as a cancel.
+  bool assemble_checkpoint(const MultiWalkReport& report);
 
   const csp::Problem& prototype_;
   const WalkerPoolOptions& options_;
@@ -104,6 +119,13 @@ class JobExecution {
   // misattributed to a deadline that happened to pass during the joins).
   std::atomic<bool> external_cancel_hit_{false};
   std::atomic<bool> external_deadline_hit_{false};
+  std::atomic<bool> preempt_hit_{false};
+
+  // Per-walker preemption state.  Each slot is written only by the thread
+  // running that walker (like report_.walkers) and read in finalize(),
+  // after every walker task has been joined.
+  std::vector<std::optional<core::Checkpoint>> walker_checkpoints_;
+  std::vector<char> walker_started_;
 
   MultiWalkReport report_;
   util::Stopwatch watch_;

@@ -58,6 +58,7 @@
 #include "core/stop_token.hpp"
 #include "core/trace.hpp"
 #include "csp/problem.hpp"
+#include "parallel/checkpoint.hpp"
 #include "parallel/exchange.hpp"
 #include "util/fault.hpp"
 
@@ -133,6 +134,30 @@ struct WalkerPoolOptions {
   /// outcome of a seeded run.  Must outlive run().
   std::function<void(std::size_t, std::uint64_t, csp::Cost)> sample_sink;
   std::uint64_t sample_sink_period = 0;  ///< 0 disables the sink
+
+  /// Cooperative preemption flag: when it becomes true, every walker drains
+  /// to its next safe point (the engine's stop-poll site) and stops with
+  /// StopCause::kPreempted; not-yet-started walkers never start.  Weaker
+  /// than cancellation (cancel flags and chained race flags outrank it) but
+  /// stronger than the deadline.  Null disables; must outlive run().
+  const std::atomic<bool>* preempt = nullptr;
+
+  /// When non-null and the run is preempted without having solved, run()
+  /// assembles the drained walkers (per-walker checkpoints, final results
+  /// of already-finished walkers, the ElitePool contents and exchange
+  /// counters) into a PoolCheckpoint here.  Left empty when any mid-run
+  /// walker failed to produce a valid checkpoint (a torn capture degrades
+  /// the whole preemption to a plain interrupt — callers treat it as a
+  /// cancel).  Must outlive run().
+  std::optional<PoolCheckpoint>* checkpoint_out = nullptr;
+
+  /// When set, the run resumes from this checkpoint instead of starting
+  /// fresh: mid-run walkers continue byte-identically from their captured
+  /// state, finished walkers replay their recorded outcome, pending
+  /// walkers run from their untouched RNG stream, and the communication
+  /// state picks up where it stopped.  Walker count must match
+  /// num_walkers.  Overrides warm_start.
+  std::optional<PoolCheckpoint> resume;
 };
 
 struct WalkerOutcome {
@@ -184,8 +209,9 @@ struct MultiWalkReport {
   /// (the anytime contract): `best` is the best configuration reached
   /// before the cut-off.
   bool interrupted = false;
-  /// The external source when `interrupted`: kCancel or kDeadline (kCancel
-  /// wins when walkers observed both).  kNone otherwise.
+  /// The external source when `interrupted`: kCancel, kPreempted or
+  /// kDeadline (cancel wins over preemption, which wins over the deadline,
+  /// when walkers observed several).  kNone otherwise.
   core::StopCause interrupt_cause = core::StopCause::kNone;
   /// Walkers that died on an exception (crash containment): each is
   /// recorded with StopCause::kFailed and its message in result.error;

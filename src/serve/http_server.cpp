@@ -286,11 +286,28 @@ void HttpServer::handle_connection(int fd) {
 
     // Parse before answering so protocol errors get a 400 status; the
     // session would only see them after the 200 header was on the wire.
+    Command parsed_command;
     try {
-      (void)parse_command(request.body, options_.max_body_bytes);
+      parsed_command = parse_command(request.body, options_.max_body_bytes);
     } catch (const ProtocolError& error) {
       if (!send_simple(fd, 400, "Bad Request",
                        encode_error(error.code(), error.what()) + "\n",
+                       keep_open)) {
+        break;
+      }
+      continue;
+    }
+    // Admission pre-check, also before the 200 header: a solve aimed at a
+    // full lane answers 429 with the stable `overloaded` code (the session
+    // path can only report it as an in-stream error event).
+    if (const auto* solve = std::get_if<SolveCommand>(&parsed_command);
+        solve != nullptr && scheduler_.reject_overloaded(solve->priority)) {
+      if (!send_simple(fd, 429, "Too Many Requests",
+                       encode_error(kErrOverloaded,
+                                    "lane \"" +
+                                        std::string(name_of(solve->priority)) +
+                                        "\" is at its depth bound") +
+                           "\n",
                        keep_open)) {
         break;
       }

@@ -169,6 +169,12 @@ std::string encode_sample(std::uint64_t id, std::size_t walker,
   return event.dump(0);
 }
 
+std::string encode_preempted(std::uint64_t id) {
+  util::Json event = util::Json::object();
+  event.set("event", "preempted").set("id", id);
+  return event.dump(0);
+}
+
 std::string encode_report(std::uint64_t id, std::string_view tag,
                           std::string_view status,
                           const api::SolveReport& report,

@@ -14,15 +14,18 @@
 //
 //   {"event":"accepted","id":7,"tag":"...","priority":"high"}
 //   {"event":"sample","id":7,"walker":2,"iteration":4000,"best_cost":12}
+//   {"event":"preempted","id":7}       (running job suspended, will resume)
 //   {"event":"report","id":7,"tag":"...","status":"done",
 //    "report":{...SolveReport...}}            (+ "error" when status=failed)
 //   {"event":"cancel","id":7,"ok":true}
 //   {"event":"stats","scheduler":{...},"service":{...}}
 //   {"event":"error","code":"bad_json","message":"..."}
 //
-// Per job the stream is: one `accepted`, zero or more `sample` events with
-// strictly decreasing best_cost (the anytime payload — a deadline-bound
-// client can act on the latest sample), then exactly one `report`.
+// Per job the stream is: one `accepted`, zero or more `sample` /
+// `preempted` events — samples carry strictly decreasing best_cost (the
+// anytime payload — a deadline-bound client can act on the latest sample),
+// a `preempted` marks a running job suspended to a checkpoint and requeued
+// (it resumes where it left off) — then exactly one `report`.
 //
 // The envelope parser is strict, mirroring SolveRequest::from_json: a
 // malformed line, an unknown member, a wrong type or an oversized line each
@@ -58,6 +61,10 @@ inline constexpr std::string_view kErrUnknownOp = "unknown_op";
 inline constexpr std::string_view kErrBadRequest = "bad_request";
 inline constexpr std::string_view kErrUnknownJob = "unknown_job";
 inline constexpr std::string_view kErrShutdown = "shutdown";
+/// Admission control: the job's priority lane is at its configured depth
+/// bound.  The request was rejected *before* `accepted` — resubmit later.
+/// The HTTP transport maps this code to status 429.
+inline constexpr std::string_view kErrOverloaded = "overloaded";
 
 /// A wire-boundary failure: `code()` is one of the kErr* constants above,
 /// what() the human diagnostic.  Raised by parse_command, caught by the
@@ -106,6 +113,11 @@ using Command = std::variant<SolveCommand, StatsCommand, CancelCommand>;
 [[nodiscard]] std::string encode_sample(std::uint64_t id, std::size_t walker,
                                         std::uint64_t iteration,
                                         csp::Cost best_cost);
+/// Mid-stream notice that a *running* job was suspended to a checkpoint to
+/// make room for stronger work and requeued at the front of its lane; the
+/// job is still live and will resume (samples continue, report still comes
+/// exactly once).  Emitted only for streaming jobs.
+[[nodiscard]] std::string encode_preempted(std::uint64_t id);
 [[nodiscard]] std::string encode_report(std::uint64_t id, std::string_view tag,
                                         std::string_view status,
                                         const api::SolveReport& report,

@@ -52,6 +52,14 @@ struct ServeJob {
     reported = true;
     if (events.on_report) events.on_report(id, status, report, error);
   }
+
+  /// Running-preemption notice: the job is suspended and requeued, still
+  /// live.  Shares the sample lock so it can never follow the report.
+  void emit_preempted() {
+    std::lock_guard lock(sample_m);
+    if (reported) return;
+    if (events.on_preempted) events.on_preempted(id);
+  }
 };
 
 }  // namespace detail
@@ -106,7 +114,10 @@ util::Json SchedulerStats::to_json() const {
       .set("completed", completed)
       .set("cancelled", cancelled)
       .set("failed", failed)
-      .set("preempted", preempted)
+      .set("preempted_queued", preempted_queued)
+      .set("preempted_running", preempted_running)
+      .set("resumed", resumed)
+      .set("rejected_overload", rejected_overload)
       .set("givebacks", givebacks)
       .set("batches", batches)
       .set("batched_jobs", batched_jobs)
@@ -136,13 +147,6 @@ std::uint64_t Scheduler::submit(SolveCommand command, JobEvents events) {
   parallel::validate_options(command.request.to_pool_options());
 
   auto job = std::make_shared<detail::ServeJob>();
-  {
-    std::lock_guard lock(m_);
-    if (stopping_) {
-      throw std::runtime_error("serve::Scheduler: submit after shutdown");
-    }
-    job->id = next_id_++;
-  }
   job->command = std::move(command);
   if (job->command.sample_period == 0) {
     job->command.sample_period = options_.default_sample_period;
@@ -150,6 +154,30 @@ std::uint64_t Scheduler::submit(SolveCommand command, JobEvents events) {
   job->events = std::move(events);
   job->warm_path =
       lease_estimate(job->command.request) <= options_.warm_lease_threshold;
+  const std::size_t lane_idx = lane_of(*job);
+  {
+    std::lock_guard lock(m_);
+    if (stopping_) {
+      throw std::runtime_error("serve::Scheduler: submit after shutdown");
+    }
+    // Admission control, before `accepted` can fire: a full lane rejects
+    // with the stable `overloaded` code.  The in-admission count holds the
+    // slot across the unlock below, so concurrent submits cannot overshoot
+    // the bound.
+    if (options_.max_lane_depth != 0 &&
+        warm_lanes_[lane_idx].size() + service_lanes_[lane_idx].size() +
+                admitting_[lane_idx] >=
+            options_.max_lane_depth) {
+      ++rejected_overload_;
+      throw ProtocolError(
+          kErrOverloaded,
+          "lane \"" + std::string(name_of(job->command.priority)) +
+              "\" is at its depth bound of " +
+              std::to_string(options_.max_lane_depth) + " queued jobs");
+    }
+    ++admitting_[lane_idx];
+    job->id = next_id_++;
+  }
 
   // Fired before the job is visible to any worker, with no lock held:
   // `accepted` always precedes the first `sample`.
@@ -158,12 +186,13 @@ std::uint64_t Scheduler::submit(SolveCommand command, JobEvents events) {
   bool raced_shutdown = false;
   {
     std::lock_guard lock(m_);
+    --admitting_[lane_idx];
     if (stopping_) {
       raced_shutdown = true;
     } else {
       jobs_.emplace(job->id, job);
       auto& lanes = job->warm_path ? warm_lanes_ : service_lanes_;
-      lanes[lane_of(*job)].push_back(job);
+      lanes[lane_idx].push_back(job);
       ++submitted_;
     }
   }
@@ -210,6 +239,19 @@ Scheduler::CancelResult Scheduler::cancel(std::uint64_t id) {
   return result;
 }
 
+bool Scheduler::reject_overloaded(Priority priority) {
+  const auto lane_idx = static_cast<std::size_t>(priority);
+  std::lock_guard lock(m_);
+  if (options_.max_lane_depth == 0 ||
+      warm_lanes_[lane_idx].size() + service_lanes_[lane_idx].size() +
+              admitting_[lane_idx] <
+          options_.max_lane_depth) {
+    return false;
+  }
+  ++rejected_overload_;
+  return true;
+}
+
 SchedulerStats Scheduler::stats() const {
   std::lock_guard lock(m_);
   SchedulerStats stats;
@@ -222,7 +264,10 @@ SchedulerStats Scheduler::stats() const {
   stats.completed = completed_;
   stats.cancelled = cancelled_;
   stats.failed = failed_;
-  stats.preempted = preempted_;
+  stats.preempted_queued = preempted_queued_;
+  stats.preempted_running = preempted_running_;
+  stats.resumed = resumed_;
+  stats.rejected_overload = rejected_overload_;
   stats.givebacks = givebacks_;
   stats.batches = batches_;
   stats.batched_jobs = batched_jobs_;
@@ -552,6 +597,7 @@ void Scheduler::warm_loop() {
 void Scheduler::dispatch_loop() {
   for (;;) {
     std::vector<Finalization> done;
+    std::vector<JobPtr> suspended;  ///< running-preempted: notify off-lock
     bool exit_after = false;
     {
       std::unique_lock lock(m_);
@@ -575,13 +621,38 @@ void Scheduler::dispatch_loop() {
         if (job->preempt_pending &&
             terminal == api::JobStatus::kCancelled &&
             !job->cancel.load(std::memory_order_relaxed) && !stopping_) {
-          // Preempted, not client-cancelled: back to the front of its lane
-          // for a fresh submission after the stronger job.
+          // Preempted while still queued in the service (or a suspended
+          // run whose capture failed and degraded to a cancel): back to
+          // the front of its lane for a fresh from-scratch submission
+          // after the stronger job.
           job->preempt_pending = false;
           job->in_service = false;
           job->handle = api::JobHandle{};
           requeue.push_back(job);
-          ++preempted_;
+          ++preempted_queued_;
+        } else if (terminal == api::JobStatus::kPreempted &&
+                   !job->cancel.load(std::memory_order_relaxed) &&
+                   !stopping_) {
+          // Suspended mid-run: carry the checkpoint back to the front of
+          // the lane — the next claim resumes the walk where it stopped.
+          job->preempt_pending = false;
+          job->in_service = false;
+          job->command.request.resume_from = job->handle.take_checkpoint();
+          job->handle = api::JobHandle{};
+          requeue.push_back(job);
+          ++preempted_running_;
+          suspended.push_back(job);
+        } else if (terminal == api::JobStatus::kPreempted) {
+          // Suspended, but the client cancelled (or the scheduler is
+          // stopping) before the requeue: the checkpoint is moot — the
+          // job resolves as a plain cancel.
+          done.push_back(Finalization{job, std::string(kCancelled),
+                                      cancelled_report(*job),
+                                      std::string{}});
+          jobs_.erase(job->id);
+          ++cancelled_;
+          it = inflight_.erase(it);
+          continue;
         } else {
           // A job that reached done/failed necessarily ran, even if it was
           // too quick for a kRunning probe to catch it in flight.
@@ -622,10 +693,36 @@ void Scheduler::dispatch_loop() {
           }
         }
         if (strongest_waiting < kNumLanes) {
+          bool queued_victim = false;
           for (const JobPtr& job : inflight_) {
             if (!job->preempt_pending && lane_of(*job) > strongest_waiting &&
                 job->handle.status() == api::JobStatus::kQueued) {
-              if (job->handle.cancel()) job->preempt_pending = true;
+              if (job->handle.cancel()) {
+                job->preempt_pending = true;
+                queued_victim = true;
+              }
+            }
+          }
+          // No queued victim and no room to just submit the stronger job:
+          // suspend the weakest *running* job to a checkpoint.  Its
+          // preempt_pending marks the suspension in flight; the reap above
+          // requeues it (checkpoint in hand, or degraded to a plain
+          // cancel-requeue when the capture failed).
+          if (options_.preempt_running && !queued_victim &&
+              inflight_.size() >= options_.service_inflight) {
+            JobPtr victim;
+            for (const JobPtr& job : inflight_) {
+              if (job->preempt_pending) continue;
+              if (lane_of(*job) <= strongest_waiting) continue;
+              const api::JobStatus status = job->handle.status();
+              if (status != api::JobStatus::kRunning &&
+                  status != api::JobStatus::kDegraded) {
+                continue;
+              }
+              if (!victim || lane_of(*job) > lane_of(*victim)) victim = job;
+            }
+            if (victim && victim->handle.suspend()) {
+              victim->preempt_pending = true;
             }
           }
         }
@@ -670,6 +767,7 @@ void Scheduler::dispatch_loop() {
             ++failed_;
             continue;
           }
+          if (job->command.request.resume_from.has_value()) ++resumed_;
           job->in_service = true;
           inflight_.push_back(job);
         }
@@ -692,6 +790,7 @@ void Scheduler::dispatch_loop() {
       }
     }
 
+    for (const JobPtr& job : suspended) job->emit_preempted();
     for (const Finalization& f : done) finalize(f);
     if (exit_after) return;
     std::this_thread::sleep_for(options_.poll_period);

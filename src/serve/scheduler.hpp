@@ -24,7 +24,19 @@
 // lane has a job waiting, in-flight weaker jobs that are still *queued*
 // inside the service are preempted: cancelled and requeued at the front of
 // their lane, to be resubmitted after the stronger job — they still
-// terminate with their real status once re-run.
+// terminate with their real status once re-run.  When no queued victim
+// exists and the service is at its in-flight cap, the weakest *running*
+// job is suspended instead: the engine stops it at a safe point,
+// surrenders a PoolCheckpoint, and the job returns to the front of its
+// lane carrying the checkpoint (SolveRequest::resume_from) — its next
+// claim resumes the walk exactly where it stopped, byte-identical to never
+// having been interrupted.  A capture failure degrades to plain
+// cancel-and-requeue (the job restarts from scratch, losing only work).
+//
+// Admission control: `max_lane_depth` bounds each priority lane; a submit
+// to a full lane is rejected with the stable `overloaded` protocol error
+// (HTTP 429) before `accepted` fires, so clients see backpressure instead
+// of unbounded queueing.
 //
 // Streaming: a job submitted with `stream` pushes (walker, iteration, cost)
 // samples through JobEvents::on_sample, filtered to strictly decreasing
@@ -77,6 +89,19 @@ struct SchedulerOptions {
   /// Most service-path jobs submitted into the SolverService at once; the
   /// rest wait in lanes where priority order (and preemption) applies.
   std::size_t service_inflight = 4;
+  /// Admission control: most jobs queued per priority lane (warm + service
+  /// lanes of one priority counted together, in-flight/claimed jobs not
+  /// counted).  A submit to a full lane is rejected with the stable
+  /// `overloaded` protocol error (HTTP 429) before `accepted` fires.
+  /// 0 = unbounded (the default).
+  std::size_t max_lane_depth = 0;
+  /// Suspend a *running* weaker-lane job to a PoolCheckpoint when a
+  /// stronger job is waiting, the service is at its in-flight cap and no
+  /// still-queued weaker job could be preempted instead.  The suspended job
+  /// returns to the front of its lane carrying the checkpoint and resumes
+  /// exactly where it stopped on its next claim.  false falls back to
+  /// queued-only preemption (the stronger job waits out the running walk).
+  bool preempt_running = true;
   /// Sample period for streaming jobs that did not pick one.
   std::uint64_t default_sample_period = 256;
   /// Dispatcher poll period for reaping / preempting / submitting.
@@ -95,6 +120,10 @@ struct JobEvents {
   std::function<void(std::uint64_t id, std::size_t walker,
                      std::uint64_t iteration, csp::Cost cost)>
       on_sample;
+  /// A *running* job was suspended to a checkpoint and requeued; it is
+  /// still live and resumes from where it stopped.  May fire several times
+  /// per job; never after on_report.
+  std::function<void(std::uint64_t id)> on_preempted;
   /// Exactly once per job; status is "done" | "cancelled" | "failed"
   /// (error is non-empty only for "failed").
   std::function<void(std::uint64_t id, std::string_view status,
@@ -112,7 +141,11 @@ struct SchedulerStats {
   std::uint64_t completed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
-  std::uint64_t preempted = 0;      ///< service-queued jobs requeued
+  std::uint64_t preempted_queued = 0;   ///< still-queued service jobs requeued
+  std::uint64_t preempted_running = 0;  ///< running jobs suspended to a
+                                        ///< checkpoint and requeued
+  std::uint64_t resumed = 0;            ///< checkpoint-carrying resubmissions
+  std::uint64_t rejected_overload = 0;  ///< submits refused: lane at depth cap
   std::uint64_t givebacks = 0;      ///< warm jobs returned unstarted
   std::uint64_t batches = 0;        ///< warm batch claims
   std::uint64_t batched_jobs = 0;   ///< warm jobs claimed across batches
@@ -138,12 +171,20 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Validate and enqueue.  Throws std::invalid_argument on a malformed
-  /// request (unknown problem, bad pool configuration) and
-  /// std::runtime_error after shutdown().  Returns the job id; by return,
-  /// events.on_accepted has already fired.
+  /// request (unknown problem, bad pool configuration), ProtocolError with
+  /// code `overloaded` when the priority lane is at its depth bound
+  /// (counted in SchedulerStats::rejected_overload; on_accepted has NOT
+  /// fired), and std::runtime_error after shutdown().  Returns the job id;
+  /// by return, events.on_accepted has already fired.
   std::uint64_t submit(SolveCommand command, JobEvents events);
 
   CancelResult cancel(std::uint64_t id);
+
+  /// Admission pre-check for transports that must answer before streaming
+  /// (HTTP's 429): true when `priority`'s lane is at its depth bound — the
+  /// rejection is counted (SchedulerStats::rejected_overload), so a caller
+  /// returning the error to the client must not also call submit().
+  [[nodiscard]] bool reject_overloaded(Priority priority);
 
   [[nodiscard]] SchedulerStats stats() const;
   [[nodiscard]] api::ServiceStats service_stats() const;
@@ -193,8 +234,15 @@ class Scheduler {
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t failed_ = 0;
-  std::uint64_t preempted_ = 0;
+  std::uint64_t preempted_queued_ = 0;
+  std::uint64_t preempted_running_ = 0;
+  std::uint64_t resumed_ = 0;
+  std::uint64_t rejected_overload_ = 0;
   std::uint64_t givebacks_ = 0;
+  /// Submissions past the depth check but not yet laned (submit drops m_
+  /// to fire on_accepted); counted by the admission bound so concurrent
+  /// submits cannot overshoot it.
+  std::array<std::size_t, kNumLanes> admitting_{};
   std::uint64_t batches_ = 0;
   std::uint64_t batched_jobs_ = 0;
   std::uint64_t fused_batches_ = 0;

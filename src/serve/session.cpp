@@ -79,6 +79,9 @@ void Session::dispatch_solve(SolveCommand command) {
                               std::uint64_t iteration, csp::Cost cost) {
       emit(encode_sample(id, walker, iteration, cost));
     };
+    events.on_preempted = [this](std::uint64_t id) {
+      emit(encode_preempted(id));
+    };
   }
   events.on_report = [this, tag](std::uint64_t id, std::string_view status,
                                  const api::SolveReport& report,
@@ -94,6 +97,9 @@ void Session::dispatch_solve(SolveCommand command) {
 
   try {
     (void)scheduler_.submit(std::move(command), std::move(events));
+  } catch (const ProtocolError& error) {
+    // Admission control (`overloaded`): rejected before on_accepted fired.
+    emit(encode_error(error.code(), error.what(), tag));
   } catch (const std::invalid_argument& error) {
     // Rejected before on_accepted fired: nothing is pending.
     emit(encode_error(kErrBadRequest, error.what(), tag));

@@ -13,7 +13,8 @@ namespace cspls::util::fault {
 namespace {
 
 constexpr std::string_view kSiteNames[kNumSites] = {
-    "walker_iteration", "elite_publish", "elite_adopt", "service_dispatch"};
+    "walker_iteration", "elite_publish", "elite_adopt", "service_dispatch",
+    "checkpoint_capture"};
 constexpr std::string_view kKindNames[3] = {"throw", "stall", "corrupt"};
 
 std::optional<Site> site_from_name(std::string_view name) noexcept {
@@ -32,7 +33,8 @@ std::optional<Kind> kind_from_name(std::string_view name) noexcept {
 
 std::string names_hint() {
   return "sites: walker_iteration | elite_publish | elite_adopt | "
-         "service_dispatch; kinds: throw | stall | corrupt";
+         "service_dispatch | checkpoint_capture; "
+         "kinds: throw | stall | corrupt";
 }
 
 [[noreturn]] void bad_spec(std::string_view plan, const std::string& detail) {

@@ -14,7 +14,10 @@
 //   walker_iteration  once per engine iteration (core::AdaptiveSearch);
 //   elite_publish     before each communication publish (comm_hooks);
 //   elite_adopt       at each adoption gate, reset-time or mid-walk;
-//   service_dispatch  once per SolverService job attempt (retry testing).
+//   service_dispatch  once per SolverService job attempt (retry testing);
+//   checkpoint_capture at each preemption safe-point capture — a throw or
+//                     corrupt here proves a failed capture degrades to a
+//                     plain cancel+requeue instead of wedging the pool.
 //
 // Kinds:
 //   throw    raise FaultInjected at the site (a crashing walker / attempt);
@@ -63,12 +66,13 @@ inline constexpr std::size_t kAnyWalker = static_cast<std::size_t>(-1);
 inline constexpr std::uint64_t kMaxStallMs = 10'000;
 
 enum class Site : std::uint8_t {
-  kWalkerIteration,  ///< once per engine iteration
-  kElitePublish,     ///< before each communication publish
-  kEliteAdopt,       ///< at each adoption gate (reset-time or mid-walk)
-  kServiceDispatch,  ///< once per SolverService job attempt
+  kWalkerIteration,    ///< once per engine iteration
+  kElitePublish,       ///< before each communication publish
+  kEliteAdopt,         ///< at each adoption gate (reset-time or mid-walk)
+  kServiceDispatch,    ///< once per SolverService job attempt
+  kCheckpointCapture,  ///< at each preemption safe-point capture
 };
-inline constexpr std::size_t kNumSites = 4;
+inline constexpr std::size_t kNumSites = 5;
 
 enum class Kind : std::uint8_t {
   kThrow,    ///< raise FaultInjected at the site
@@ -164,7 +168,7 @@ class Session {
  private:
   const Schedule* schedule_ = nullptr;
   std::size_t walker_ = kAnyWalker;
-  std::uint64_t counts_[kNumSites] = {0, 0, 0, 0};
+  std::uint64_t counts_[kNumSites] = {};
   std::uint64_t fired_ = 0;
 };
 

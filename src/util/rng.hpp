@@ -120,6 +120,20 @@ class Xoshiro256 {
     return state_;
   }
 
+  /// Rebuild an engine at an exact stream position previously captured with
+  /// state().  This is the checkpoint/resume primitive: a resumed engine
+  /// continues the captured sequence bit-for-bit.  An all-zero state (never
+  /// produced by a seeded engine) is re-seeded defensively so the generator
+  /// can't lock up on corrupt input.
+  [[nodiscard]] static Xoshiro256 from_state(
+      const std::array<std::uint64_t, 4>& state) noexcept {
+    Xoshiro256 rng;
+    if ((state[0] | state[1] | state[2] | state[3]) != 0) {
+      rng.state_ = state;
+    }
+    return rng;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -504,6 +505,94 @@ TEST(SolverService, CancelCutsAFusedMemberAndSparesItsSiblings) {
   EXPECT_EQ(stats.fused_jobs, 3u);
   EXPECT_EQ(stats.completed, 2u);
   EXPECT_EQ(stats.cancelled, 1u);
+}
+
+TEST(SolverService, SuspendARunningJobYieldsItsCheckpoint) {
+  SolverService service(SolverService::Options{2, 0});
+  const JobHandle job = service.submit(endless_request(5));
+
+  util::Stopwatch watch;
+  while (job.status() == JobStatus::kQueued && watch.elapsed_seconds() < 10.0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(job.status(), JobStatus::kRunning);
+  std::this_thread::sleep_for(milliseconds(50));
+
+  // take_checkpoint on a live job is a caller bug, not a race to tolerate.
+  EXPECT_THROW((void)job.take_checkpoint(), std::logic_error);
+
+  EXPECT_TRUE(job.suspend());
+  ASSERT_TRUE(job.wait_for(milliseconds(30'000)));
+  EXPECT_EQ(job.status(), JobStatus::kPreempted);
+  EXPECT_TRUE(job.wait().preempted);
+  EXPECT_FALSE(job.wait().cancelled);
+
+  const std::optional<parallel::PoolCheckpoint> checkpoint =
+      job.take_checkpoint();
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->walkers.size(), 2u);
+  // The slot is emptied on take; a second take finds nothing.
+  EXPECT_FALSE(job.take_checkpoint().has_value());
+  EXPECT_FALSE(job.suspend());  // already terminal
+
+  // Resubmission with the checkpoint resumes the walk; it is still endless,
+  // so cancel ends it.
+  SolveRequest resumed = endless_request(5);
+  resumed.resume_from = checkpoint;
+  const JobHandle second = service.submit(resumed);
+  EXPECT_TRUE(second.cancel());
+  ASSERT_TRUE(second.wait_for(milliseconds(30'000)));
+
+  EXPECT_EQ(service.stats().preempted, 1u);
+  EXPECT_TRUE(service.stats().to_json().contains("preempted"));
+}
+
+TEST(SolverService, SuspendAQueuedJobPreemptsItWithoutACheckpoint) {
+  SolverService service(SolverService::Options{1, 0});
+  const JobHandle running = service.submit(endless_request(6));
+  const JobHandle queued = service.submit(endless_request(7));
+
+  // The budget of one is held by `running`; the queued job never started,
+  // so there is no walker state to capture.
+  EXPECT_TRUE(queued.suspend());
+  ASSERT_TRUE(queued.wait_for(milliseconds(30'000)));
+  EXPECT_EQ(queued.status(), JobStatus::kPreempted);
+  EXPECT_FALSE(queued.take_checkpoint().has_value());
+
+  EXPECT_TRUE(running.cancel());
+  ASSERT_TRUE(running.wait_for(milliseconds(30'000)));
+}
+
+TEST(SolverService, SuspendAndResumeReproducesTheUninterruptedReport) {
+  // Byte-identity through the whole service path: a job suspended to a
+  // checkpoint and resubmitted with resume_from reports exactly what the
+  // uninterrupted run reports (trajectory, winner, counters).
+  SolveRequest request = quick_request(77);
+  request.walkers = 2;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  const SolveReport direct = Solver::solve(request);
+
+  SolverService service(SolverService::Options{2, 0});
+  const JobHandle job = service.submit(request);
+  (void)job.suspend();  // may land while queued, running, or done — all fine
+  ASSERT_TRUE(job.wait_for(milliseconds(30'000)));
+
+  SolveReport resumed;
+  if (job.status() == JobStatus::kPreempted) {
+    SolveRequest rest = request;
+    rest.resume_from = job.take_checkpoint();  // nullopt = start over
+    resumed = service.submit(rest).wait();
+  } else {
+    // The job outran the suspension: its own report is the resumed run.
+    ASSERT_EQ(job.status(), JobStatus::kDone);
+    resumed = job.wait();
+  }
+  EXPECT_EQ(resumed.solved, direct.solved);
+  EXPECT_EQ(resumed.winner, direct.winner);
+  EXPECT_EQ(resumed.cost, direct.cost);
+  EXPECT_EQ(resumed.solution, direct.solution);
+  EXPECT_EQ(resumed.total_iterations, direct.total_iterations);
 }
 
 }  // namespace

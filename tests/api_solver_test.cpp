@@ -9,6 +9,7 @@
 #include <chrono>
 #include <thread>
 
+#include "core/params.hpp"
 #include "parallel/walker_pool.hpp"
 #include "problems/registry.hpp"
 #include "util/timer.hpp"
@@ -135,6 +136,91 @@ TEST(SolveReportJson, EncodeDecodeEncodeIsByteStable) {
   const SolveReport decoded = SolveReport::from_json_string(encoded);
   EXPECT_EQ(decoded, report);
   EXPECT_EQ(decoded.to_json_string(), encoded);
+}
+
+TEST(SolveRequestJson, ResumeFromRoundTripsAndExcludesWarmStart) {
+  // Capture a real checkpoint by preempting a small pool run, then carry it
+  // through the request's wire form.  Langford n=5 has no solution, so a
+  // hard iteration budget makes the walk length fixed and the preempt trip
+  // always lands mid-run.
+  const auto problem = problems::make_problem("langford", 5);
+  core::Params params =
+      core::Params::from_hints(problem->tuning(), problem->num_variables());
+  params.restart_limit = 1'500;
+  params.max_restarts = 1;
+
+  parallel::WalkerPoolOptions pool;
+  pool.num_walkers = 2;
+  pool.master_seed = 42;
+  pool.scheduling = parallel::Scheduling::kSequential;
+  pool.termination = parallel::Termination::kBestAfterBudget;
+  pool.params = params;
+  std::atomic<bool> preempt{false};
+  std::optional<parallel::PoolCheckpoint> checkpoint;
+  pool.preempt = &preempt;
+  pool.checkpoint_out = &checkpoint;
+  pool.sample_sink_period = 16;
+  pool.sample_sink = [&](std::size_t, std::uint64_t iteration, csp::Cost) {
+    if (iteration >= 64) preempt.store(true, std::memory_order_relaxed);
+  };
+  (void)parallel::WalkerPool(pool).run(*problem);
+  ASSERT_TRUE(checkpoint.has_value());
+
+  SolveRequest request;
+  request.problem = "langford:5";
+  request.walkers = 2;
+  request.seed = 42;
+  request.scheduling = parallel::Scheduling::kSequential;
+  request.termination = parallel::Termination::kBestAfterBudget;
+  request.params = params;
+  request.resume_from = checkpoint;
+
+  const std::string encoded = request.to_json_string();
+  const SolveRequest decoded = SolveRequest::from_json_string(encoded);
+  EXPECT_EQ(decoded, request);
+  EXPECT_EQ(decoded.to_json_string(), encoded);
+
+  // Resuming the wire-decoded request completes the original solve.
+  const SolveReport direct = Solver::solve([&] {
+    SolveRequest plain = request;
+    plain.resume_from.reset();
+    return plain;
+  }());
+  const SolveReport resumed = Solver::solve(decoded);
+  EXPECT_EQ(resumed.solved, direct.solved);
+  EXPECT_EQ(resumed.winner, direct.winner);
+  EXPECT_EQ(resumed.cost, direct.cost);
+  EXPECT_EQ(resumed.solution, direct.solution);
+  EXPECT_EQ(resumed.total_iterations, direct.total_iterations);
+
+  // A checkpoint already fixes every walker's configuration: combining it
+  // with warm_start is contradictory and rejects, naming the member.
+  util::Json conflicted = *util::Json::parse(encoded);
+  util::Json values = util::Json::array();
+  for (int i = 0; i < 10; ++i) values.push_back(i);
+  conflicted.set("warm_start", std::move(values));
+  try {
+    (void)SolveRequest::from_json_string(conflicted.dump(0));
+    FAIL() << "resume_from + warm_start accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("resume_from"), std::string::npos);
+  }
+
+  // A malformed embedded checkpoint rejects, naming the member.
+  EXPECT_THROW(
+      (void)SolveRequest::from_json_string(
+          R"({"problem":"costas:9","resume_from":{"schema":"nope"}})"),
+      std::invalid_argument);
+}
+
+TEST(SolveReportJson, PreemptedFlagCrossesTheWire) {
+  SolveReport report;
+  report.problem = "costas:9";
+  report.preempted = true;
+  const SolveReport decoded =
+      SolveReport::from_json_string(report.to_json_string());
+  EXPECT_TRUE(decoded.preempted);
+  EXPECT_EQ(decoded, report);
 }
 
 TEST(SolveReportJson, NoWinnerCrossesTheWireAsMinusOne) {

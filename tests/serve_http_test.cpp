@@ -11,9 +11,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "core/params.hpp"
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
 
@@ -242,6 +245,57 @@ TEST(ServeHttp, PipelinedRequestsAreNotDropped) {
     EXPECT_NE(body.find("\"event\":\"stats\""), std::string::npos);
   }
 
+  ::close(fd);
+  server.stop();
+  scheduler.shutdown();
+}
+
+TEST(ServeHttp, AFullLaneAnswers429BeforeTheStreamHeader) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  options.max_lane_depth = 1;
+  Scheduler scheduler(options);
+  HttpServer server(scheduler);
+  server.start();
+
+  // Saturate the normal lane out-of-band: one running blocker plus one
+  // queued job (unsolvable with an hours-long budget, so only cancellation
+  // ends them).
+  SolveCommand endless;
+  endless.request.problem = "langford:5";
+  endless.request.walkers = 1;
+  endless.request.scheduling = parallel::Scheduling::kSequential;
+  endless.request.termination = parallel::Termination::kBestAfterBudget;
+  core::Params params;
+  params.restart_limit = 1'000'000'000'000;
+  params.max_restarts = 0;
+  endless.request.params = params;
+  const std::uint64_t blocker = scheduler.submit(endless, JobEvents{});
+  for (int i = 0; i < 30'000 && scheduler.started_order().empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(scheduler.started_order().empty());
+  const std::uint64_t queued = scheduler.submit(endless, JobEvents{});
+
+  // The admission pre-check answers before any chunked header: a plain 429
+  // with the stable `overloaded` code, and the connection persists.
+  const int fd = connect_to(server.port());
+  std::string buffer;
+  send_text(fd, solve_post());
+  std::string body;
+  std::string head = recv_simple_response(fd, buffer, body);
+  EXPECT_NE(head.find("429 Too Many Requests"), std::string::npos);
+  EXPECT_NE(body.find("\"code\":\"overloaded\""), std::string::npos);
+  EXPECT_EQ(body.find("\"event\":\"accepted\""), std::string::npos);
+
+  // Same socket still serves; the rejection is visible in the stats.
+  send_text(fd, stats_request());
+  head = recv_simple_response(fd, buffer, body);
+  EXPECT_NE(head.find("200 OK"), std::string::npos);
+  EXPECT_NE(body.find("\"rejected_overload\":1"), std::string::npos);
+
+  (void)scheduler.cancel(queued);
+  (void)scheduler.cancel(blocker);
   ::close(fd);
   server.stop();
   scheduler.shutdown();

@@ -65,15 +65,26 @@ SolveCommand endless(Priority priority, std::uint64_t seed) {
 struct Recorder {
   std::mutex m;
   std::map<std::uint64_t, std::string> status;
+  std::map<std::uint64_t, int> preempted;
 
   JobEvents events() {
     JobEvents events;
+    events.on_preempted = [this](std::uint64_t id) {
+      std::lock_guard lock(m);
+      ++preempted[id];
+    };
     events.on_report = [this](std::uint64_t id, std::string_view status_name,
                               const api::SolveReport&, std::string_view) {
       std::lock_guard lock(m);
       status.emplace(id, std::string(status_name));
     };
     return events;
+  }
+
+  [[nodiscard]] int preemptions_of(std::uint64_t id) {
+    std::lock_guard lock(m);
+    const auto it = preempted.find(id);
+    return it == preempted.end() ? 0 : it->second;
   }
 
   [[nodiscard]] std::string status_of(std::uint64_t id) {
@@ -188,7 +199,8 @@ TEST(ServeScheduler, ServiceQueuedJobsArePreemptedAndStillFinish) {
   // back to their lane so the high job is next in the service.
   const std::uint64_t high =
       scheduler.submit(quick(Priority::kHigh, 4), recorder.events());
-  ASSERT_TRUE(eventually([&] { return scheduler.stats().preempted >= 2; }));
+  ASSERT_TRUE(
+      eventually([&] { return scheduler.stats().preempted_queued >= 2; }));
   EXPECT_EQ(scheduler.cancel(blocker), Scheduler::CancelResult::kCancelled);
 
   ASSERT_TRUE(eventually([&] { return recorder.reported() == 4; }));
@@ -201,7 +213,118 @@ TEST(ServeScheduler, ServiceQueuedJobsArePreemptedAndStillFinish) {
   EXPECT_EQ(recorder.status_of(low2), "done");
   EXPECT_EQ(recorder.status_of(high), "done");
   EXPECT_EQ(recorder.status_of(blocker), "cancelled");
-  EXPECT_EQ(scheduler.stats().preempted, 2u);
+  EXPECT_EQ(scheduler.stats().preempted_queued, 2u);
+}
+
+TEST(ServeScheduler, ARunningLowJobIsSuspendedToACheckpointForAHighArrival) {
+  SchedulerOptions options;
+  options.warm_lease_threshold = 0;  // everything takes the service path
+  options.service_inflight = 1;      // the running low job fills the service
+  options.service.thread_budget = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  const std::uint64_t low =
+      scheduler.submit(endless(Priority::kLow, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, low); }));
+
+  // No queued victim exists, the service is at its in-flight cap, and a
+  // stronger job waits: the running low job is suspended to a checkpoint
+  // and requeued at the front of its lane carrying it.
+  const std::uint64_t high =
+      scheduler.submit(quick(Priority::kHigh, 2), recorder.events());
+  ASSERT_TRUE(
+      eventually([&] { return scheduler.stats().preempted_running >= 1; }));
+  ASSERT_TRUE(eventually([&] { return recorder.status_of(high) == "done"; }));
+
+  // The suspended job is still live (no report yet) and resumes from its
+  // checkpoint once the high job released the service slot.
+  EXPECT_EQ(recorder.status_of(low), "");
+  ASSERT_TRUE(eventually([&] { return scheduler.stats().resumed >= 1; }));
+  ASSERT_TRUE(eventually([&] { return recorder.preemptions_of(low) >= 1; }));
+
+  EXPECT_EQ(scheduler.cancel(low), Scheduler::CancelResult::kCancelled);
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 2; }));
+  EXPECT_EQ(recorder.status_of(low), "cancelled");
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.preempted_running, 1u);
+  EXPECT_GE(stats.resumed, 1u);
+  EXPECT_EQ(stats.preempted_queued, 0u);
+  const util::Json json = stats.to_json();
+  EXPECT_GE(json.at("preempted_running").as_uint64(), 1u);
+  EXPECT_GE(json.at("resumed").as_uint64(), 1u);
+  scheduler.shutdown();
+}
+
+TEST(ServeScheduler, RunningPreemptionCanBeDisabled) {
+  SchedulerOptions options;
+  options.warm_lease_threshold = 0;
+  options.service_inflight = 1;
+  options.service.thread_budget = 1;
+  options.preempt_running = false;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  const std::uint64_t low =
+      scheduler.submit(endless(Priority::kLow, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, low); }));
+  const std::uint64_t high =
+      scheduler.submit(quick(Priority::kHigh, 2), recorder.events());
+
+  // The high job waits out the running low job instead of suspending it.
+  EXPECT_FALSE(eventually(
+      [&] { return scheduler.stats().preempted_running > 0; },
+      milliseconds(200)));
+  EXPECT_EQ(recorder.status_of(high), "");
+
+  EXPECT_EQ(scheduler.cancel(low), Scheduler::CancelResult::kCancelled);
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 2; }));
+  EXPECT_EQ(recorder.status_of(high), "done");
+  EXPECT_EQ(scheduler.stats().preempted_running, 0u);
+  scheduler.shutdown();
+}
+
+TEST(ServeScheduler, AFullLaneRejectsSubmissionsAsOverloaded) {
+  SchedulerOptions options;
+  options.warm_workers = 1;
+  options.max_lane_depth = 1;
+  Scheduler scheduler(options);
+  Recorder recorder;
+
+  const std::uint64_t blocker =
+      scheduler.submit(endless(Priority::kNormal, 1), recorder.events());
+  ASSERT_TRUE(eventually([&] { return started(scheduler, blocker); }));
+  const std::uint64_t queued =
+      scheduler.submit(endless(Priority::kNormal, 2), recorder.events());
+
+  // The normal lane is at its depth bound: the next submit is rejected with
+  // the stable `overloaded` code, before on_accepted fires.
+  try {
+    (void)scheduler.submit(quick(Priority::kNormal, 3), recorder.events());
+    FAIL() << "submit into a full lane must throw";
+  } catch (const ProtocolError& error) {
+    EXPECT_EQ(error.code(), kErrOverloaded);
+  }
+  EXPECT_EQ(scheduler.stats().rejected_overload, 1u);
+  EXPECT_EQ(scheduler.stats().submitted, 2u);
+
+  // The HTTP pre-check counts the same way; an empty lane admits.
+  EXPECT_TRUE(scheduler.reject_overloaded(Priority::kNormal));
+  EXPECT_EQ(scheduler.stats().rejected_overload, 2u);
+  EXPECT_FALSE(scheduler.reject_overloaded(Priority::kHigh));
+  EXPECT_EQ(scheduler.stats().rejected_overload, 2u);
+
+  // Draining the lane readmits.
+  EXPECT_EQ(scheduler.cancel(queued), Scheduler::CancelResult::kCancelled);
+  const std::uint64_t admitted =
+      scheduler.submit(quick(Priority::kNormal, 4), recorder.events());
+  EXPECT_EQ(scheduler.cancel(blocker), Scheduler::CancelResult::kCancelled);
+  ASSERT_TRUE(eventually([&] { return recorder.reported() == 3; }));
+  EXPECT_EQ(recorder.status_of(admitted), "done");
+  EXPECT_EQ(scheduler.stats().to_json().at("rejected_overload").as_uint64(),
+            2u);
+  scheduler.shutdown();
 }
 
 TEST(ServeScheduler, CancelSemanticsAndStatsCounters) {

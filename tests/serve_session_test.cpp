@@ -171,7 +171,9 @@ TEST(ServeSession, BadRequestBodyAndUnknownJobCancelAreStructuredErrors) {
   EXPECT_EQ(events[2].at("event").as_string(), "stats");
   // Both stat panes carry their schema.
   EXPECT_TRUE(events[2].at("scheduler").contains("batches"));
-  EXPECT_TRUE(events[2].at("scheduler").contains("preempted"));
+  EXPECT_TRUE(events[2].at("scheduler").contains("preempted_queued"));
+  EXPECT_TRUE(events[2].at("scheduler").contains("preempted_running"));
+  EXPECT_TRUE(events[2].at("scheduler").contains("rejected_overload"));
   EXPECT_TRUE(events[2].at("service").contains("thread_budget"));
   EXPECT_TRUE(events[2].at("service").contains("retried"));
 }

@@ -22,6 +22,10 @@ EXPECTED_COLUMNS = [
     "p99_ms", "max_ms", "wall_seconds", "throughput_per_s", "batches",
     "batched_jobs", "givebacks", "samples", "fused_batches", "fused_jobs",
     "unfused_p50_ms", "unfused_p99_ms", "unfused_throughput_per_s",
+    "preempted_queued", "preempted_running", "resumed", "rejected_overload",
+    "preempt_high_p50_ms", "preempt_low_p50_ms", "preempt_low_p99_ms",
+    "preempt_preempted_running", "preempt_resumed", "noresume_high_p50_ms",
+    "noresume_low_p50_ms", "noresume_low_p99_ms",
 ]
 EXPECTED_LANES = ["high", "normal", "low", "all"]
 
@@ -108,6 +112,37 @@ def main() -> None:
     if all_jobs >= 100 and fused_jobs < all_jobs // 2:
         fail(f"fused coverage too low: {fused_jobs} of {all_jobs} jobs")
 
+    # Split preemption counters: present, non-negative, and consistent
+    # (every checkpoint-carrying resubmission came from one running
+    # suspension).  The throughput passes run uncontended small jobs, so
+    # their own counters are usually zero — presence, not magnitude.
+    for column in ("preempted_queued", "preempted_running", "resumed",
+                   "rejected_overload"):
+        if int(rows["all"][column]) < 0:
+            fail(f"negative {column}")
+    if int(rows["all"]["resumed"]) > int(rows["all"]["preempted_running"]):
+        fail("resumed exceeds preempted_running in the throughput pass")
+
+    # The mixed-priority preemption profile must have actually preempted a
+    # *running* low job and resumed it from its checkpoint.
+    preempted_running = int(rows["all"]["preempt_preempted_running"])
+    resumed = int(rows["all"]["preempt_resumed"])
+    if preempted_running < 1:
+        fail("preemption profile never suspended a running job")
+    if resumed < 1:
+        fail("preemption profile never resumed from a checkpoint")
+    if resumed > preempted_running:
+        fail(f"profile resumed {resumed} exceeds "
+             f"preempted_running {preempted_running}")
+    for prefix in ("preempt", "noresume"):
+        high_p50 = float(rows["all"][f"{prefix}_high_p50_ms"])
+        low_p50 = float(rows["all"][f"{prefix}_low_p50_ms"])
+        low_p99 = float(rows["all"][f"{prefix}_low_p99_ms"])
+        if high_p50 <= 0.0 or low_p50 <= 0.0:
+            fail(f"{prefix}: nonpositive profile latency")
+        if low_p50 > low_p99:
+            fail(f"{prefix}: low-lane p50 {low_p50} above p99 {low_p99}")
+
     ratio = (float(rows["all"]["throughput_per_s"]) /
              float(rows["all"]["unfused_throughput_per_s"]))
     if args.fused_min_ratio is not None and ratio < args.fused_min_ratio:
@@ -118,7 +153,9 @@ def main() -> None:
           f"p99 {rows['all']['p99_ms']} ms, "
           f"{rows['all']['throughput_per_s']} jobs/s, "
           f"{batches} batches, {fused_batches} fused "
-          f"({fused_jobs} jobs), fused/unfused {ratio:.3f}x")
+          f"({fused_jobs} jobs), fused/unfused {ratio:.3f}x, "
+          f"profile preempted_running {preempted_running} "
+          f"resumed {resumed}")
 
 
 if __name__ == "__main__":
